@@ -1,0 +1,30 @@
+"""Benchmarks for the four ablation studies (DESIGN.md A1-A4)."""
+
+from conftest import run_and_print
+
+
+def bench_trg_window(benchmark, lab):
+    result = run_and_print(benchmark, lab, "ablation-trg-window")
+    assert "factor_2.0" in result.summary
+
+
+def bench_affinity_windows(benchmark, lab):
+    result = run_and_print(benchmark, lab, "ablation-affinity-windows")
+    assert result.rows
+
+
+def bench_pruning(benchmark, lab):
+    result = run_and_print(benchmark, lab, "ablation-pruning")
+    # the paper's >90% keep-ratio claim at the top-10k budget.
+    assert result.summary["k10000/keep_ratio"] > 0.9
+
+
+def bench_optimal_gap(benchmark, lab):
+    result = run_and_print(benchmark, lab, "ablation-optimal-gap")
+    assert result.summary["optimal"] <= result.summary["worst"]
+
+
+def bench_seed_robustness(benchmark, lab):
+    result = run_and_print(benchmark, lab, "ablation-seeds")
+    # affinity's worst seed must stay clearly positive (robustness).
+    assert result.summary["bb-affinity/min"] > 0.0

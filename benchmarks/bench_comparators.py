@@ -1,0 +1,12 @@
+"""Benchmark + regeneration harness for the extension comparison
+(paper optimizers vs Pettis-Hansen / popularity / hot-cold splitting)."""
+
+from conftest import run_and_print
+
+
+def bench_comparators(benchmark, lab):
+    result = run_and_print(benchmark, lab, "comparators")
+    assert result.exp_id == "comparators"
+    # the paper's BB affinity should at least match the trivial baselines
+    # on average.
+    assert result.summary["avg/bb-affinity"] >= result.summary["avg/bb-popularity"]

@@ -1,0 +1,38 @@
+"""Benchmarks for the extension experiments (unified cache, model
+validation)."""
+
+from conftest import run_and_print
+
+
+def bench_unified(benchmark, lab):
+    result = run_and_print(benchmark, lab, "unified")
+    assert result.exp_id == "unified"
+
+
+def bench_model_validation(benchmark, lab):
+    result = run_and_print(benchmark, lab, "model-validation")
+    # the footprint model must track the simulator's co-run ordering.
+    assert result.summary["corun_correlation"] > 0.5
+
+
+def bench_smt_width(benchmark, lab):
+    result = run_and_print(benchmark, lab, "smt-width")
+    # contention grows with SMT width.
+    assert result.summary["w8/none"] > result.summary["w2/none"]
+
+
+def bench_cache_sweep(benchmark, lab):
+    result = run_and_print(benchmark, lab, "cache-sweep")
+    s = result.summary
+    # bigger caches melt the solo baseline miss ratio...
+    assert s["128kb/syn-gcc/solo_base"] < s["16kb/syn-gcc/solo_base"]
+    # ...but co-run pressure persists at least one doubling longer.
+    assert s["64kb/syn-gcc/corun_base"] > s["64kb/syn-gcc/solo_base"]
+
+
+def bench_scheduling(benchmark, lab):
+    result = run_and_print(benchmark, lab, "scheduling")
+    s = result.summary
+    assert s["base_best_cost"] <= s["base_greedy_cost"] <= s["base_worst_cost"]
+    # layout optimization composes with scheduling.
+    assert s["opt_best_cost"] <= s["base_best_cost"]

@@ -1,0 +1,8 @@
+"""Benchmark + regeneration harness for the paper's fig4 artifact."""
+
+from conftest import run_and_print
+
+
+def bench_fig4(benchmark, lab):
+    result = run_and_print(benchmark, lab, "fig4")
+    assert result.exp_id == "fig4"

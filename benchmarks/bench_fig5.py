@@ -1,0 +1,8 @@
+"""Benchmark + regeneration harness for the paper's fig5 artifact."""
+
+from conftest import run_and_print
+
+
+def bench_fig5(benchmark, lab):
+    result = run_and_print(benchmark, lab, "fig5")
+    assert result.exp_id == "fig5"

@@ -1,0 +1,8 @@
+"""Benchmark + regeneration harness for the paper's fig6 artifact."""
+
+from conftest import run_and_print
+
+
+def bench_fig6(benchmark, lab):
+    result = run_and_print(benchmark, lab, "fig6")
+    assert result.exp_id == "fig6"

@@ -1,0 +1,8 @@
+"""Benchmark + regeneration harness for the paper's fig7 artifact."""
+
+from conftest import run_and_print
+
+
+def bench_fig7(benchmark, lab):
+    result = run_and_print(benchmark, lab, "fig7")
+    assert result.exp_id == "fig7"

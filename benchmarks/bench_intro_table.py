@@ -1,0 +1,8 @@
+"""Benchmark + regeneration harness for the paper's intro-table artifact."""
+
+from conftest import run_and_print
+
+
+def bench_intro_table(benchmark, lab):
+    result = run_and_print(benchmark, lab, "intro-table")
+    assert result.exp_id == "intro-table"

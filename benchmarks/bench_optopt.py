@@ -1,0 +1,8 @@
+"""Benchmark + regeneration harness for the paper's optopt artifact."""
+
+from conftest import run_and_print
+
+
+def bench_optopt(benchmark, lab):
+    result = run_and_print(benchmark, lab, "optopt")
+    assert result.exp_id == "optopt"

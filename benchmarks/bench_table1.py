@@ -1,0 +1,8 @@
+"""Benchmark + regeneration harness for the paper's table1 artifact."""
+
+from conftest import run_and_print
+
+
+def bench_table1(benchmark, lab):
+    result = run_and_print(benchmark, lab, "table1")
+    assert result.exp_id == "table1"

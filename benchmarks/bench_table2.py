@@ -1,0 +1,8 @@
+"""Benchmark + regeneration harness for the paper's table2 artifact."""
+
+from conftest import run_and_print
+
+
+def bench_table2(benchmark, lab):
+    result = run_and_print(benchmark, lab, "table2")
+    assert result.exp_id == "table2"

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Bring your own profile: run the optimizers on external data.
+
+A downstream user has a real binary and a real profiler; they don't have
+our synthetic suite.  ``repro.workloads.from_profile`` reconstructs the
+library's inputs from the three things any profiler gives you — block
+sizes, block-to-function mapping, and a dynamic block trace — after which
+the entire pipeline (optimizers, simulators, driver) works unchanged.
+
+This example fakes the "external" data with numpy (imagine it came from
+`perf script` post-processing), then optimizes and evaluates it.
+
+Run:  python examples/adopt_external_profile.py
+"""
+
+import numpy as np
+
+from repro.cache import CacheConfig, simulate
+from repro.core import OPTIMIZERS, OptimizerConfig
+from repro.engine import fetch_lines
+from repro.ir import baseline_layout
+from repro.workloads import from_profile
+
+
+def fake_profiler_output():
+    """Pretend this came from your tooling: 3 functions, 12 blocks."""
+    rng = np.random.default_rng(42)
+    block_bytes = [40, 72, 24, 36, 88, 28, 52, 44, 120, 64, 36, 30]
+    func_of_block = [0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]
+    function_names = ["dispatch", "parse", "emit"]
+    # hot path: dispatch block 0 -> parse 4/5 -> emit 8/9, with phases.
+    hot_a = [0, 4, 5, 0, 8, 9]
+    hot_b = [0, 6, 7, 0, 10, 11]
+    trace = []
+    for phase in range(40):
+        pattern = hot_a if phase % 2 == 0 else hot_b
+        for _ in range(120):
+            trace.extend(pattern)
+            if rng.random() < 0.05:
+                trace.append(int(rng.integers(0, 12)))  # occasional cold block
+    return np.array(trace), block_bytes, func_of_block, function_names
+
+
+def main() -> None:
+    trace, sizes, fob, names = fake_profiler_output()
+    module, bundle = from_profile("yourapp", trace, sizes, fob, names)
+    print(f"adopted profile: {module.n_functions} functions, "
+          f"{module.n_blocks} blocks, {bundle.n_dynamic_blocks} dynamic blocks\n")
+
+    # The fake app is only ~600 bytes, so evaluate in a doll-house cache;
+    # with a real profile you would pass PAPER_L1I instead.
+    cache = CacheConfig(size_bytes=512, assoc=2, line_bytes=32)
+
+    base = baseline_layout(module)
+    results = {"baseline": base}
+    cfg = OptimizerConfig(w_max=10, cache=cache)
+    for name in ("bb-affinity", "function-affinity", "bb-trg"):
+        results[name] = OPTIMIZERS[name](module, bundle, cfg)
+
+    print(f"{'layout':20s} {'misses':>8s} {'vs baseline':>12s}")
+    base_misses = None
+    for name, layout in results.items():
+        lines = fetch_lines(bundle.bb_trace, layout.address_map, cache.line_bytes)
+        misses = simulate(lines, cache).misses
+        if base_misses is None:
+            base_misses = misses
+        delta = (base_misses - misses) / base_misses if base_misses else 0.0
+        print(f"{name:20s} {misses:8d} {delta:+11.1%}")
+
+    order = results["bb-affinity"].address_map.order
+    print("\nbb-affinity layout (first 8 blocks):",
+          " ".join(module.block_by_gid(g).func + ":" + module.block_by_gid(g).name
+                   for g in order[:8]))
+    print("Note the phase-correlated blocks of different functions packed "
+          "together — on your real binary, feed this order to your linker "
+          "script or BOLT-style rewriter.")
+
+
+if __name__ == "__main__":
+    main()

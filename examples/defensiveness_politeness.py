@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""The formal defensiveness/politeness model (paper Sec. II-A), both ways.
+
+* the *model channel*: all-window footprint curves composed through
+  ``P(self.miss) = P(self.FP + peer.FP >= C)`` (Eqs. 1-2);
+* the *measurement channel*: event-driven shared-cache simulation scored
+  with the same three-way classification.
+
+Run:  python examples/defensiveness_politeness.py
+"""
+
+from repro.core import score_goals
+from repro.experiments import BASELINE, Lab
+from repro.locality import classify_benefits, footprint_curve
+
+
+def main() -> None:
+    lab = Lab(scale=0.4, noise_sigma=0.0)
+    # mcf is the paper's defensiveness showcase: near-zero solo misses, so
+    # a layout change cannot help the solo run — yet it pays off under
+    # co-run pressure.
+    target, peer, optimizer = "syn-mcf", "syn-gamess", "bb-affinity"
+    cache_lines = lab.cache_cfg.n_lines
+
+    # ---- model channel: footprint composition --------------------------
+    fp_before = footprint_curve(lab.lines(target, BASELINE))
+    fp_after = footprint_curve(lab.lines(target, optimizer))
+    fp_peer = footprint_curve(lab.lines(peer, BASELINE))
+    report = classify_benefits(fp_before, fp_after, fp_peer, cache_lines)
+    print(f"model channel (footprint composition, C = {cache_lines} lines):")
+    print(f"  locality      (solo miss-prob delta): {report.locality:+.4f}")
+    print(f"  defensiveness (self co-run delta):    {report.defensiveness:+.4f}")
+    print(f"  politeness    (peer co-run delta):    {report.politeness:+.4f}")
+
+    # ---- measurement channel: shared-cache simulation -------------------
+    solo_b = lab.solo_miss(target, BASELINE, channel="sim").ratio
+    solo_a = lab.solo_miss(target, optimizer, channel="sim").ratio
+    corun_b = lab.corun_miss((target, BASELINE), (peer, BASELINE), "sim")
+    corun_a = lab.corun_miss((target, optimizer), (peer, BASELINE), "sim")
+    scores = score_goals(
+        solo_b, solo_a,
+        corun_b[0].ratio, corun_a[0].ratio,
+        corun_b[1].ratio, corun_a[1].ratio,
+    )
+    print(f"\nmeasurement channel (event-driven simulation, {optimizer}):")
+    print(f"  solo miss ratio:   {solo_b:.4%} -> {solo_a:.4%} "
+          f"(relative reduction {scores.locality:+.1%})")
+    print(f"  co-run self miss:  {corun_b[0].ratio:.4%} -> {corun_a[0].ratio:.4%} "
+          f"(defensiveness {scores.defensiveness:+.1%})")
+    print(f"  co-run peer miss:  {corun_b[1].ratio:.4%} -> {corun_a[1].ratio:.4%} "
+          f"(politeness {scores.politeness:+.1%})")
+    solo_pp = solo_b - solo_a
+    corun_pp = corun_b[0].ratio - corun_a[0].ratio
+    print(f"\nabsolute deltas: solo {solo_pp * 100:+.3f} pp vs "
+          f"co-run {corun_pp * 100:+.3f} pp")
+    if corun_pp > solo_pp:
+        print("The co-run delta dominates — the paper's headline case: an "
+              "optimization that barely moves the solo run but defends the "
+              "program in shared cache.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Hyper-threading throughput and the magnifying effect of layout
+optimization (the paper's Fig. 7, on one pair).
+
+Two programs co-run on the hyper-threads of one core.  The co-run
+finishes both jobs faster than running them back to back (Fig. 7a); after
+function-affinity optimization of one program, the shared instruction
+cache is used better and the throughput benefit grows (Fig. 7b).
+
+Run:  python examples/hyperthreading_throughput.py
+"""
+
+from repro.experiments import BASELINE, Lab
+
+
+def main() -> None:
+    lab = Lab(scale=0.5)
+    a, b = "syn-sjeng", "syn-omnetpp"
+    print(f"pair: {a} + {b}\n")
+
+    base = lab.corun_timing((a, BASELINE), (b, BASELINE))
+    opt = lab.corun_timing((a, "function-affinity"), (b, BASELINE))
+
+    serial = base.solo_cycles[0] + base.solo_cycles[1]
+    thr_base = serial / base.makespan - 1.0
+    thr_opt = serial / opt.makespan - 1.0
+
+    print(f"solo cycles:            {base.solo_cycles[0]:>12.0f}  {base.solo_cycles[1]:>12.0f}")
+    print(f"baseline co-run cycles: {base.corun_cycles[0]:>12.0f}  {base.corun_cycles[1]:>12.0f}")
+    print(f"optimized co-run cycles:{opt.corun_cycles[0]:>12.0f}  {opt.corun_cycles[1]:>12.0f}")
+    print(f"\nback-to-back solo time:   {serial:,.0f} cycles")
+    print(f"baseline co-run makespan: {base.makespan:,.0f} cycles "
+          f"-> throughput +{thr_base:.1%}")
+    print(f"optimized co-run makespan:{opt.makespan:,.0f} cycles "
+          f"-> throughput +{thr_opt:.1%}")
+    print(f"\nmagnification of the hyper-threading benefit: "
+          f"{thr_opt / thr_base - 1.0:+.1%}  (paper: avg +7.9%)")
+
+    # The per-thread view: defensiveness (self) and politeness (peer).
+    mb = lab.corun_miss((a, BASELINE), (b, BASELINE))
+    mo = lab.corun_miss((a, "function-affinity"), (b, BASELINE))
+    print(f"\nco-run miss ratios ({a} / {b}):")
+    print(f"  baseline : {mb[0].ratio:.4%} / {mb[1].ratio:.4%}")
+    print(f"  optimized: {mo[0].ratio:.4%} / {mo[1].ratio:.4%}")
+    print("  the second column's drop is politeness — the peer benefits "
+          "from our smaller footprint without being recompiled.")
+
+
+if __name__ == "__main__":
+    main()

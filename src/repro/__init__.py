@@ -1,0 +1,34 @@
+"""repro — reproduction of "Code Layout Optimization for Defensiveness and
+Politeness in Shared Cache" (Li, Luo, Ding, Hu, Ye; ICPP 2014).
+
+Subpackages
+-----------
+- :mod:`repro.ir` — miniature compiler IR, codegen, and the two layout
+  transformations (function reordering, inter-procedural BB reordering);
+- :mod:`repro.engine` — deterministic interpreter, instrumentation, and the
+  instruction-fetch model;
+- :mod:`repro.trace` — trimming, pruning, sampling, stack processing;
+- :mod:`repro.locality` — reuse distance, all-window footprint, HOTL
+  conversion, and the formal defensiveness/politeness miss model;
+- :mod:`repro.cache` — set-associative LRU simulation, solo and SMT-shared;
+- :mod:`repro.machine` — CPI timing, SMT throughput, hardware-counter
+  emulation;
+- :mod:`repro.core` — the paper's contribution: w-window affinity, TRG,
+  the four optimizers, and goal scoring;
+- :mod:`repro.workloads` — the 29-program synthetic SPEC stand-in suite;
+- :mod:`repro.experiments` — one driver per paper table/figure.
+
+Quickstart::
+
+    from repro.workloads import build
+    from repro.engine import collect_trace
+    from repro.core import bb_affinity
+
+    prog, module = build("syn-omnetpp")
+    profile = collect_trace(module, prog.spec.test_input())
+    layout = bb_affinity(module, profile)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,36 @@
+"""Cache simulators: solo set-associative LRU, shared SMT co-run, prefetch."""
+
+from .config import PAPER_L1I, CacheConfig
+from .hierarchy import (
+    PAPER_HIERARCHY,
+    HierarchyConfig,
+    HierarchyStats,
+    simulate_hierarchy,
+    simulate_hierarchy_shared,
+)
+from .policies import POLICIES, FIFOSet, LRUSet, RandomSet, TreePLRUSet, make_policy
+from .setassoc import CacheState, simulate, simulate_policy, warm_cache
+from .shared import simulate_shared
+from .stats import CacheStats
+
+__all__ = [
+    "FIFOSet",
+    "HierarchyConfig",
+    "HierarchyStats",
+    "PAPER_HIERARCHY",
+    "LRUSet",
+    "PAPER_L1I",
+    "POLICIES",
+    "CacheConfig",
+    "CacheState",
+    "CacheStats",
+    "RandomSet",
+    "TreePLRUSet",
+    "make_policy",
+    "simulate",
+    "simulate_hierarchy",
+    "simulate_hierarchy_shared",
+    "simulate_policy",
+    "simulate_shared",
+    "warm_cache",
+]

@@ -1,0 +1,58 @@
+"""Cache geometry.
+
+The paper's configuration — both on the Xeon E5520 and in the Pin-based
+simulator — is a 32 KB, 4-way set-associative L1 instruction cache with
+64-byte lines.  :data:`PAPER_L1I` captures it; everything else is derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CacheConfig", "PAPER_L1I"]
+
+
+def _is_pow2(x: int) -> bool:
+    return x > 0 and (x & (x - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one set-associative cache."""
+
+    size_bytes: int = 32 * 1024
+    assoc: int = 4
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if not _is_pow2(self.line_bytes):
+            raise ValueError("line_bytes must be a power of two")
+        if self.assoc < 1:
+            raise ValueError("assoc must be >= 1")
+        if self.size_bytes % (self.assoc * self.line_bytes):
+            raise ValueError("size must be a multiple of assoc * line size")
+        if not _is_pow2(self.n_sets):
+            raise ValueError("number of sets must be a power of two")
+
+    @property
+    def n_lines(self) -> int:
+        """Total capacity in lines."""
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // (self.assoc * self.line_bytes)
+
+    def set_of_line(self, line: int) -> int:
+        """Cache set index of a line index (line = byte address // line size)."""
+        return line & (self.n_sets - 1)
+
+    def describe(self) -> str:
+        return (
+            f"{self.size_bytes // 1024}KB, {self.assoc}-way, "
+            f"{self.line_bytes}B lines ({self.n_sets} sets)"
+        )
+
+
+#: The paper's L1 instruction cache: 32 KB, 4-way, 64 B lines.
+PAPER_L1I = CacheConfig(size_bytes=32 * 1024, assoc=4, line_bytes=64)

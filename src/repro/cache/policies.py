@@ -1,0 +1,187 @@
+"""Replacement policies beyond true LRU.
+
+The paper's simulator (and ours, by default) uses true LRU.  Real L1
+instruction caches approximate it — tree-PLRU on most Intel parts, and
+pseudo-random on several ARM designs.  The policy variants here back an
+extension ablation: *does the layout win survive a realistic replacement
+policy?*  (It should: layout optimization reduces the demand footprint,
+which no replacement policy can conjure away.)
+
+Each policy manages one set of ``assoc`` ways and exposes the same three
+operations; :func:`repro.cache.setassoc.simulate_policy` drives them.
+
+Implementations
+---------------
+* :class:`LRUSet` — true LRU (reference; equivalent to the fast-path
+  simulator in :mod:`repro.cache.setassoc`).
+* :class:`FIFOSet` — evict in insertion order; hits do not promote.
+* :class:`TreePLRUSet` — tree pseudo-LRU: a binary tree of direction bits
+  per set, as in Intel L1 caches; ``assoc`` must be a power of two.
+* :class:`RandomSet` — seeded pseudo-random victim selection.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+__all__ = ["LRUSet", "FIFOSet", "TreePLRUSet", "RandomSet", "make_policy", "POLICIES"]
+
+
+class LRUSet:
+    """True LRU over one set (reference implementation)."""
+
+    __slots__ = ("assoc", "_lines",)
+
+    def __init__(self, assoc: int, seed: int = 0):
+        self.assoc = assoc
+        self._lines: list[int] = []
+
+    def lookup(self, line: int) -> bool:
+        """Access ``line``; True on hit.  Misses install the line."""
+        lines = self._lines
+        try:
+            lines.remove(line)
+        except ValueError:
+            lines.insert(0, line)
+            if len(lines) > self.assoc:
+                lines.pop()
+            return False
+        lines.insert(0, line)
+        return True
+
+    def contents(self) -> set[int]:
+        return set(self._lines)
+
+
+class FIFOSet:
+    """First-in-first-out: hits do not update replacement state."""
+
+    __slots__ = ("assoc", "_queue", "_members")
+
+    def __init__(self, assoc: int, seed: int = 0):
+        self.assoc = assoc
+        self._queue: list[int] = []  # oldest last
+        self._members: set[int] = set()
+
+    def lookup(self, line: int) -> bool:
+        if line in self._members:
+            return True
+        self._queue.insert(0, line)
+        self._members.add(line)
+        if len(self._queue) > self.assoc:
+            victim = self._queue.pop()
+            self._members.discard(victim)
+        return False
+
+    def contents(self) -> set[int]:
+        return set(self._members)
+
+
+class TreePLRUSet:
+    """Tree pseudo-LRU over a power-of-two associativity.
+
+    The ``assoc - 1`` internal nodes each hold one bit pointing toward the
+    pseudo-least-recently-used half; an access flips the bits on its path
+    to point *away* from the accessed way.
+    """
+
+    __slots__ = ("assoc", "_ways", "_bits")
+
+    def __init__(self, assoc: int, seed: int = 0):
+        if assoc & (assoc - 1):
+            raise ValueError("tree-PLRU requires power-of-two associativity")
+        self.assoc = assoc
+        self._ways: list[Optional[int]] = [None] * assoc
+        self._bits = [0] * max(1, assoc - 1)
+
+    def _touch(self, way: int) -> None:
+        """Point every node on the way's path away from it."""
+        node = 0
+        lo, hi = 0, self.assoc
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if way < mid:
+                self._bits[node] = 1  # PLRU side is the right half
+                node = 2 * node + 1
+                hi = mid
+            else:
+                self._bits[node] = 0  # PLRU side is the left half
+                node = 2 * node + 2
+                lo = mid
+        # assoc == 1 has no internal nodes.
+
+    def _victim(self) -> int:
+        node = 0
+        lo, hi = 0, self.assoc
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if self._bits[node]:
+                node = 2 * node + 2
+                lo = mid
+            else:
+                node = 2 * node + 1
+                hi = mid
+        return lo
+
+    def lookup(self, line: int) -> bool:
+        ways = self._ways
+        for way, resident in enumerate(ways):
+            if resident == line:
+                self._touch(way)
+                return True
+        for way, resident in enumerate(ways):
+            if resident is None:
+                ways[way] = line
+                self._touch(way)
+                return False
+        way = self._victim()
+        ways[way] = line
+        self._touch(way)
+        return False
+
+    def contents(self) -> set[int]:
+        return {w for w in self._ways if w is not None}
+
+
+class RandomSet:
+    """Seeded pseudo-random replacement."""
+
+    __slots__ = ("assoc", "_ways", "_rng")
+
+    def __init__(self, assoc: int, seed: int = 0):
+        self.assoc = assoc
+        self._ways: list[Optional[int]] = [None] * assoc
+        self._rng = random.Random(seed)
+
+    def lookup(self, line: int) -> bool:
+        ways = self._ways
+        if line in ways:
+            return True
+        for way, resident in enumerate(ways):
+            if resident is None:
+                ways[way] = line
+                return False
+        ways[self._rng.randrange(self.assoc)] = line
+        return False
+
+    def contents(self) -> set[int]:
+        return {w for w in self._ways if w is not None}
+
+
+#: policy name -> per-set class.
+POLICIES = {
+    "lru": LRUSet,
+    "fifo": FIFOSet,
+    "plru": TreePLRUSet,
+    "random": RandomSet,
+}
+
+
+def make_policy(name: str, assoc: int, seed: int = 0):
+    """Instantiate one set's replacement state by policy name."""
+    try:
+        cls = POLICIES[name]
+    except KeyError:
+        raise ValueError(f"unknown policy {name!r}; known: {', '.join(POLICIES)}") from None
+    return cls(assoc, seed)

@@ -1,0 +1,41 @@
+"""Cache simulation statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Access/miss counters for one thread's view of a cache simulation.
+
+    ``accesses`` counts cache-line lookups (the simulator's unit of work);
+    hardware-style miss *ratios* over instructions are computed by
+    :mod:`repro.machine.counters`, which knows the instruction counts.
+    """
+
+    accesses: int = 0
+    misses: int = 0
+    #: lines installed by the prefetcher (0 without prefetching).
+    prefetches: int = 0
+    #: demand misses avoided because a prefetched line was present.
+    prefetch_hits: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        """Misses per line access (0.0 for an empty run)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def merged_with(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            accesses=self.accesses + other.accesses,
+            misses=self.misses + other.misses,
+            prefetches=self.prefetches + other.prefetches,
+            prefetch_hits=self.prefetch_hits + other.prefetch_hits,
+        )

@@ -1,0 +1,15 @@
+"""Compilation driver: the paper's instrument -> model -> transform ->
+evaluate pipeline, with on-disk build artifacts and a CLI
+(``python -m repro.compiler``)."""
+
+from .artifacts import load_layout, load_report, save_layout, save_report
+from .driver import BuildResult, Driver
+
+__all__ = [
+    "BuildResult",
+    "Driver",
+    "load_layout",
+    "load_report",
+    "save_layout",
+    "save_report",
+]

@@ -1,0 +1,79 @@
+"""``python -m repro.compiler`` — compile a suite program.
+
+Examples::
+
+    python -m repro.compiler syn-sjeng
+    python -m repro.compiler omnetpp --optimizers bb-affinity function-trg \
+        --build-dir build/omnetpp --scale 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..core.optimizers import COMPARATORS, OPTIMIZERS
+from ..workloads.suite import build as build_suite_program
+from .driver import Driver
+
+
+def main(argv: list[str] | None = None) -> int:
+    known = list(OPTIMIZERS) + list(COMPARATORS)
+    parser = argparse.ArgumentParser(
+        prog="repro.compiler",
+        description="Instrument, optimize and evaluate one suite program.",
+    )
+    parser.add_argument("program", help="suite program name (e.g. syn-sjeng)")
+    parser.add_argument(
+        "--optimizers",
+        nargs="+",
+        default=list(OPTIMIZERS),
+        choices=known,
+        metavar="NAME",
+        help=f"layout optimizers to run (default: the paper's four; known: {', '.join(known)})",
+    )
+    parser.add_argument(
+        "--build-dir", default=None, help="directory to write artifacts into"
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0, help="trace-budget multiplier in (0,1]"
+    )
+    parser.add_argument(
+        "--no-evaluate", action="store_true", help="skip the ref-input evaluation"
+    )
+    args = parser.parse_args(argv)
+
+    prog, module = build_suite_program(args.program)
+    spec = prog.spec
+    if args.scale != 1.0:
+        prog, module = build_suite_program(
+            args.program,
+            ref_blocks=max(10_000, int(spec.ref_blocks * args.scale)),
+            test_blocks=max(5_000, int(spec.test_blocks * args.scale)),
+        )
+        spec = prog.spec
+
+    driver = Driver(optimizers=args.optimizers)
+    result = driver.build(
+        module,
+        spec.test_input(),
+        None if args.no_evaluate else spec.ref_input(),
+        build_dir=args.build_dir,
+    )
+
+    print(f"program {result.program}: {module.n_functions} functions, "
+          f"{module.n_blocks} blocks")
+    for name, layout in result.layouts.items():
+        line = f"  {name:20s} bytes={layout.total_bytes:7d} jumps={layout.added_jumps:4d}"
+        if name in result.miss_ratios:
+            line += f"  miss/instr={result.miss_ratios[name]:.4%}"
+        print(line)
+    if result.miss_ratios:
+        print(f"best layout: {result.best_layout()}")
+    if result.build_dir:
+        print(f"artifacts in {result.build_dir}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

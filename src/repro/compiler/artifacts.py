@@ -1,0 +1,75 @@
+"""On-disk artifacts of a compilation run.
+
+The paper's system is file-based: the instrumented run writes a trace file
+and a mapping file; the optimizer writes reordered binaries.  This module
+gives the reproduction the same shape — a *build directory* holding:
+
+``trace.npz``
+    the instrumented profile (see :func:`repro.engine.instrument.save_bundle`);
+``layout-<name>.json``
+    one serialized layout per optimizer: the gid order, per-gid addresses
+    and sizes, added-jump count, and provenance;
+``report.json``
+    the driver's summary (miss ratios per layout, timings).
+
+Layout serialization is loss-free with respect to evaluation: a loaded
+layout reproduces the exact fetch stream of the original (asserted in the
+tests), so builds can be evaluated later or on another machine.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..ir.codegen import AddressMap
+from ..ir.transforms import LayoutKind, LayoutResult
+
+__all__ = ["save_layout", "load_layout", "save_report", "load_report"]
+
+
+def save_layout(layout: LayoutResult, path: str | Path) -> None:
+    """Serialize a :class:`LayoutResult` as JSON."""
+    amap = layout.address_map
+    payload = {
+        "kind": layout.kind.value,
+        "note": layout.note,
+        "order": [int(x) for x in amap.order],
+        "starts": [int(x) for x in amap.starts.tolist()],
+        "sizes": [int(x) for x in amap.sizes.tolist()],
+        "added_jumps": int(amap.added_jumps),
+        "base": int(amap.base),
+        "input_order": [
+            int(x) if isinstance(x, (int, np.integer)) else x for x in layout.order
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_layout(path: str | Path) -> LayoutResult:
+    """Load a layout written by :func:`save_layout`."""
+    payload = json.loads(Path(path).read_text())
+    amap = AddressMap(
+        order=list(payload["order"]),
+        starts=np.array(payload["starts"], dtype=np.int64),
+        sizes=np.array(payload["sizes"], dtype=np.int64),
+        added_jumps=int(payload["added_jumps"]),
+        base=int(payload["base"]),
+    )
+    return LayoutResult(
+        kind=LayoutKind(payload["kind"]),
+        address_map=amap,
+        order=list(payload["input_order"]),
+        note=payload["note"],
+    )
+
+
+def save_report(report: dict, path: str | Path) -> None:
+    """Write the driver's summary report."""
+    Path(path).write_text(json.dumps(report, indent=1, sort_keys=True))
+
+
+def load_report(path: str | Path) -> dict:
+    return json.loads(Path(path).read_text())

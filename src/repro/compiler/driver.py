@@ -1,0 +1,148 @@
+"""The compilation driver: one call from program to optimized layouts.
+
+Mirrors the paper's system organization (Sec. II-F): "the overall system
+has two main modules: locality modeling and program transformation.  For a
+source program, the modeling step instruments the program and runs it
+using the test data input set.  Then it gives the reordered sequence to
+program transformation.  ...  The output is four optimized binaries."
+
+:class:`Driver` runs exactly that pipeline over our substrate:
+
+1. **instrument** — execute the test input, collect the trace bundle;
+2. **model + transform** — run the requested optimizers (default: the
+   paper's four) to produce layouts;
+3. **evaluate** (optional) — execute the ref input and simulate each
+   layout in the target cache;
+4. **persist** (optional) — write the trace, layouts, and report into a
+   build directory (:mod:`repro.compiler.artifacts`).
+
+The CLI (``python -m repro.compiler``) exposes the same flow for suite
+programs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+from ..cache.config import PAPER_L1I, CacheConfig
+from ..cache.setassoc import simulate
+from ..core.optimizers import COMPARATORS, OPTIMIZERS, OptimizerConfig
+from ..engine.fetch import fetch_lines
+from ..engine.instrument import TraceBundle, collect_trace, save_bundle
+from ..engine.state import InputSpec
+from ..ir.module import Module
+from ..ir.transforms import LayoutResult, baseline_layout
+from .artifacts import save_layout, save_report
+
+__all__ = ["BuildResult", "Driver"]
+
+
+@dataclass
+class BuildResult:
+    """Everything a compilation run produced."""
+
+    program: str
+    profile: TraceBundle
+    layouts: dict[str, LayoutResult]
+    #: per-layout evaluation: miss ratio per instruction (None if skipped).
+    miss_ratios: dict[str, float] = field(default_factory=dict)
+    #: per-stage wall-clock seconds.
+    timings: dict[str, float] = field(default_factory=dict)
+    #: build directory, when persisted.
+    build_dir: Optional[Path] = None
+
+    def best_layout(self) -> str:
+        """Name of the layout with the lowest evaluated miss ratio."""
+        if not self.miss_ratios:
+            raise ValueError("build was not evaluated")
+        return min(self.miss_ratios, key=self.miss_ratios.__getitem__)
+
+    def report(self) -> dict:
+        return {
+            "program": self.program,
+            "layouts": {
+                name: {
+                    "kind": layout.kind.value,
+                    "note": layout.note,
+                    "added_jumps": layout.added_jumps,
+                    "total_bytes": layout.total_bytes,
+                    "miss_ratio": self.miss_ratios.get(name),
+                }
+                for name, layout in self.layouts.items()
+            },
+            "timings": self.timings,
+        }
+
+
+class Driver:
+    """Configurable instrument/optimize/evaluate pipeline."""
+
+    def __init__(
+        self,
+        optimizer_config: Optional[OptimizerConfig] = None,
+        cache: CacheConfig = PAPER_L1I,
+        optimizers: Optional[Sequence[str]] = None,
+    ):
+        self.optimizer_config = optimizer_config or OptimizerConfig(cache=cache)
+        self.cache = cache
+        self.optimizer_names = list(optimizers or OPTIMIZERS)
+        for name in self.optimizer_names:
+            if name not in OPTIMIZERS and name not in COMPARATORS:
+                raise ValueError(f"unknown optimizer {name!r}")
+
+    def _optimizer(self, name: str):
+        return OPTIMIZERS.get(name) or COMPARATORS[name]
+
+    def build(
+        self,
+        module: Module,
+        test_input: InputSpec,
+        ref_input: Optional[InputSpec] = None,
+        build_dir: Optional[str | Path] = None,
+    ) -> BuildResult:
+        """Run the pipeline on ``module``.
+
+        ``ref_input`` enables the evaluation stage; ``build_dir`` persists
+        all artifacts.
+        """
+        timings: dict[str, float] = {}
+
+        start = time.perf_counter()
+        profile = collect_trace(module, test_input)
+        timings["instrument"] = time.perf_counter() - start
+
+        layouts: dict[str, LayoutResult] = {"baseline": baseline_layout(module)}
+        for name in self.optimizer_names:
+            start = time.perf_counter()
+            layouts[name] = self._optimizer(name)(
+                module, profile, self.optimizer_config
+            )
+            timings[f"optimize/{name}"] = time.perf_counter() - start
+
+        result = BuildResult(
+            program=module.name, profile=profile, layouts=layouts, timings=timings
+        )
+
+        if ref_input is not None:
+            start = time.perf_counter()
+            ref = collect_trace(module, ref_input)
+            for name, layout in layouts.items():
+                stream = fetch_lines(
+                    ref.bb_trace, layout.address_map, self.cache.line_bytes
+                )
+                stats = simulate(stream, self.cache)
+                result.miss_ratios[name] = stats.misses / ref.instr_count
+            timings["evaluate"] = time.perf_counter() - start
+
+        if build_dir is not None:
+            out = Path(build_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            save_bundle(profile, out / "trace.npz")
+            for name, layout in layouts.items():
+                save_layout(layout, out / f"layout-{name}.json")
+            save_report(result.report(), out / "report.json")
+            result.build_dir = out
+        return result

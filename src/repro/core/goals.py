@@ -1,0 +1,78 @@
+"""Defensiveness and politeness scoring from measurements (paper Secs. I,
+II-A).
+
+The formal, model-based classification lives in
+:mod:`repro.locality.missmodel`; this module is its *measurement* twin: it
+takes miss ratios observed by simulation or hardware counters and reports
+the same three benefit components, in the relative form the paper tabulates
+("miss ratio reduction").
+
+Terminology (paper Sec. I):
+
+* **defensiveness** — the program becomes more robust against peer
+  interference: its *own* co-run misses drop;
+* **politeness** (a.k.a. niceness) — the program interferes less: the
+  *peer's* co-run misses drop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GoalScores", "relative_reduction", "score_goals"]
+
+
+def relative_reduction(before: float, after: float) -> float:
+    """``(before - after) / before``; 0 when ``before`` is 0.
+
+    This is the paper's "miss ratio reduction": 0.25 means a quarter of the
+    misses disappeared; negative values are regressions.
+    """
+    if before == 0:
+        return 0.0
+    return (before - after) / before
+
+
+@dataclass(frozen=True)
+class GoalScores:
+    """Measured three-way benefit classification of one optimization.
+
+    All fields are relative miss-ratio reductions (positive = better).
+    """
+
+    #: solo-run self miss reduction (conventional locality benefit).
+    locality: float
+    #: co-run self miss reduction (defensiveness).
+    defensiveness: float
+    #: co-run peer miss reduction (politeness).
+    politeness: float
+
+    @property
+    def defensive_beyond_locality(self) -> float:
+        """Extra co-run benefit not explained by the solo improvement.
+
+        Positive values are the paper's headline phenomenon: "an
+        optimization does not improve solo-run performance but improves
+        co-run performance".
+        """
+        return self.defensiveness - self.locality
+
+
+def score_goals(
+    solo_self_before: float,
+    solo_self_after: float,
+    corun_self_before: float,
+    corun_self_after: float,
+    corun_peer_before: float,
+    corun_peer_after: float,
+) -> GoalScores:
+    """Build :class:`GoalScores` from six measured miss ratios.
+
+    ``before``/``after`` refer to the program's layout; the peer is
+    unchanged in both measurements.
+    """
+    return GoalScores(
+        locality=relative_reduction(solo_self_before, solo_self_after),
+        defensiveness=relative_reduction(corun_self_before, corun_self_after),
+        politeness=relative_reduction(corun_peer_before, corun_peer_after),
+    )

@@ -1,0 +1,45 @@
+"""Granularity plumbing: model output sequences -> concrete layouts.
+
+The locality models emit *symbol* sequences — function indices at function
+granularity, block gids at basic-block granularity.  This module turns them
+into :class:`~repro.ir.transforms.LayoutResult` objects via the two
+transformations of Sec. II-D/E, filling in the blocks the (pruned) trace
+never mentioned.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..engine.instrument import TraceBundle
+from ..ir.module import Module
+from ..ir.transforms import LayoutResult, reorder_basic_blocks, reorder_functions
+
+__all__ = ["Granularity", "apply_symbol_order"]
+
+
+class Granularity(str, Enum):
+    """What the locality model reorders."""
+
+    FUNCTION = "function"
+    BASIC_BLOCK = "bb"
+
+
+def apply_symbol_order(
+    module: Module,
+    bundle: TraceBundle,
+    order: list[int],
+    granularity: Granularity,
+    note: str = "",
+) -> LayoutResult:
+    """Materialize a model's symbol sequence as a code layout.
+
+    At function granularity ``order`` holds function indices (per
+    ``bundle.function_names``); at basic-block granularity it holds gids.
+    Symbols missing from ``order`` (cold code the pruned trace dropped)
+    keep their relative declaration order after the reordered portion.
+    """
+    if granularity is Granularity.FUNCTION:
+        names = [bundle.function_names[i] for i in order]
+        return reorder_functions(module, names, note=note)
+    return reorder_basic_blocks(module, list(order), note=note)

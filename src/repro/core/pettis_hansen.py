@@ -1,0 +1,105 @@
+"""Pettis-Hansen code ordering, as a comparison baseline.
+
+Pettis & Hansen's profile-guided positioning (PLDI'90) is the classic code
+layout algorithm — the ancestor of today's hfsort/C3 and BOLT orderings —
+and the natural baseline the paper's models should be measured against
+(its lineage is cited through the hot-path-profiling related work).  We
+implement the *ordering* half at both granularities:
+
+1. build a weighted undirected graph whose edge (x, y) counts how often x
+   and y execute **adjacently** in the trimmed trace (for functions this
+   is call/return adjacency; for blocks, control transfers);
+2. start with every node as a singleton chain; process edges by
+   decreasing weight; when the two endpoints lie at the *ends* of
+   different chains, concatenate the chains (reversing as needed so the
+   endpoints touch); otherwise drop the edge;
+3. emit chains by decreasing total edge weight, ties by first occurrence.
+
+Compared to the paper's models: PH sees only *adjacent* pairs — it has no
+notion of a window (affinity) or an interference range (TRG) — so it packs
+hot paths beautifully but cannot group blocks that co-occur at a small
+distance without ever being adjacent (the Fig. 3 halves).  The comparison
+experiment quantifies exactly that gap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..trace.trim import trim
+
+__all__ = ["transition_graph", "pettis_hansen_order"]
+
+
+def transition_graph(trace: np.ndarray) -> dict[tuple[int, int], int]:
+    """Adjacent-transition counts over the trimmed trace.
+
+    Returns undirected edge weights keyed by ``(min, max)`` symbol pairs.
+    """
+    t = trim(np.asarray(trace))
+    weights: dict[tuple[int, int], int] = {}
+    data = t.tolist()
+    for a, b in zip(data, data[1:]):
+        if a == b:  # cannot happen on a trimmed trace; guard anyway
+            continue
+        key = (a, b) if a < b else (b, a)
+        weights[key] = weights.get(key, 0) + 1
+    return weights
+
+
+class _Chain:
+    __slots__ = ("nodes", "weight")
+
+    def __init__(self, node: int):
+        self.nodes: list[int] = [node]
+        self.weight = 0
+
+
+def pettis_hansen_order(trace: np.ndarray) -> list[int]:
+    """The Pettis-Hansen layout order for the symbols of ``trace``."""
+    t = trim(np.asarray(trace))
+    if t.shape[0] == 0:
+        return []
+    weights = transition_graph(t)
+
+    first_occ: dict[int, int] = {}
+    for i, x in enumerate(t.tolist()):
+        first_occ.setdefault(x, i)
+
+    chains: dict[int, _Chain] = {}
+    chain_of: dict[int, _Chain] = {}
+    for sym in first_occ:
+        chain = _Chain(sym)
+        chains[id(chain)] = chain
+        chain_of[sym] = chain
+
+    # heaviest first; deterministic tie-break on the node pair.
+    edges = sorted(weights.items(), key=lambda kv: (-kv[1], kv[0]))
+    for (a, b), w in edges:
+        ca, cb = chain_of[a], chain_of[b]
+        if ca is cb:
+            continue
+        # endpoints must be chain ends.
+        if a not in (ca.nodes[0], ca.nodes[-1]):
+            continue
+        if b not in (cb.nodes[0], cb.nodes[-1]):
+            continue
+        # orient so ...a | b... (a at ca's tail, b at cb's head).
+        if ca.nodes[-1] != a:
+            ca.nodes.reverse()
+        if cb.nodes[0] != b:
+            cb.nodes.reverse()
+        ca.nodes.extend(cb.nodes)
+        ca.weight += cb.weight + w
+        for sym in cb.nodes:
+            chain_of[sym] = ca
+        del chains[id(cb)]
+
+    ordered = sorted(
+        chains.values(),
+        key=lambda c: (-c.weight, min(first_occ[s] for s in c.nodes)),
+    )
+    out: list[int] = []
+    for chain in ordered:
+        out.extend(chain.nodes)
+    return out

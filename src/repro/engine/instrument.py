@@ -1,0 +1,116 @@
+"""Instrumentation facade: program -> traces + index mapping.
+
+The paper instruments LLVM IR, runs the test input, and records (a) the
+trace of all functions and basic blocks and (b) a *mapping file* assigning
+each code block an index.  Here the interpreter plays the role of the
+instrumented run; this module packages its output in the same shape:
+
+* a basic-block trace of dense gids,
+* a function trace derived from it (one entry per dynamic block, giving the
+  owning function's index — trimming collapses it to the paper's Def. 1
+  function trace),
+* the index mapping (gid -> qualified name, function index -> name).
+
+Traces can be saved to / loaded from ``.npz`` files, standing in for the
+paper's on-disk trace files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..ir.module import Module
+from .interpreter import RunResult, run
+from .state import InputSpec
+
+__all__ = ["TraceBundle", "collect_trace", "save_bundle", "load_bundle"]
+
+
+@dataclass
+class TraceBundle:
+    """Everything the locality models need from one instrumented run."""
+
+    program: str
+    input_name: str
+    #: dynamic basic-block trace (gids, execution order).
+    bb_trace: np.ndarray
+    #: per-dynamic-block owning-function indices (parallel to bb_trace).
+    func_trace: np.ndarray
+    #: gid -> "function:block"
+    block_names: list[str]
+    #: function index -> function name (indices follow module order).
+    function_names: list[str]
+    #: gid -> function index
+    func_of_gid: np.ndarray
+    #: total dynamic instructions executed.
+    instr_count: int
+    #: whether the run hit a natural exit (vs the block budget).
+    natural_exit: bool
+
+    @property
+    def n_dynamic_blocks(self) -> int:
+        return int(self.bb_trace.shape[0])
+
+    @property
+    def n_static_blocks(self) -> int:
+        return len(self.block_names)
+
+
+def collect_trace(module: Module, spec: InputSpec) -> TraceBundle:
+    """Run ``module`` under ``spec`` and package the instrumented output."""
+    result: RunResult = run(module, spec)
+    function_names = [f.name for f in module.functions]
+    func_index = {name: i for i, name in enumerate(function_names)}
+    func_of_gid = np.array(
+        [func_index[name] for name in module.function_of_gid()], dtype=np.int32
+    )
+    block_names = [
+        f"{b.func}:{b.name}" for b in (module.block_by_gid(g) for g in range(module.n_blocks))
+    ]
+    return TraceBundle(
+        program=module.name,
+        input_name=spec.name,
+        bb_trace=result.bb_trace,
+        func_trace=func_of_gid[result.bb_trace],
+        block_names=block_names,
+        function_names=function_names,
+        func_of_gid=func_of_gid,
+        instr_count=result.instr_count,
+        natural_exit=result.natural_exit,
+    )
+
+
+def save_bundle(bundle: TraceBundle, path: str | Path) -> None:
+    """Persist a bundle as a compressed ``.npz`` archive."""
+    np.savez_compressed(
+        Path(path),
+        program=np.array(bundle.program),
+        input_name=np.array(bundle.input_name),
+        bb_trace=bundle.bb_trace,
+        func_of_gid=bundle.func_of_gid,
+        block_names=np.array(bundle.block_names),
+        function_names=np.array(bundle.function_names),
+        instr_count=np.array(bundle.instr_count),
+        natural_exit=np.array(bundle.natural_exit),
+    )
+
+
+def load_bundle(path: str | Path) -> TraceBundle:
+    """Load a bundle written by :func:`save_bundle`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        bb_trace = data["bb_trace"]
+        func_of_gid = data["func_of_gid"]
+        return TraceBundle(
+            program=str(data["program"]),
+            input_name=str(data["input_name"]),
+            bb_trace=bb_trace,
+            func_trace=func_of_gid[bb_trace],
+            block_names=[str(s) for s in data["block_names"]],
+            function_names=[str(s) for s in data["function_names"]],
+            func_of_gid=func_of_gid,
+            instr_count=int(data["instr_count"]),
+            natural_exit=bool(data["natural_exit"]),
+        )

@@ -1,0 +1,19 @@
+"""Evaluation harness: one driver per paper table/figure, plus ablations.
+
+Run everything with ``python -m repro.experiments`` (see
+:mod:`repro.experiments.runner`).
+"""
+
+from .pipeline import BASELINE, Lab, MissRatios, PreparedProgram
+from .report import ExperimentResult, format_table, pct, ratio
+
+__all__ = [
+    "BASELINE",
+    "ExperimentResult",
+    "Lab",
+    "MissRatios",
+    "PreparedProgram",
+    "format_table",
+    "pct",
+    "ratio",
+]

@@ -1,0 +1,48 @@
+"""Figure 6: per-probe co-run speedups of the three optimizers.
+
+One sub-figure per optimizer; bars are the speedup of the optimized target
+co-running with each original probe, normalized to the original+original
+co-run.  Reproduction targets: affinity optimizers occasionally lose a
+single pairing but improve every program on average; function TRG is
+consistently beneficial except on (at least) one program where it
+consistently hurts.
+"""
+
+from __future__ import annotations
+
+from ..workloads.suite import STUDY_PROGRAMS
+from .exp_table2 import TABLE2_OPTIMIZERS
+from .pipeline import Lab
+from .report import ExperimentResult, pct
+
+__all__ = ["run"]
+
+
+def run(lab: Lab) -> ExperimentResult:
+    probes = list(STUDY_PROGRAMS)
+    rows = []
+    summary: dict[str, float] = {}
+    for opt in TABLE2_OPTIMIZERS:
+        for target in STUDY_PROGRAMS:
+            if not lab.supports(target, opt):
+                rows.append([opt, target] + ["N/A"] * len(probes) + ["N/A"])
+                continue
+            cells = []
+            values = []
+            for probe in probes:
+                s = lab.corun_speedup(target, opt, probe) - 1.0
+                cells.append(pct(s, digits=1))
+                values.append(s)
+                summary[f"{opt}/{target}/{probe}"] = s
+            avg = sum(values) / len(values)
+            summary[f"{opt}/{target}/avg"] = avg
+            rows.append([opt, target] + cells + [pct(avg, digits=1)])
+    short_probes = [p.replace("syn-", "") for p in probes]
+    return ExperimentResult(
+        exp_id="fig6",
+        title="Co-run speedup per (optimizer, target, probe): "
+        "optimized+original vs original+original",
+        headers=["optimizer", "target"] + short_probes + ["avg"],
+        rows=rows,
+        summary=summary,
+    )

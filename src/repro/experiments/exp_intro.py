@@ -1,0 +1,68 @@
+"""Intro table: average I-cache miss ratio, solo vs two hyper-threaded
+co-runs (paper Sec. I).
+
+The paper found 9 of 29 SPEC programs with non-trivial instruction miss
+ratios; across them the average miss ratio rose from 1.5% solo to 2.5%
+(co-run 1) and 3.8% (co-run 2) — +67% and +153%.  This driver selects the
+non-trivial-miss programs of the synthetic suite the same way (solo hw
+miss ratio above a threshold) and reports the same three averages.
+"""
+
+from __future__ import annotations
+
+from ..workloads.suite import ALL_PROGRAMS, PROBE_PROGRAMS
+from .pipeline import BASELINE, Lab
+from .report import ExperimentResult, pct, ratio
+
+__all__ = ["run", "NONTRIVIAL_MISS_THRESHOLD"]
+
+#: solo miss-per-instruction ratio above which a program counts as having a
+#: "non-trivial" instruction-cache miss ratio.  At this threshold the
+#: full-scale suite selects 9 of 29 programs, matching the paper's count.
+NONTRIVIAL_MISS_THRESHOLD = 0.0012
+
+
+def run(lab: Lab) -> ExperimentResult:
+    probe1, probe2 = PROBE_PROGRAMS
+    selected: list[str] = []
+    solo_ratios: list[float] = []
+    corun1: list[float] = []
+    corun2: list[float] = []
+
+    for name in ALL_PROGRAMS:
+        solo = lab.solo_miss(name, BASELINE, channel="hw").ratio
+        if solo < NONTRIVIAL_MISS_THRESHOLD:
+            continue
+        selected.append(name)
+        solo_ratios.append(solo)
+        corun1.append(lab.corun_miss((name, BASELINE), (probe1, BASELINE))[0].ratio)
+        corun2.append(lab.corun_miss((name, BASELINE), (probe2, BASELINE))[0].ratio)
+
+    n = len(selected)
+    avg_solo = sum(solo_ratios) / n if n else 0.0
+    avg_c1 = sum(corun1) / n if n else 0.0
+    avg_c2 = sum(corun2) / n if n else 0.0
+    inc1 = (avg_c1 - avg_solo) / avg_solo if avg_solo else 0.0
+    inc2 = (avg_c2 - avg_solo) / avg_solo if avg_solo else 0.0
+
+    result = ExperimentResult(
+        exp_id="intro-table",
+        title="Average miss ratio: solo vs hyper-threaded co-runs "
+        "(paper: 1.5% / 2.5% / 3.8%; +67% / +153%)",
+        headers=["config", "avg. miss ratio", "increase over solo"],
+        rows=[
+            ["solo", pct(avg_solo, signed=False), "--"],
+            [f"co-run 1 ({probe1})", pct(avg_c1, signed=False), pct(inc1)],
+            [f"co-run 2 ({probe2})", pct(avg_c2, signed=False), pct(inc2)],
+        ],
+        summary={
+            "n_nontrivial_programs": float(n),
+            "avg_solo": avg_solo,
+            "avg_corun1": avg_c1,
+            "avg_corun2": avg_c2,
+            "increase_corun1": inc1,
+            "increase_corun2": inc2,
+        },
+        notes=[f"selected programs: {', '.join(selected)}"],
+    )
+    return result

@@ -1,0 +1,57 @@
+"""Table I: characteristics of the 8 study programs.
+
+Columns mirror the paper: dynamic instruction count, static code size, and
+L1 I-cache miss ratios solo and in co-run with the two probe programs
+(hardware channel).  Absolute magnitudes differ from the paper (our
+substrate runs millions, not billions, of instructions); the *relations*
+— which programs are large, which miss ratios inflate under co-run — are
+the reproduction target.
+"""
+
+from __future__ import annotations
+
+from ..workloads.suite import PROBE_PROGRAMS, STUDY_PROGRAMS
+from .pipeline import BASELINE, Lab
+from .report import ExperimentResult, pct
+
+__all__ = ["run"]
+
+
+def run(lab: Lab) -> ExperimentResult:
+    probe1, probe2 = PROBE_PROGRAMS
+    rows = []
+    summary: dict[str, float] = {}
+    for name in STUDY_PROGRAMS:
+        prepared = lab.program(name)
+        layout = lab.layout(name, BASELINE)
+        solo = lab.solo_miss(name, BASELINE, channel="hw").ratio
+        c1 = lab.corun_miss((name, BASELINE), (probe1, BASELINE))[0].ratio
+        c2 = lab.corun_miss((name, BASELINE), (probe2, BASELINE))[0].ratio
+        rows.append(
+            [
+                name,
+                f"{prepared.instr_count / 1e6:.2f}M",
+                f"{layout.total_bytes / 1024:.1f}K",
+                pct(solo, signed=False),
+                pct(c1, signed=False),
+                pct(c2, signed=False),
+            ]
+        )
+        summary[f"{name}/solo"] = solo
+        summary[f"{name}/corun_gcc"] = c1
+        summary[f"{name}/corun_gamess"] = c2
+    return ExperimentResult(
+        exp_id="table1",
+        title="Characteristics of the 8 study programs "
+        "(dynamic instructions, static size, L1I miss ratios)",
+        headers=[
+            "program",
+            "dyn. instr",
+            "static size",
+            "solo miss",
+            f"co-run {probe1}",
+            f"co-run {probe2}",
+        ],
+        rows=rows,
+        summary=summary,
+    )

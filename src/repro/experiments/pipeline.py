@@ -1,0 +1,302 @@
+"""Experiment orchestration: the :class:`Lab`.
+
+Every experiment follows the same pipeline:
+
+    build program -> instrument (test + ref inputs) -> run optimizers on the
+    test profile -> expand layouts to fetch streams (ref input) -> simulate
+    solo / co-run caches -> convert to miss ratios and cycle counts.
+
+The :class:`Lab` owns that pipeline and memoizes every stage, because the
+evaluation matrices (8 study programs x 8 probes x 4 optimizers x 2
+measurement channels) re-visit the same artefacts hundreds of times.
+
+Two measurement channels, as in the paper (Sec. III-A):
+
+* ``sim``  — clean LRU simulation, no prefetch (the Pin-simulator channel);
+* ``hw``   — next-line prefetcher plus seeded counter noise
+  (:mod:`repro.machine.counters`, the PAPI channel).  Timing always uses
+  this channel, because the paper times real runs.
+
+``scale`` shrinks every program's test/ref trace budgets; benchmarks run
+the full experiment logic at a fraction of the cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..cache.config import PAPER_L1I, CacheConfig
+from ..cache.setassoc import simulate
+from ..cache.shared import simulate_shared
+from ..cache.stats import CacheStats
+from ..core.optimizers import OPTIMIZERS, OptimizerConfig
+from ..engine.fetch import fetch_lines
+from ..engine.instrument import TraceBundle, collect_trace
+from ..ir.module import Module
+from ..ir.transforms import LayoutResult, baseline_layout
+from ..machine.counters import measure_corun, measure_solo
+from ..machine.smt import CoRunTiming, corun_pair
+from ..machine.timing import ThreadCost, TimingParams, thread_cost
+from ..workloads.suite import SuiteProgram
+from ..workloads.suite import build as build_suite_program
+
+__all__ = ["BASELINE", "THREAD_STRIDE", "Lab", "MissRatios", "PreparedProgram"]
+
+#: layout name of the unoptimized (declaration-order) layout.
+BASELINE = "baseline"
+
+#: Line-index offset applied to the second co-run thread.  Co-running
+#: processes occupy disjoint physical pages, so their fetch streams must
+#: not alias in the physically-indexed shared cache — without this, a
+#: program co-run with itself would share every line and show zero
+#: contention.  The extra 64 lines (one 4 KB page) rotates the set mapping
+#: so self-pairs are not pathologically set-aligned either.
+THREAD_STRIDE = (1 << 22) + 64
+
+
+@dataclass
+class PreparedProgram:
+    """All per-program artefacts the experiments reuse."""
+
+    prog: SuiteProgram
+    module: Module
+    test_bundle: TraceBundle
+    ref_bundle: TraceBundle
+
+    @property
+    def name(self) -> str:
+        return self.prog.name
+
+    @property
+    def instr_count(self) -> int:
+        return self.ref_bundle.instr_count
+
+    @property
+    def data_cpi(self) -> float:
+        return self.prog.spec.data_cpi
+
+
+@dataclass(frozen=True)
+class MissRatios:
+    """One program's miss measurement under some configuration."""
+
+    misses: float
+    instructions: int
+
+    @property
+    def ratio(self) -> float:
+        return self.misses / self.instructions if self.instructions else 0.0
+
+
+class Lab:
+    """Caching experiment context.
+
+    Parameters
+    ----------
+    cache_cfg: cache geometry (paper default 32KB/4-way/64B).
+    scale: trace-budget multiplier in (0, 1]; 1.0 = full evaluation.
+    optimizer_config: shared knobs for the four optimizers.
+    quantum: SMT fetch interleaving granularity, in line accesses.
+    noise_sigma: hardware-counter noise (0 disables).
+    timing: CPI model constants.
+    """
+
+    def __init__(
+        self,
+        cache_cfg: CacheConfig = PAPER_L1I,
+        scale: float = 1.0,
+        optimizer_config: Optional[OptimizerConfig] = None,
+        quantum: int = 8,
+        noise_sigma: float = 0.01,
+        timing: TimingParams = TimingParams(),
+    ):
+        if not 0.0 < scale <= 1.0:
+            raise ValueError("scale must be in (0, 1]")
+        self.cache_cfg = cache_cfg
+        self.scale = scale
+        self.optimizer_config = optimizer_config or OptimizerConfig(cache=cache_cfg)
+        self.quantum = quantum
+        self.noise_sigma = noise_sigma
+        self.timing = timing
+
+        self._programs: dict[str, PreparedProgram] = {}
+        self._layouts: dict[tuple[str, str], LayoutResult] = {}
+        self._lines: dict[tuple[str, str], np.ndarray] = {}
+        self._solo: dict[tuple[str, str, str], MissRatios] = {}
+        self._corun: dict[tuple, tuple[MissRatios, MissRatios]] = {}
+
+    # -- program preparation -------------------------------------------------
+
+    def program(self, name: str) -> PreparedProgram:
+        """Build + instrument a suite program (memoized)."""
+        prepared = self._programs.get(name)
+        if prepared is None:
+            prog, module = build_suite_program(name)
+            spec = prog.spec
+            ref_blocks = max(10_000, int(spec.ref_blocks * self.scale))
+            test_blocks = max(5_000, int(spec.test_blocks * self.scale))
+            prog, module = build_suite_program(
+                name, ref_blocks=ref_blocks, test_blocks=test_blocks
+            )
+            prepared = PreparedProgram(
+                prog=prog,
+                module=module,
+                test_bundle=collect_trace(module, prog.spec.test_input()),
+                ref_bundle=collect_trace(module, prog.spec.ref_input()),
+            )
+            self._programs[name] = prepared
+        return prepared
+
+    def layout(self, name: str, layout_name: str) -> LayoutResult:
+        """Baseline or one of the four optimizers' layouts (memoized)."""
+        key = (name, layout_name)
+        result = self._layouts.get(key)
+        if result is None:
+            prepared = self.program(name)
+            if layout_name == BASELINE:
+                result = baseline_layout(prepared.module)
+            else:
+                optimizer = OPTIMIZERS[layout_name]
+                result = optimizer(
+                    prepared.module, prepared.test_bundle, self.optimizer_config
+                )
+            self._layouts[key] = result
+        return result
+
+    def supports(self, name: str, layout_name: str) -> bool:
+        """False where the paper reported N/A (BB reordering failures)."""
+        if layout_name.startswith("bb-"):
+            return self.program(name).prog.bb_reorder_supported
+        return True
+
+    def lines(self, name: str, layout_name: str) -> np.ndarray:
+        """Ref-input fetch stream of a program under a layout (memoized)."""
+        key = (name, layout_name)
+        stream = self._lines.get(key)
+        if stream is None:
+            prepared = self.program(name)
+            amap = self.layout(name, layout_name).address_map
+            stream = fetch_lines(
+                prepared.ref_bundle.bb_trace, amap, self.cache_cfg.line_bytes
+            ).astype(np.int32)
+            self._lines[key] = stream
+        return stream
+
+    # -- measurements ----------------------------------------------------------
+
+    def solo_miss(self, name: str, layout_name: str, channel: str = "hw") -> MissRatios:
+        """Solo miss measurement through the given channel ('hw' or 'sim')."""
+        key = (name, layout_name, channel)
+        result = self._solo.get(key)
+        if result is None:
+            prepared = self.program(name)
+            stream = self.lines(name, layout_name)
+            if channel == "sim":
+                stats = simulate(stream, self.cache_cfg, prefetch=False)
+                result = MissRatios(stats.misses, prepared.instr_count)
+            elif channel == "hw":
+                reading = measure_solo(
+                    stream,
+                    prepared.instr_count,
+                    self.cache_cfg,
+                    noise_sigma=self.noise_sigma,
+                    measurement_id=f"{name}/{layout_name}",
+                )
+                result = MissRatios(reading.icache_misses, reading.instructions)
+            else:
+                raise ValueError(f"unknown channel {channel!r}")
+            self._solo[key] = result
+        return result
+
+    def corun_miss(
+        self,
+        a: tuple[str, str],
+        b: tuple[str, str],
+        channel: str = "hw",
+    ) -> tuple[MissRatios, MissRatios]:
+        """Co-run miss measurement for a pair of (program, layout) threads.
+
+        Per-thread misses are normalized to one pass of each program's ref
+        stream, so ratios stay comparable to solo measurements.
+        """
+        key = (a, b, channel)
+        result = self._corun.get(key)
+        if result is not None:
+            return result
+        # Symmetric cache: reuse the swapped measurement if present.
+        swapped = self._corun.get((b, a, channel))
+        if swapped is not None:
+            result = (swapped[1], swapped[0])
+            self._corun[key] = result
+            return result
+
+        pa, pb = self.program(a[0]), self.program(b[0])
+        sa, sb = self.lines(*a), self.lines(*b) + THREAD_STRIDE
+        if channel == "sim":
+            stats = simulate_shared(
+                [sa, sb], self.cache_cfg, quantum=self.quantum, prefetch=False
+            )
+            result = (
+                _per_pass(stats[0], len(sa), pa.instr_count),
+                _per_pass(stats[1], len(sb), pb.instr_count),
+            )
+        elif channel == "hw":
+            readings = measure_corun(
+                [sa, sb],
+                [pa.instr_count, pb.instr_count],
+                self.cache_cfg,
+                quantum=self.quantum,
+                noise_sigma=self.noise_sigma,
+                measurement_id=f"{a[0]}/{a[1]}|{b[0]}/{b[1]}",
+            )
+            result = (
+                MissRatios(readings[0].icache_misses, readings[0].instructions),
+                MissRatios(readings[1].icache_misses, readings[1].instructions),
+            )
+        else:
+            raise ValueError(f"unknown channel {channel!r}")
+        self._corun[key] = result
+        return result
+
+    # -- timing ------------------------------------------------------------------
+
+    def solo_cost(self, name: str, layout_name: str) -> ThreadCost:
+        """Cycle cost of a solo run (hw-channel misses, per the paper)."""
+        prepared = self.program(name)
+        miss = self.solo_miss(name, layout_name, channel="hw")
+        return thread_cost(
+            prepared.instr_count,
+            int(miss.misses),
+            prepared.data_cpi,
+            self.timing,
+        )
+
+    def corun_timing(self, a: tuple[str, str], b: tuple[str, str]) -> CoRunTiming:
+        """SMT co-run timing for a pair of (program, layout) threads."""
+        miss_a, miss_b = self.corun_miss(a, b, channel="hw")
+        pa, pb = self.program(a[0]), self.program(b[0])
+        corun_costs = (
+            thread_cost(pa.instr_count, int(miss_a.misses), pa.data_cpi, self.timing),
+            thread_cost(pb.instr_count, int(miss_b.misses), pb.data_cpi, self.timing),
+        )
+        solo_costs = (self.solo_cost(*a), self.solo_cost(*b))
+        return corun_pair(corun_costs, solo_costs, self.timing)
+
+    def corun_speedup(self, target: str, layout_name: str, probe: str) -> float:
+        """Paper Fig. 6 metric: optimized+original co-run vs original+original.
+
+        Both co-runs pair the target with the unmodified probe; the speedup
+        is the target's co-run completion-time ratio.
+        """
+        base = self.corun_timing((target, BASELINE), (probe, BASELINE))
+        opt = self.corun_timing((target, layout_name), (probe, BASELINE))
+        return base.corun_cycles[0] / opt.corun_cycles[0]
+
+
+def _per_pass(stats: CacheStats, stream_len: int, instructions: int) -> MissRatios:
+    """Normalize wrapped co-run stats to one pass of the stream."""
+    scale = stream_len / stats.accesses if stats.accesses else 0.0
+    return MissRatios(stats.misses * scale, instructions)

@@ -1,0 +1,101 @@
+"""Plain-text reporting: tables and series in the paper's shapes.
+
+Every experiment driver returns an :class:`ExperimentResult`; its
+``to_text()`` renders the same rows/columns the paper's table or figure
+reports, so a terminal run of a benchmark reads like the publication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+__all__ = ["ExperimentResult", "ascii_bars", "format_table", "pct", "ratio"]
+
+
+def pct(x: float, digits: int = 2, signed: bool = True) -> str:
+    """Format a fraction as a percentage string ('+7.22%')."""
+    sign = "+" if signed and x >= 0 else ""
+    return f"{sign}{x * 100:.{digits}f}%"
+
+
+def ratio(x: float, digits: int = 4) -> str:
+    return f"{x:.{digits}f}"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    """Fixed-width table with a header rule."""
+    rows = [list(map(str, r)) for r in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(str(c).ljust(w) for c, w in zip(row, widths)).rstrip()
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in rows)
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    items: Sequence[tuple[str, float]],
+    width: int = 44,
+    value_format=pct,
+) -> str:
+    """Horizontal text bar chart — the terminal rendering of the paper's
+    figures.
+
+    Negative values extend left of a shared zero axis, so speedup /
+    slowdown charts read like the paper's bar plots.
+    """
+    if not items:
+        return "(no data)"
+    label_w = max(len(label) for label, _ in items)
+    max_abs = max(abs(v) for _, v in items) or 1.0
+    neg_w = max(
+        (int(round(width * abs(v) / max_abs)) for _, v in items if v < 0),
+        default=0,
+    )
+    lines = []
+    for label, value in items:
+        n = int(round(width * abs(value) / max_abs))
+        if value >= 0:
+            bar = " " * neg_w + "|" + "#" * n
+        else:
+            bar = " " * (neg_w - n) + "#" * n + "|"
+        lines.append(f"{label.ljust(label_w)}  {bar.ljust(neg_w + 1 + width)} {value_format(value)}")
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """A rendered experiment: identity, rows, and derived headline numbers."""
+
+    #: experiment id, e.g. "table2" or "fig7".
+    exp_id: str
+    #: human title matching the paper artifact.
+    title: str
+    headers: list[str] = field(default_factory=list)
+    rows: list[list[str]] = field(default_factory=list)
+    #: headline scalars for EXPERIMENTS.md ("avg_magnification": 0.079, ...).
+    summary: dict[str, float] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+    #: optional rendered charts (titled ASCII bar plots), appended after
+    #: the table.
+    charts: list[tuple[str, str]] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        parts = [f"== {self.exp_id}: {self.title} =="]
+        if self.headers:
+            parts.append(format_table(self.headers, self.rows))
+        for chart_title, chart in self.charts:
+            parts.append("")
+            parts.append(f"-- {chart_title} --")
+            parts.append(chart)
+        if self.summary:
+            parts.append("")
+            for key, value in self.summary.items():
+                parts.append(f"  {key} = {value:.4f}")
+        for note in self.notes:
+            parts.append(f"  note: {note}")
+        return "\n".join(parts)

@@ -1,0 +1,109 @@
+"""Experiment registry and command-line runner.
+
+``python -m repro.experiments`` runs every table/figure reproduction and
+prints the paper-shaped output; ``--only fig5 --scale 0.25`` narrows and
+shrinks the run.  The same registry backs the pytest-benchmark harness in
+``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from . import (
+    ablations,
+    exp_cache_sweep,
+    exp_comparators,
+    exp_fig4,
+    exp_fig5,
+    exp_fig6,
+    exp_fig7,
+    exp_intro,
+    exp_model,
+    exp_optopt,
+    exp_scheduling,
+    exp_smt_width,
+    exp_table1,
+    exp_table2,
+    exp_unified,
+)
+from .pipeline import Lab
+from .report import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all", "main"]
+
+#: experiment id -> driver. Drivers take a Lab and return ExperimentResult.
+EXPERIMENTS: dict[str, Callable[[Lab], ExperimentResult]] = {
+    "intro-table": exp_intro.run,
+    "table1": exp_table1.run,
+    "fig4": exp_fig4.run,
+    "fig5": exp_fig5.run,
+    "table2": exp_table2.run,
+    "fig6": exp_fig6.run,
+    "fig7": exp_fig7.run,
+    "optopt": exp_optopt.run,
+    "comparators": exp_comparators.run,
+    "unified": exp_unified.run,
+    "model-validation": exp_model.run,
+    "smt-width": exp_smt_width.run,
+    "cache-sweep": exp_cache_sweep.run,
+    "scheduling": exp_scheduling.run,
+    "ablation-trg-window": ablations.run_trg_window,
+    "ablation-affinity-windows": ablations.run_affinity_windows,
+    "ablation-pruning": ablations.run_pruning,
+    "ablation-optimal-gap": lambda lab: ablations.run_optimal_gap(lab),
+    "ablation-seeds": ablations.run_seed_robustness,
+}
+
+
+def run_experiment(exp_id: str, lab: Lab) -> ExperimentResult:
+    """Run one experiment by id against a shared lab."""
+    try:
+        driver = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; known: {', '.join(EXPERIMENTS)}"
+        ) from None
+    return driver(lab)
+
+
+def run_all(lab: Lab, only: list[str] | None = None) -> list[ExperimentResult]:
+    ids = only or list(EXPERIMENTS)
+    return [run_experiment(i, lab) for i in ids]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="trace-budget multiplier in (0,1]; smaller = faster",
+    )
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        help=f"experiment ids to run (default: all). Known: {', '.join(EXPERIMENTS)}",
+    )
+    args = parser.parse_args(argv)
+
+    lab = Lab(scale=args.scale)
+    for exp_id in args.only or list(EXPERIMENTS):
+        start = time.time()
+        result = run_experiment(exp_id, lab)
+        elapsed = time.time() - start
+        print(result.to_text())
+        print(f"  [{elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

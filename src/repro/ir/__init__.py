@@ -1,0 +1,62 @@
+"""Miniature compiler IR: the substrate the layout optimizers operate on.
+
+See :mod:`repro.ir.module` for the type definitions and DESIGN.md Sec. 2 for
+why this stands in for the paper's LLVM substrate.
+"""
+
+from .builder import FunctionBuilder, ModuleBuilder
+from .codegen import AddressMap, function_order_gids, layout_blocks, original_gid_order
+from .module import (
+    INSTRUCTION_BYTES,
+    BasicBlock,
+    DataAccess,
+    BlockRef,
+    Branch,
+    Call,
+    Exit,
+    Function,
+    Jump,
+    LoopBranch,
+    Module,
+    Return,
+    Switch,
+    Terminator,
+)
+from .transforms import (
+    LayoutKind,
+    LayoutResult,
+    baseline_layout,
+    reorder_basic_blocks,
+    reorder_functions,
+)
+from .validate import ValidationError, validate_module
+
+__all__ = [
+    "INSTRUCTION_BYTES",
+    "AddressMap",
+    "BasicBlock",
+    "BlockRef",
+    "Branch",
+    "Call",
+    "DataAccess",
+    "Exit",
+    "Function",
+    "FunctionBuilder",
+    "Jump",
+    "LayoutKind",
+    "LayoutResult",
+    "LoopBranch",
+    "Module",
+    "ModuleBuilder",
+    "Return",
+    "Switch",
+    "Terminator",
+    "ValidationError",
+    "baseline_layout",
+    "function_order_gids",
+    "layout_blocks",
+    "original_gid_order",
+    "reorder_basic_blocks",
+    "reorder_functions",
+    "validate_module",
+]

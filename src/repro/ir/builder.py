@@ -1,0 +1,152 @@
+"""Fluent construction API for the miniature IR.
+
+Writing :class:`~repro.ir.module.Module` literals by hand is verbose; the
+builder keeps workload generators and tests readable::
+
+    b = ModuleBuilder("demo")
+    f = b.function("main")
+    f.block("entry", 4).loop("body", "exit", trips=100)
+    f.block("body", 8).call("helper", return_to="exit_check")
+    ...
+    module = b.build()
+
+Each ``block(...)`` call returns a :class:`TerminatorSetter` whose methods
+(``jump``, ``branch``, ``switch``, ``call``, ``ret``, ``exit``, ``loop``)
+attach the terminator.  ``build()`` validates (via :mod:`repro.ir.validate`)
+and seals the module.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .module import (
+    BasicBlock,
+    Branch,
+    Call,
+    DataAccess,
+    Exit,
+    Function,
+    Jump,
+    LoopBranch,
+    Module,
+    Return,
+    Switch,
+    Terminator,
+)
+
+__all__ = ["ModuleBuilder", "FunctionBuilder", "TerminatorSetter"]
+
+
+class TerminatorSetter:
+    """Attaches exactly one terminator to a pending block."""
+
+    def __init__(
+        self,
+        owner: "FunctionBuilder",
+        name: str,
+        n_instr: int,
+        data: Optional["DataAccess"] = None,
+    ):
+        self._owner = owner
+        self._name = name
+        self._n_instr = n_instr
+        self._data = data
+        self._done = False
+
+    def _finish(self, term: Terminator) -> "FunctionBuilder":
+        if self._done:
+            raise RuntimeError(f"block {self._name!r} already terminated")
+        self._done = True
+        self._owner._add(BasicBlock(self._name, self._n_instr, term, data=self._data))
+        return self._owner
+
+    def jump(self, target: str) -> "FunctionBuilder":
+        return self._finish(Jump(target))
+
+    def branch(
+        self,
+        then: str,
+        orelse: str,
+        taken_prob: float = 0.5,
+        phase_prob: Optional[float] = None,
+        phase_period: int = 0,
+    ) -> "FunctionBuilder":
+        return self._finish(Branch(then, orelse, taken_prob, phase_prob, phase_period))
+
+    def switch(self, targets: list[str], weights: list[float]) -> "FunctionBuilder":
+        return self._finish(Switch(tuple(targets), tuple(weights)))
+
+    def call(self, func: str, return_to: str) -> "FunctionBuilder":
+        return self._finish(Call(func, return_to))
+
+    def ret(self) -> "FunctionBuilder":
+        return self._finish(Return())
+
+    def exit(self) -> "FunctionBuilder":
+        return self._finish(Exit())
+
+    def loop(self, back: str, exit_to: str, trips: int) -> "FunctionBuilder":
+        return self._finish(LoopBranch(back, exit_to, trips))
+
+
+class FunctionBuilder:
+    """Accumulates blocks for one function, in declaration order."""
+
+    def __init__(self, module: "ModuleBuilder", name: str):
+        self._module = module
+        self.name = name
+        self._blocks: list[BasicBlock] = []
+        self._pending: Optional[TerminatorSetter] = None
+
+    def _add(self, block: BasicBlock) -> None:
+        self._blocks.append(block)
+        self._pending = None
+
+    def block(
+        self, name: str, n_instr: int, data: Optional[DataAccess] = None
+    ) -> TerminatorSetter:
+        """Declare a block; the returned setter must attach a terminator.
+
+        ``data`` optionally attaches the block's data-side behaviour
+        (:class:`~repro.ir.module.DataAccess`) for unified-cache studies.
+        """
+        if self._pending is not None:
+            raise RuntimeError(
+                f"block declared while {self._blocks and self._blocks[-1].name} pending"
+            )
+        setter = TerminatorSetter(self, name, n_instr, data)
+        self._pending = setter
+        return setter
+
+    def straightline(self, name: str, n_instr: int, then: str) -> "FunctionBuilder":
+        """Shorthand for a block that unconditionally jumps to ``then``."""
+        return self.block(name, n_instr).jump(then)
+
+    def _finish(self) -> Function:
+        if self._pending is not None:
+            raise RuntimeError(f"unterminated block in function {self.name!r}")
+        return Function(self.name, self._blocks)
+
+
+class ModuleBuilder:
+    """Accumulates functions; ``build()`` validates and seals."""
+
+    def __init__(self, name: str, entry: str = "main"):
+        self.name = name
+        self.entry = entry
+        self._functions: list[FunctionBuilder] = []
+
+    def function(self, name: str) -> FunctionBuilder:
+        fb = FunctionBuilder(self, name)
+        self._functions.append(fb)
+        return fb
+
+    def build(self, validate: bool = True) -> Module:
+        module = Module(self.name, [fb._finish() for fb in self._functions], self.entry)
+        module.seal()
+        if validate:
+            from .validate import validate_module
+
+            validate_module(module)
+        return module

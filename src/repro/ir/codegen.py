@@ -1,0 +1,248 @@
+"""Address assignment: turning a layout order into a code image.
+
+The locality models output an *order* of code blocks; the cache only sees
+*addresses*.  This module maps orders to byte addresses, reproducing the
+paper's size model:
+
+* each IR instruction encodes to 4 bytes (:data:`~repro.ir.module.INSTRUCTION_BYTES`);
+* **function reordering** keeps each function's blocks contiguous in their
+  declaration order and inserts no space between functions;
+* **inter-procedural BB reordering** first pre-processes the program: every
+  function gets a one-instruction entry stub (a jump to its entry block,
+  wherever it lands), and every block whose fall-through successor is not
+  laid out immediately after it gets one explicit jump appended.  These
+  added instructions enlarge the code image, so the politeness *cost* of
+  aggressive reordering is visible to the cache simulator, exactly as in a
+  real binary.
+
+The result is an :class:`AddressMap`: per-gid start addresses and encoded
+sizes, plus bookkeeping about how many jumps the layout had to add.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .module import INSTRUCTION_BYTES, Module
+
+__all__ = [
+    "AddressMap",
+    "layout_blocks",
+    "place_blocks",
+    "function_order_gids",
+    "original_gid_order",
+]
+
+
+@dataclass
+class AddressMap:
+    """Byte placement of every block under one concrete layout.
+
+    Attributes
+    ----------
+    order:
+        gids in layout order (every block appears exactly once).
+    starts, sizes:
+        per-gid byte start address and encoded size (``int64`` arrays indexed
+        by gid, *not* by layout position).
+    added_jumps:
+        number of explicit jump instructions the layout required (entry stubs
+        plus broken fall-throughs).
+    base:
+        base address of the image.
+    """
+
+    order: list[int]
+    starts: np.ndarray
+    sizes: np.ndarray
+    added_jumps: int
+    base: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        """Encoded code bytes (excluding any placement gaps)."""
+        return int(self.sizes.sum())
+
+    @property
+    def end(self) -> int:
+        """One past the last encoded byte (includes placement gaps)."""
+        return int((self.starts + self.sizes).max()) if self.sizes.shape[0] else self.base
+
+    @property
+    def image_bytes(self) -> int:
+        """Extent of the image including gaps (``end - base``)."""
+        return self.end - self.base
+
+    def span(self, gid: int) -> tuple[int, int]:
+        """``(start, end)`` byte interval of block ``gid`` (end exclusive)."""
+        start = int(self.starts[gid])
+        return start, start + int(self.sizes[gid])
+
+    def line_span(self, gid: int, line_bytes: int) -> tuple[int, int]:
+        """``(first_line, last_line)`` cache-line indices touched by ``gid``."""
+        start, end = self.span(gid)
+        return start // line_bytes, (end - 1) // line_bytes
+
+    def overlaps(self) -> bool:
+        """True if any two blocks overlap (should never happen)."""
+        idx = np.argsort(self.starts, kind="stable")
+        starts = self.starts[idx]
+        ends = starts + self.sizes[idx]
+        return bool(np.any(starts[1:] < ends[:-1]))
+
+
+def original_gid_order(module: Module) -> list[int]:
+    """Declaration order of all blocks — the baseline ("original") layout."""
+    return [b.gid for b in module.iter_blocks()]
+
+
+def function_order_gids(module: Module, func_order: list[str]) -> list[int]:
+    """Expand a function order into a gid order.
+
+    Blocks inside each function keep their declaration order; functions not
+    named in ``func_order`` are appended in declaration order (real linkers
+    keep unmentioned sections in input order).
+    """
+    seen = set()
+    order: list[int] = []
+    for name in func_order:
+        if name in seen:
+            raise ValueError(f"function {name!r} appears twice in layout order")
+        seen.add(name)
+        order.extend(b.gid for b in module.function(name).blocks)
+    for func in module.functions:
+        if func.name not in seen:
+            order.extend(b.gid for b in func.blocks)
+    return order
+
+
+def layout_blocks(
+    module: Module,
+    gid_order: list[int],
+    *,
+    entry_stubs: bool = False,
+    base: int = 0,
+) -> AddressMap:
+    """Assign addresses to blocks laid out in ``gid_order``.
+
+    Parameters
+    ----------
+    module:
+        sealed module the order refers to.
+    gid_order:
+        permutation of all gids.
+    entry_stubs:
+        when True (inter-procedural BB reordering), each function's entry
+        block is charged one extra jump instruction — the paper's
+        pre-processing stub that redirects the function symbol to the
+        relocated entry block.
+    base:
+        base byte address of the image.
+
+    Fall-through accounting: for every block whose terminator falls through
+    to a specific successor, if that successor is not placed immediately
+    after the block, the block is charged one explicit jump instruction.
+    This applies to *any* order, including the original one (a builder may
+    declare blocks out of fall-through order), so baselines and optimized
+    layouts are costed identically.
+    """
+    n = module.n_blocks
+    if sorted(gid_order) != list(range(n)):
+        raise ValueError("gid_order must be a permutation of all block gids")
+
+    position = {gid: i for i, gid in enumerate(gid_order)}
+
+    # Fall-through targets per gid.
+    ft_target: dict[int, int] = {}
+    for block in module.iter_blocks():
+        ft = block.terminator.fallthrough_target()
+        if ft is not None:
+            ft_target[block.gid] = module.function(block.func).block(ft).gid
+
+    sizes = np.zeros(n, dtype=np.int64)
+    added = 0
+    entry_gids = {f.entry.gid for f in module.functions} if entry_stubs else set()
+    for block in module.iter_blocks():
+        size = block.n_instr * INSTRUCTION_BYTES
+        gid = block.gid
+        if gid in entry_gids:
+            size += INSTRUCTION_BYTES
+            added += 1
+        target = ft_target.get(gid)
+        if target is not None and position[target] != position[gid] + 1:
+            size += INSTRUCTION_BYTES
+            added += 1
+        sizes[gid] = size
+
+    starts = np.zeros(n, dtype=np.int64)
+    addr = base
+    for gid in gid_order:
+        starts[gid] = addr
+        addr += int(sizes[gid])
+
+    return AddressMap(order=list(gid_order), starts=starts, sizes=sizes, added_jumps=added, base=base)
+
+
+def place_blocks(
+    module: Module,
+    starts_by_gid: dict[int, int],
+    *,
+    entry_stubs: bool = False,
+) -> AddressMap:
+    """Assign blocks to *explicit* byte addresses (gap-capable placement).
+
+    Unlike :func:`layout_blocks`, which packs an order densely, this takes
+    a concrete start address per gid — the interface placement-style
+    optimizers (Gloy-Smith alignment, cache-line coloring) need, where
+    padding between code is part of the design.  Addresses must leave every
+    block disjoint; gaps are allowed and simply waste space.
+
+    Fall-through jumps are charged whenever a block's fall-through
+    successor does not start exactly at its end.
+    """
+    n = module.n_blocks
+    if sorted(starts_by_gid) != list(range(n)):
+        raise ValueError("starts_by_gid must cover every gid exactly once")
+
+    ft_target: dict[int, int] = {}
+    for block in module.iter_blocks():
+        ft = block.terminator.fallthrough_target()
+        if ft is not None:
+            ft_target[block.gid] = module.function(block.func).block(ft).gid
+
+    entry_gids = {f.entry.gid for f in module.functions} if entry_stubs else set()
+    sizes = np.zeros(n, dtype=np.int64)
+    added = 0
+    # First pass sizes without fall-through knowledge of end addresses;
+    # charging a fall-through jump changes a block's end, which could make
+    # a previously-adjacent successor non-adjacent, so sizes are solved in
+    # one deterministic pass: a block is charged unless its successor
+    # starts exactly at start + base size (+ stub) — i.e. the placement
+    # must have budgeted the jump explicitly if it wants adjacency with it.
+    for block in module.iter_blocks():
+        gid = block.gid
+        size = block.n_instr * INSTRUCTION_BYTES
+        if gid in entry_gids:
+            size += INSTRUCTION_BYTES
+            added += 1
+        target = ft_target.get(gid)
+        if target is not None and starts_by_gid[target] != starts_by_gid[gid] + size:
+            size += INSTRUCTION_BYTES
+            added += 1
+        sizes[gid] = size
+
+    starts = np.zeros(n, dtype=np.int64)
+    for gid, start in starts_by_gid.items():
+        if start < 0:
+            raise ValueError(f"negative start address for gid {gid}")
+        starts[gid] = start
+
+    order = sorted(range(n), key=lambda g: int(starts[g]))
+    amap = AddressMap(
+        order=order, starts=starts, sizes=sizes, added_jumps=added, base=int(starts.min())
+    )
+    if amap.overlaps():
+        raise ValueError("placement produces overlapping blocks")
+    return amap

@@ -1,0 +1,119 @@
+"""Layout transformations: function reordering and inter-procedural
+basic-block reordering.
+
+The IR is layout-independent, so a "transformation" here does what the
+paper's LLVM passes do at the binary level: it fixes a new linear order of
+code and materializes the consequences (entry stubs, explicit fall-through
+jumps, new addresses).  The output is a :class:`LayoutResult` bundling the
+:class:`~repro.ir.codegen.AddressMap` with provenance, ready for the fetch
+model and the cache simulator.
+
+Three steps of BB reordering (paper Sec. II-E):
+
+1. *pre-processing* — entry stubs + explicit jumps (modeled in
+   :func:`repro.ir.codegen.layout_blocks` via ``entry_stubs=True``);
+2. *reordering* — the permutation itself, produced by a locality model;
+3. *post-processing* — sanity checks (module re-validation, permutation
+   completeness, address-map overlap check) and residual-jump elimination
+   (a jump to the lexically next block is never emitted — also handled by
+   the adjacency test in the size model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from .codegen import AddressMap, function_order_gids, layout_blocks, original_gid_order
+from .module import Module
+from .validate import validate_module
+
+__all__ = [
+    "LayoutKind",
+    "LayoutResult",
+    "baseline_layout",
+    "reorder_functions",
+    "reorder_basic_blocks",
+]
+
+
+class LayoutKind(str, Enum):
+    """How a layout was produced."""
+
+    ORIGINAL = "original"
+    FUNCTION = "function-reorder"
+    BASIC_BLOCK = "bb-reorder"
+
+
+@dataclass
+class LayoutResult:
+    """A concrete, costed code layout."""
+
+    kind: LayoutKind
+    address_map: AddressMap
+    #: the order fed to the transform (function names or gids)
+    order: list
+    #: free-form provenance, e.g. "affinity(w=2..20)"
+    note: str = ""
+
+    @property
+    def added_jumps(self) -> int:
+        return self.address_map.added_jumps
+
+    @property
+    def total_bytes(self) -> int:
+        return self.address_map.total_bytes
+
+
+def baseline_layout(module: Module) -> LayoutResult:
+    """The original (declaration-order) layout.
+
+    Fall-through jumps are costed with the same rules as optimized layouts
+    so comparisons are apples-to-apples.
+    """
+    gids = original_gid_order(module)
+    amap = layout_blocks(module, gids, entry_stubs=False)
+    return LayoutResult(LayoutKind.ORIGINAL, amap, gids, note="declaration order")
+
+
+def reorder_functions(module: Module, func_order: list[str], note: str = "") -> LayoutResult:
+    """Apply whole-program function reordering.
+
+    Blocks within each function keep their declaration order; no space is
+    inserted between functions (paper Sec. II-D).  Functions absent from
+    ``func_order`` are appended in declaration order.
+    """
+    validate_module(module)
+    gids = function_order_gids(module, func_order)
+    amap = layout_blocks(module, gids, entry_stubs=False)
+    if amap.overlaps():  # pragma: no cover - structural invariant
+        raise AssertionError("function reordering produced overlapping blocks")
+    return LayoutResult(LayoutKind.FUNCTION, amap, list(func_order), note=note)
+
+
+def reorder_basic_blocks(module: Module, gid_order: list[int], note: str = "") -> LayoutResult:
+    """Apply inter-procedural basic-block reordering.
+
+    ``gid_order`` may be a partial order (e.g. only the hot blocks a pruned
+    trace mentions); remaining blocks are appended in declaration order,
+    mirroring how cold code is left in place by the paper's pass.
+    """
+    validate_module(module)
+    n = module.n_blocks
+    seen = set()
+    full: list[int] = []
+    for gid in gid_order:
+        if not 0 <= gid < n:
+            raise ValueError(f"gid {gid} out of range")
+        if gid in seen:
+            raise ValueError(f"gid {gid} appears twice in layout order")
+        seen.add(gid)
+        full.append(gid)
+    for gid in original_gid_order(module):
+        if gid not in seen:
+            full.append(gid)
+
+    amap = layout_blocks(module, full, entry_stubs=True)
+    if amap.overlaps():  # pragma: no cover - structural invariant
+        raise AssertionError("BB reordering produced overlapping blocks")
+    return LayoutResult(LayoutKind.BASIC_BLOCK, amap, full, note=note)

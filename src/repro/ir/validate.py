@@ -1,0 +1,92 @@
+"""IR verifier.
+
+The paper's basic-block reordering pipeline ends with a post-processing step
+"responsible for sanity check, residual code elimination and other cleanup
+work".  This module is the sanity-check half: it validates structural
+invariants of a module so that transforms can assert they produced a legal
+program.
+
+Checks
+------
+* every terminator's local targets name blocks in the same function;
+* every call targets a defined function;
+* the entry function exists and every function has an entry block;
+* branch probabilities lie in ``[0, 1]`` and switch weights are
+  non-negative with a positive sum;
+* global ids are dense and consistent after sealing;
+* (warning-level) unreachable blocks are reported, not rejected — real
+  binaries keep cold unreachable code too.
+"""
+
+from __future__ import annotations
+
+from .cfg import reachable_blocks
+from .module import Branch, Module, Switch
+
+__all__ = ["ValidationError", "validate_module"]
+
+
+class ValidationError(Exception):
+    """Raised when a module violates a structural invariant."""
+
+
+def validate_module(module: Module) -> list[str]:
+    """Validate ``module``; raise :class:`ValidationError` on hard errors.
+
+    Returns a list of warning strings (e.g. unreachable blocks) so callers
+    can surface them without failing.
+    """
+    if not module.sealed:
+        raise ValidationError("module is not sealed")
+
+    warnings: list[str] = []
+    fnames = {f.name for f in module.functions}
+
+    for func in module.functions:
+        for block in func.blocks:
+            term = block.terminator
+            for target in term.local_targets():
+                if target not in func:
+                    raise ValidationError(
+                        f"{func.name}:{block.name} targets unknown block {target!r}"
+                    )
+            callee = term.callee()
+            if callee is not None and callee not in fnames:
+                raise ValidationError(
+                    f"{func.name}:{block.name} calls unknown function {callee!r}"
+                )
+            if isinstance(term, Branch):
+                probs = [term.taken_prob]
+                if term.phase_prob is not None:
+                    probs.append(term.phase_prob)
+                    if term.phase_period <= 0:
+                        raise ValidationError(
+                            f"{func.name}:{block.name} has phase_prob but "
+                            f"phase_period={term.phase_period}"
+                        )
+                for p in probs:
+                    if not 0.0 <= p <= 1.0:
+                        raise ValidationError(
+                            f"{func.name}:{block.name} branch probability {p} out of range"
+                        )
+            if isinstance(term, Switch):
+                if any(w < 0 for w in term.weights) or sum(term.weights) <= 0:
+                    raise ValidationError(
+                        f"{func.name}:{block.name} switch weights must be "
+                        f"non-negative with positive sum"
+                    )
+
+    # Dense, consistent global ids.
+    gids = [b.gid for b in module.iter_blocks()]
+    if sorted(gids) != list(range(module.n_blocks)):
+        raise ValidationError("global block ids are not dense")
+    for block in module.iter_blocks():
+        if module.block_by_gid(block.gid) is not block:
+            raise ValidationError(f"gid table inconsistent at {block.gid}")
+
+    # Reachability (warnings only).
+    reachable = reachable_blocks(module)
+    for block in module.iter_blocks():
+        if block.gid not in reachable:
+            warnings.append(f"unreachable block {block.func}:{block.name}")
+    return warnings

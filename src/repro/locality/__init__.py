@@ -1,0 +1,42 @@
+"""Locality theory: reuse distance, all-window footprint, HOTL conversion,
+and the formal defensiveness/politeness miss model."""
+
+from .footprint import FootprintCurve, average_footprint, footprint_brute, footprint_curve
+from .hotl import miss_ratio, miss_ratio_curve, shared_fill_time, shared_miss_ratios
+from .missmodel import BenefitReport, classify_benefits, corun_miss_ratios
+from .windowstats import (
+    WindowFootprintDistribution,
+    miss_probability,
+    prob_sum_exceeds,
+    window_footprint_distribution,
+)
+from .reuse import (
+    COLD,
+    distance_histogram,
+    miss_ratio_curve as lru_miss_ratio_curve,
+    reuse_distances,
+    reuse_distances_naive,
+)
+
+__all__ = [
+    "COLD",
+    "BenefitReport",
+    "FootprintCurve",
+    "average_footprint",
+    "classify_benefits",
+    "corun_miss_ratios",
+    "distance_histogram",
+    "footprint_brute",
+    "footprint_curve",
+    "lru_miss_ratio_curve",
+    "miss_ratio",
+    "miss_ratio_curve",
+    "reuse_distances",
+    "reuse_distances_naive",
+    "shared_fill_time",
+    "shared_miss_ratios",
+    "WindowFootprintDistribution",
+    "miss_probability",
+    "prob_sum_exceeds",
+    "window_footprint_distribution",
+]

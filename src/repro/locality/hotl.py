@@ -1,0 +1,85 @@
+"""Higher-order theory of locality: footprint -> miss ratio, and
+composition in shared cache (Xiang et al., ASPLOS'13; paper Sec. II-A).
+
+The key conversions:
+
+* **fill time** — the window length ``w_c`` at which the average footprint
+  reaches the cache capacity ``c``;
+* **miss ratio** — the footprint growth rate at the fill time,
+  ``mr(c) = fp(w_c + 1) - fp(w_c)``: each additional time step brings that
+  many *new* lines into the window, and each new line is a miss;
+* **shared-cache composition** — when programs co-run, their footprints
+  add (the paper's Eq. 1/2): the shared fill time ``w*`` is the smallest
+  window where ``sum_i fp_i(w) >= C``, and each program's co-run miss ratio
+  is its own growth rate at ``w*``.
+
+These model-level predictions complement the event-driven simulator in
+:mod:`repro.cache`; experiments use the simulator for results and the model
+for the formal defensiveness/politeness accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .footprint import FootprintCurve
+
+__all__ = [
+    "miss_ratio",
+    "miss_ratio_curve",
+    "shared_fill_time",
+    "shared_miss_ratios",
+]
+
+
+def miss_ratio(curve: FootprintCurve, capacity: float) -> float:
+    """Predicted miss ratio of a solo run in a cache of ``capacity`` lines."""
+    if capacity <= 0:
+        raise ValueError("capacity must be positive")
+    w = curve.fill_time(capacity)
+    if w > curve.n:
+        return 0.0  # whole program fits; only cold misses, amortized to ~0
+    return curve.growth(w)
+
+
+def miss_ratio_curve(curve: FootprintCurve, capacities: Sequence[float]) -> np.ndarray:
+    """Vectorized :func:`miss_ratio` over several capacities."""
+    return np.array([miss_ratio(curve, c) for c in capacities])
+
+
+def shared_fill_time(curves: Sequence[FootprintCurve], capacity: float) -> int:
+    """Smallest window where the co-run programs' footprints sum to ``capacity``.
+
+    All programs are assumed to progress at the same rate (symmetric SMT
+    fetch), matching the paper's formulation.  Returns ``max_n + 1`` when
+    the combined footprint never reaches capacity (no contention).
+    """
+    if not curves:
+        raise ValueError("need at least one footprint curve")
+    if capacity <= 0:
+        raise ValueError("capacity must be positive")
+    max_n = max(c.n for c in curves)
+    total_m = sum(c.m for c in curves)
+    if total_m < capacity:
+        return max_n + 1
+    lo, hi = 0, max_n
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if sum(float(c(mid)) for c in curves) >= capacity:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def shared_miss_ratios(curves: Sequence[FootprintCurve], capacity: float) -> list[float]:
+    """Per-program co-run miss ratios under shared-cache composition.
+
+    Implements the paper's Eq. 1/2: program *i* misses when
+    ``fp_i + sum_{j != i} fp_j >= C``; at the shared fill time each
+    program's miss ratio is its own footprint growth rate.
+    """
+    w = shared_fill_time(curves, capacity)
+    return [0.0 if w > c.n else c.growth(w) for c in curves]

@@ -1,0 +1,89 @@
+"""Formal defensiveness and politeness model (paper Sec. II-A).
+
+The paper's first contribution is a *formal definition* of the two shared
+cache optimization goals, classified through the footprint equations:
+
+1. **Locality** — fewer self misses in solo run:
+   ``P(self.miss) = P(self.FP >= C)``;
+2. **Defensiveness** — fewer self misses in *co-run*:
+   ``P(self.miss) = P(self.FP + peer.FP >= C)`` — an optimization is
+   defensive if it lowers this even when the solo term did not change;
+3. **Politeness** — fewer *peer* misses in co-run: the peer's miss
+   probability evaluated with our footprint as the interference term.
+
+:func:`classify_benefits` takes the footprint curves of a program before
+and after an optimization, plus a peer's curve, and returns the three
+benefit components.  This is the model channel; the simulation channel
+(:mod:`repro.core.goals`) computes the same three numbers from event-driven
+cache simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .footprint import FootprintCurve
+from .hotl import miss_ratio, shared_miss_ratios
+
+__all__ = ["BenefitReport", "classify_benefits", "corun_miss_ratios"]
+
+
+@dataclass
+class BenefitReport:
+    """Three-way classification of an optimization's shared-cache benefits.
+
+    All values are miss-ratio *deltas* (baseline minus optimized); positive
+    means the optimization helps.
+    """
+
+    #: self solo-run miss-ratio reduction (conventional locality benefit).
+    locality: float
+    #: self co-run miss-ratio reduction (defensiveness).
+    defensiveness: float
+    #: peer co-run miss-ratio reduction caused by our new layout (politeness).
+    politeness: float
+
+    #: absolute miss ratios backing the deltas, for reporting.
+    self_solo_before: float = 0.0
+    self_solo_after: float = 0.0
+    self_corun_before: float = 0.0
+    self_corun_after: float = 0.0
+    peer_corun_before: float = 0.0
+    peer_corun_after: float = 0.0
+
+
+def corun_miss_ratios(
+    self_curve: FootprintCurve, peer_curve: FootprintCurve, capacity: float
+) -> tuple[float, float]:
+    """(self, peer) co-run miss ratios under footprint composition."""
+    ratios = shared_miss_ratios([self_curve, peer_curve], capacity)
+    return ratios[0], ratios[1]
+
+
+def classify_benefits(
+    before: FootprintCurve,
+    after: FootprintCurve,
+    peer: FootprintCurve,
+    capacity: float,
+) -> BenefitReport:
+    """Classify the benefits of replacing layout ``before`` with ``after``.
+
+    ``before``/``after`` are the program's instruction-footprint curves at
+    cache-line granularity under the two layouts; ``peer`` is the co-runner
+    (unchanged).  ``capacity`` is the shared cache capacity in lines.
+    """
+    solo_b = miss_ratio(before, capacity)
+    solo_a = miss_ratio(after, capacity)
+    self_b, peer_b = corun_miss_ratios(before, peer, capacity)
+    self_a, peer_a = corun_miss_ratios(after, peer, capacity)
+    return BenefitReport(
+        locality=solo_b - solo_a,
+        defensiveness=self_b - self_a,
+        politeness=peer_b - peer_a,
+        self_solo_before=solo_b,
+        self_solo_after=solo_a,
+        self_corun_before=self_b,
+        self_corun_after=self_a,
+        peer_corun_before=peer_b,
+        peer_corun_after=peer_a,
+    )

@@ -1,0 +1,123 @@
+"""Window-footprint *distributions* — the probabilistic reading of Eq. 1/2.
+
+The paper's shared-cache equations are probabilities over time windows:
+
+    ``P(self.miss) = P(self.FP + peer.FP >= C)``
+
+:mod:`repro.locality.footprint` works with the *average* footprint (the
+HOTL simplification); this module computes, for a chosen window length w,
+the exact **distribution** of the footprint over all n-w+1 windows — and
+evaluates the miss probability the way the equation states it: as the
+probability that the sum of two independent window-footprint draws reaches
+the capacity.
+
+For one window length the sliding-window distinct count is O(n); the
+probabilistic composition is a convolution of the two programs' footprint
+histograms.  Independence between the co-runners' window positions is the
+modeling assumption (they are unsynchronized programs), which is exactly
+how the footprint theory treats peers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "WindowFootprintDistribution",
+    "window_footprint_distribution",
+    "prob_sum_exceeds",
+    "miss_probability",
+]
+
+
+@dataclass(frozen=True)
+class WindowFootprintDistribution:
+    """Distribution of the distinct-count over all windows of one length.
+
+    ``pmf[k]`` is the fraction of windows containing exactly ``k`` distinct
+    symbols; ``window`` is the window length; ``n_windows`` the population.
+    """
+
+    window: int
+    pmf: np.ndarray
+    n_windows: int
+
+    @property
+    def mean(self) -> float:
+        return float((np.arange(self.pmf.shape[0]) * self.pmf).sum())
+
+    @property
+    def max_footprint(self) -> int:
+        nz = np.flatnonzero(self.pmf)
+        return int(nz[-1]) if nz.shape[0] else 0
+
+    def prob_at_least(self, c: float) -> float:
+        """P(FP >= c) for one window draw."""
+        k = int(np.ceil(c))
+        if k >= self.pmf.shape[0]:
+            return 0.0
+        return float(self.pmf[max(k, 0):].sum())
+
+
+def window_footprint_distribution(
+    trace: np.ndarray, window: int
+) -> WindowFootprintDistribution:
+    """Exact sliding-window distinct-count distribution in O(n)."""
+    n = int(trace.shape[0])
+    if not 1 <= window <= n:
+        raise ValueError(f"window must be in [1, {n}]")
+    counts: dict[int, int] = {}
+    distinct = 0
+    hist: dict[int, int] = {}
+    data = trace.tolist()
+    for i, x in enumerate(data):
+        c = counts.get(x, 0)
+        if c == 0:
+            distinct += 1
+        counts[x] = c + 1
+        if i >= window:
+            y = data[i - window]
+            counts[y] -= 1
+            if counts[y] == 0:
+                distinct -= 1
+        if i >= window - 1:
+            hist[distinct] = hist.get(distinct, 0) + 1
+    n_windows = n - window + 1
+    pmf = np.zeros(max(hist) + 1 if hist else 1, dtype=np.float64)
+    for k, cnt in hist.items():
+        pmf[k] = cnt / n_windows
+    return WindowFootprintDistribution(window=window, pmf=pmf, n_windows=n_windows)
+
+
+def prob_sum_exceeds(
+    a: WindowFootprintDistribution, b: WindowFootprintDistribution, c: float
+) -> float:
+    """``P(FP_a + FP_b >= c)`` for independent window draws.
+
+    The distributions may come from different window lengths (e.g. scaled
+    by the programs' relative speeds); the convolution does not care.
+    """
+    conv = np.convolve(a.pmf, b.pmf)
+    k = int(np.ceil(c))
+    if k >= conv.shape[0]:
+        return 0.0
+    return float(conv[max(k, 0):].sum())
+
+
+def miss_probability(
+    self_trace: np.ndarray,
+    peer_trace: np.ndarray,
+    capacity: float,
+    window: int,
+) -> float:
+    """Eq. 2 evaluated literally: P(self.FP + peer.FP >= C) at one window.
+
+    ``window`` is the reuse-time scale of interest (HOTL uses the fill
+    time; callers may sweep it).  Both traces are measured at the same
+    window length — the symmetric-progress assumption.
+    """
+    a = window_footprint_distribution(self_trace, min(window, self_trace.shape[0]))
+    b = window_footprint_distribution(peer_trace, min(window, peer_trace.shape[0]))
+    return prob_sum_exceeds(a, b, capacity)

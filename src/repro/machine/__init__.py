@@ -1,0 +1,22 @@
+"""Real-machine stand-in: CPI timing, SMT throughput, hardware counters."""
+
+from .counters import CounterReading, measure_corun, measure_solo
+from .scheduler import Pairing, all_pairings, best_pairing, greedy_pairing
+from .smt import CoRunTiming, corun_pair
+from .timing import ThreadCost, TimingParams, speedup, thread_cost
+
+__all__ = [
+    "CoRunTiming",
+    "Pairing",
+    "all_pairings",
+    "best_pairing",
+    "greedy_pairing",
+    "CounterReading",
+    "ThreadCost",
+    "TimingParams",
+    "corun_pair",
+    "measure_corun",
+    "measure_solo",
+    "speedup",
+    "thread_cost",
+]

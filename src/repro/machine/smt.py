@@ -1,0 +1,132 @@
+"""SMT (hyper-threading) co-run throughput model.
+
+Two hyper-threads share one core's issue resources and the L1I cache.  The
+cache side is handled by :mod:`repro.cache.shared` (it inflates each
+thread's miss count); this module models the *core* side and produces the
+numbers behind the paper's Fig. 7:
+
+* a thread's stall cycles overlap with the peer's compute cycles — that
+  overlap is hyper-threading's throughput gain (15-30% in the paper);
+* two threads demanding issue slots simultaneously serialize — that is the
+  co-run slowdown of each individual program.
+
+Model.  For thread *i* let ``c_i`` be compute cycles and ``s_i`` stall
+cycles (from :class:`~repro.machine.timing.ThreadCost`, with *co-run* miss
+counts).  While both threads run, thread *i*'s effective cost is
+
+    T'_i = c_i * (1 + alpha * u_j) + s_i
+
+where ``u_j`` is the peer's core utilization under co-run — the probability
+a compute cycle collides with a peer compute cycle — and ``alpha``
+(:attr:`~repro.machine.timing.TimingParams.smt_contention`) is how much of
+a collision actually serializes (SMT issue width absorbs part of it).
+``u`` depends on the co-run costs themselves, so the pair is solved by
+fixed-point iteration (converges in a handful of rounds; monotone and
+bounded).
+
+Makespan.  Threads progress concurrently; when the first finishes, the
+survivor continues at its *solo* rate.  Throughput improvement of the
+co-run over back-to-back solo execution is ``(T1 + T2) / makespan - 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .timing import ThreadCost, TimingParams
+
+__all__ = ["CoRunTiming", "corun_pair"]
+
+
+@dataclass(frozen=True)
+class CoRunTiming:
+    """Timing outcome of one co-run pair."""
+
+    #: per-thread cycles to finish its work under co-run contention
+    #: (as if co-run conditions persisted for its whole execution).
+    corun_cycles: tuple[float, float]
+    #: per-thread solo cycles (same workload, solo miss counts).
+    solo_cycles: tuple[float, float]
+    #: wall-clock cycles to finish both programs, co-run then solo tail.
+    makespan: float
+
+    @property
+    def throughput_improvement(self) -> float:
+        """Fig. 7 metric: co-run vs serial solo completion of both programs."""
+        serial = self.solo_cycles[0] + self.solo_cycles[1]
+        return serial / self.makespan - 1.0
+
+    def corun_slowdown(self, i: int) -> float:
+        """How much slower thread ``i`` runs under co-run (>= 1)."""
+        return self.corun_cycles[i] / self.solo_cycles[i]
+
+
+def _fixed_point(
+    costs: tuple[ThreadCost, ThreadCost], alpha: float, beta: float
+) -> tuple[float, float]:
+    """Solve the mutual-contention fixed point; returns co-run cycles.
+
+    ``alpha`` is the issue-slot collision factor; ``beta`` is the shared
+    front-end coupling — the fraction of the peer's instruction-miss stall
+    cycles that also block this thread's fetch.
+    """
+    c = (costs[0].compute_cycles, costs[1].compute_cycles)
+    s = (costs[0].stall_cycles, costs[1].stall_cycles)
+    ic = (costs[0].icache_cycles, costs[1].icache_cycles)
+    # Start from solo utilizations.
+    t = [c[0] + s[0], c[1] + s[1]]
+    for _ in range(20):
+        u = [c[0] / t[0] if t[0] else 0.0, c[1] / t[1] if t[1] else 0.0]
+        t_new = [
+            c[0] * (1.0 + alpha * u[1]) + s[0] + beta * ic[1],
+            c[1] * (1.0 + alpha * u[0]) + s[1] + beta * ic[0],
+        ]
+        if abs(t_new[0] - t[0]) < 1e-9 and abs(t_new[1] - t[1]) < 1e-9:
+            t = t_new
+            break
+        t = t_new
+    return t[0], t[1]
+
+
+def corun_pair(
+    corun_costs: tuple[ThreadCost, ThreadCost],
+    solo_costs: tuple[ThreadCost, ThreadCost],
+    params: TimingParams = TimingParams(),
+) -> CoRunTiming:
+    """Timing of a co-run pair.
+
+    ``corun_costs`` carry the *shared-cache* miss counts (from
+    :func:`repro.cache.shared.simulate_shared`); ``solo_costs`` carry the
+    solo miss counts.  Both describe the same instruction streams.
+    """
+    t1, t2 = _fixed_point(
+        corun_costs, params.smt_contention, params.smt_fetch_coupling
+    )
+    solo1 = solo_costs[0].total_cycles
+    solo2 = solo_costs[1].total_cycles
+
+    # Concurrent phase ends when the faster finisher completes.
+    if t1 <= t2:
+        first, other_corun, other_solo = t1, t2, solo2
+    else:
+        first, other_corun, other_solo = t2, t1, solo1
+    # Survivor has completed fraction first/other_corun of its work; the
+    # rest runs at solo speed.
+    if other_corun > 0:
+        remaining = max(0.0, 1.0 - first / other_corun) * other_solo
+    else:
+        remaining = 0.0
+    makespan = first + remaining
+    # Core-capacity floor: one core cannot retire more than one compute
+    # cycle per cycle, so two threads' compute demand bounds the makespan
+    # from below (binding for compute-saturated pairs, where the
+    # probabilistic collision term is too optimistic).
+    makespan = max(
+        makespan,
+        corun_costs[0].compute_cycles + corun_costs[1].compute_cycles,
+    )
+    return CoRunTiming(
+        corun_cycles=(t1, t2),
+        solo_cycles=(solo1, solo2),
+        makespan=makespan,
+    )

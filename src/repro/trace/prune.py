@@ -1,0 +1,64 @@
+"""Trace pruning: keep only the most popular code blocks (paper Sec. II-F).
+
+Basic-block traces can be enormous (the paper cites an 8 GB trace for
+403.gcc *test*).  The paper prunes by "selecting the 10,000 most frequently
+executed basic blocks and keeping only those occurrences", crediting the
+popularity-selection idea to Hashemi et al.; pruning "typically keeps over
+90% of the original trace".
+
+:func:`prune_top_k` implements exactly that policy and reports the keep
+ratio so experiments can assert the >90% property on realistic workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PruneResult", "prune_top_k", "popularity"]
+
+
+@dataclass
+class PruneResult:
+    """Outcome of a popularity-based pruning pass."""
+
+    #: pruned trace (occurrences of non-selected symbols removed).
+    trace: np.ndarray
+    #: the selected symbols, most frequent first.
+    kept_symbols: np.ndarray
+    #: fraction of original occurrences retained.
+    keep_ratio: float
+    #: number of distinct symbols before / after.
+    n_symbols_before: int
+    n_symbols_after: int
+
+
+def popularity(trace: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Distinct symbols and their occurrence counts, most frequent first.
+
+    Ties are broken by symbol value (ascending) for determinism.
+    """
+    symbols, counts = np.unique(trace, return_counts=True)
+    # lexsort: primary key -counts, secondary key symbol value.
+    order = np.lexsort((symbols, -counts))
+    return symbols[order], counts[order]
+
+
+def prune_top_k(trace: np.ndarray, k: int) -> PruneResult:
+    """Keep only occurrences of the ``k`` most frequently executed symbols."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if trace.shape[0] == 0:
+        return PruneResult(trace.copy(), np.empty(0, dtype=trace.dtype), 1.0, 0, 0)
+    symbols, counts = popularity(trace)
+    kept = symbols[:k]
+    mask = np.isin(trace, kept)
+    pruned = trace[mask]
+    return PruneResult(
+        trace=pruned,
+        kept_symbols=kept,
+        keep_ratio=float(pruned.shape[0]) / float(trace.shape[0]),
+        n_symbols_before=int(symbols.shape[0]),
+        n_symbols_after=int(min(k, symbols.shape[0])),
+    )

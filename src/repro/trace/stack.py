@@ -1,0 +1,158 @@
+"""LRU stack with O(1) access, kernel-style hash + linked list
+(paper Sec. II-F, "Stack Processing").
+
+Both locality models run a stack simulation of the trace (Mattson et al.).
+The paper accelerates stack search the way the Linux kernel manages virtual
+pages: a linked list maintains order, a hash table finds entries in O(1).
+:class:`LRUStack` is that structure: a doubly-linked list of distinct
+symbols in most-recently-used-first order, plus a dict from symbol to node.
+
+Operations
+----------
+* :meth:`access` — move/insert a symbol to the MRU position, returning its
+  previous depth (1 = was already MRU) or ``None`` for a cold access.
+* :meth:`top` — iterate the ``k`` most recently used symbols, optionally
+  stopping early (the affinity analysis only inspects the top ``w_max``).
+* optional *capacity* — bounded stacks evict from the LRU end, which is how
+  the TRG construction limits its co-occurrence window to 2C.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, Optional
+
+__all__ = ["LRUStack"]
+
+
+class _Node:
+    __slots__ = ("key", "prev", "next")
+
+    def __init__(self, key: Hashable):
+        self.key = key
+        self.prev: Optional["_Node"] = None
+        self.next: Optional["_Node"] = None
+
+
+class LRUStack:
+    """Doubly-linked LRU stack with O(1) membership and move-to-front."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive or None")
+        self.capacity = capacity
+        self._nodes: dict[Hashable, _Node] = {}
+        # Sentinels avoid None checks in the hot path.
+        self._head = _Node(None)
+        self._tail = _Node(None)
+        self._head.next = self._tail
+        self._tail.prev = self._head
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._nodes
+
+    def _unlink(self, node: _Node) -> None:
+        node.prev.next = node.next  # type: ignore[union-attr]
+        node.next.prev = node.prev  # type: ignore[union-attr]
+
+    def _push_front(self, node: _Node) -> None:
+        first = self._head.next
+        node.prev = self._head
+        node.next = first
+        self._head.next = node
+        first.prev = node  # type: ignore[union-attr]
+
+    def depth(self, key: Hashable) -> Optional[int]:
+        """1-based depth of ``key`` (1 = MRU); ``None`` if absent.
+
+        O(depth) — only used by tests and small-scale reference code; the
+        production analyses never query arbitrary depths.
+        """
+        node = self._head.next
+        d = 1
+        while node is not self._tail:
+            if node.key == key:
+                return d
+            node = node.next
+            d += 1
+        return None
+
+    def access(self, key: Hashable) -> Optional[int]:
+        """Reference ``key``: move it to MRU; return its previous depth.
+
+        The previous depth equals the number of distinct symbols accessed
+        since (and including) the previous access to ``key`` — the LRU stack
+        distance.  Cold accesses return ``None``.  Computing the depth costs
+        O(previous depth); callers that don't need it should use
+        :meth:`touch`.
+        """
+        node = self._nodes.get(key)
+        if node is None:
+            self._insert_new(key)
+            return None
+        # Count depth while unlinking.
+        d = 1
+        cur = self._head.next
+        while cur is not node:
+            cur = cur.next  # type: ignore[assignment]
+            d += 1
+        self._unlink(node)
+        self._push_front(node)
+        return d
+
+    def touch(self, key: Hashable) -> bool:
+        """Reference ``key`` without computing depth; True if it was present."""
+        node = self._nodes.get(key)
+        if node is None:
+            self._insert_new(key)
+            return False
+        self._unlink(node)
+        self._push_front(node)
+        return True
+
+    def _insert_new(self, key: Hashable) -> None:
+        node = _Node(key)
+        self._nodes[key] = node
+        self._push_front(node)
+        if self.capacity is not None and len(self._nodes) > self.capacity:
+            lru = self._tail.prev
+            assert lru is not None and lru is not self._head
+            self._unlink(lru)
+            del self._nodes[lru.key]
+
+    def top(self, k: Optional[int] = None) -> Iterator[Hashable]:
+        """Iterate symbols from MRU downward, at most ``k`` of them."""
+        node = self._head.next
+        count = 0
+        while node is not self._tail and (k is None or count < k):
+            yield node.key
+            node = node.next
+            count += 1
+
+    def walk_until(self, key: Hashable, limit: Optional[int] = None) -> Optional[list[Hashable]]:
+        """Symbols strictly above ``key`` in the stack (MRU side).
+
+        Returns ``None`` if ``key`` is absent or deeper than ``limit``.
+        Used by TRG construction: the blocks above X's previous position are
+        exactly those interleaved between X's two successive occurrences.
+        """
+        if key not in self._nodes:
+            return None
+        out: list[Hashable] = []
+        node = self._head.next
+        steps = 0
+        while node is not self._tail:
+            if node.key == key:
+                return out
+            out.append(node.key)
+            steps += 1
+            if limit is not None and steps >= limit:
+                return None
+            node = node.next
+        return None  # pragma: no cover - unreachable when key present
+
+    def as_list(self) -> list[Hashable]:
+        """Full stack contents, MRU first (for tests)."""
+        return list(self.top())

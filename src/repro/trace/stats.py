@@ -1,0 +1,49 @@
+"""Trace summary statistics (feeds Table I and general reporting)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .trim import trim
+
+__all__ = ["TraceStats", "summarize"]
+
+
+@dataclass
+class TraceStats:
+    """Summary of one symbol trace."""
+
+    length: int
+    trimmed_length: int
+    n_symbols: int
+    #: Shannon entropy of the symbol distribution, in bits.
+    entropy_bits: float
+    #: fraction of occurrences covered by the top 10% most popular symbols.
+    top_decile_coverage: float
+
+    @property
+    def trim_ratio(self) -> float:
+        """Trimmed length over raw length (1.0 = no consecutive repeats)."""
+        return self.trimmed_length / self.length if self.length else 1.0
+
+
+def summarize(trace: np.ndarray) -> TraceStats:
+    """Compute :class:`TraceStats` for ``trace``."""
+    n = int(trace.shape[0])
+    if n == 0:
+        return TraceStats(0, 0, 0, 0.0, 1.0)
+    _, counts = np.unique(trace, return_counts=True)
+    probs = counts / n
+    entropy = float(-(probs * np.log2(probs)).sum())
+    sorted_counts = np.sort(counts)[::-1]
+    k = max(1, int(np.ceil(sorted_counts.shape[0] * 0.10)))
+    coverage = float(sorted_counts[:k].sum() / n)
+    return TraceStats(
+        length=n,
+        trimmed_length=int(trim(trace).shape[0]),
+        n_symbols=int(counts.shape[0]),
+        entropy_bits=entropy,
+        top_decile_coverage=coverage,
+    )

@@ -1,0 +1,166 @@
+"""Adopting external profiles: build the pipeline's inputs from *your* data.
+
+Everything in this repository runs from two artifacts: a module (block
+identities + sizes + structure) and a trace bundle (the dynamic block
+sequence).  A downstream user with a real profiler — perf, a Pin tool, an
+instrumented runtime — has exactly those: block sizes from the binary and
+a block trace from the run.  This module turns them into the library's
+types so the four optimizers, the simulators, and the experiment plumbing
+work unchanged on real data.
+
+The reconstructed IR is *structural*, not semantic: each function is a
+straight chain of its blocks (jump to the lexically next block, return at
+the end).  That is sufficient because layout optimization needs only
+identities, sizes, and fall-through adjacency; the dynamic behaviour comes
+from the supplied trace, never from re-execution.  Re-running the
+interpreter on a reconstructed module is meaningless and the bundle
+carries the real trace instead.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..engine.instrument import TraceBundle
+from ..ir.builder import ModuleBuilder
+from ..ir.module import INSTRUCTION_BYTES, Module
+
+__all__ = ["from_profile", "load_profile_csv"]
+
+
+def from_profile(
+    name: str,
+    bb_trace: np.ndarray,
+    block_bytes: Sequence[int],
+    func_of_block: Sequence[int],
+    function_names: Sequence[str],
+    *,
+    instr_count: int | None = None,
+) -> tuple[Module, TraceBundle]:
+    """Reconstruct (module, bundle) from an external profile.
+
+    Parameters
+    ----------
+    bb_trace: dynamic block trace; values are block ids in ``[0, B)`` and
+        must index ``block_bytes`` / ``func_of_block``.
+    block_bytes: encoded size of each block in bytes (rounded up to whole
+        instructions).
+    func_of_block: owning-function index per block.  Blocks of one function
+        must be contiguous and functions numbered in first-block order
+        (the usual binary layout); ids index ``function_names``.
+    function_names: name per function index.
+    instr_count: total dynamic instructions, if known; otherwise estimated
+        from the trace and block sizes.
+
+    Returns the module (sealed, gids equal to the input block ids) and a
+    :class:`~repro.engine.instrument.TraceBundle` ready for the optimizers.
+    """
+    n_blocks = len(block_bytes)
+    if len(func_of_block) != n_blocks:
+        raise ValueError("block_bytes and func_of_block must align")
+    if n_blocks == 0:
+        raise ValueError("need at least one block")
+    trace = np.asarray(bb_trace)
+    if trace.size and (trace.min() < 0 or trace.max() >= n_blocks):
+        raise ValueError("trace references unknown block ids")
+
+    # validate contiguity and build per-function block lists.
+    blocks_of: dict[int, list[int]] = {}
+    prev_func = None
+    for gid, fi in enumerate(func_of_block):
+        if fi not in blocks_of:
+            if fi != len(blocks_of):
+                raise ValueError(
+                    "functions must be numbered in first-block order"
+                )
+            blocks_of[fi] = []
+        elif prev_func != fi:
+            raise ValueError(f"blocks of function {fi} are not contiguous")
+        blocks_of[fi].append(gid)
+        prev_func = fi
+    if len(blocks_of) != len(function_names):
+        raise ValueError("function_names must cover every function index")
+
+    builder = ModuleBuilder(name, entry=function_names[0])
+    for fi, gids in blocks_of.items():
+        fb = builder.function(function_names[fi])
+        for pos, gid in enumerate(gids):
+            n_instr = max(1, -(-int(block_bytes[gid]) // INSTRUCTION_BYTES))
+            block_name = f"b{pos}"
+            if pos + 1 < len(gids):
+                fb.block(block_name, n_instr).jump(f"b{pos + 1}")
+            elif fi == 0:
+                fb.block(block_name, n_instr).exit()
+            else:
+                fb.block(block_name, n_instr).ret()
+    module = builder.build()
+
+    func_of_gid = np.asarray(func_of_block, dtype=np.int32)
+    if instr_count is None:
+        per_block_instr = np.array(
+            [module.block_by_gid(g).n_instr for g in range(n_blocks)],
+            dtype=np.int64,
+        )
+        instr_count = int(per_block_instr[trace].sum()) if trace.size else 0
+
+    bundle = TraceBundle(
+        program=name,
+        input_name="external",
+        bb_trace=trace.astype(np.int32),
+        func_trace=func_of_gid[trace] if trace.size else trace.astype(np.int32),
+        block_names=[
+            f"{function_names[func_of_block[g]]}:b{g}" for g in range(n_blocks)
+        ],
+        function_names=list(function_names),
+        func_of_gid=func_of_gid,
+        instr_count=instr_count,
+        natural_exit=True,
+    )
+    return module, bundle
+
+
+def load_profile_csv(
+    name: str,
+    blocks_csv: str,
+    trace_csv: str,
+) -> tuple[Module, TraceBundle]:
+    """Load an external profile from two CSV files.
+
+    ``blocks_csv`` has a header and one row per block, in block-id order::
+
+        block_id,function,bytes
+        0,main,40
+        1,main,72
+        ...
+
+    ``trace_csv`` is one block id per line (no header) — the dynamic trace.
+
+    Functions are numbered by first appearance in the blocks file, which
+    matches the "first-block order" requirement of :func:`from_profile`.
+    """
+    import csv
+    from pathlib import Path
+
+    block_bytes: list[int] = []
+    func_of_block: list[int] = []
+    function_names: list[str] = []
+    func_index: dict[str, int] = {}
+    with Path(blocks_csv).open(newline="") as fh:
+        reader = csv.DictReader(fh)
+        for expected_id, row in enumerate(reader):
+            if int(row["block_id"]) != expected_id:
+                raise ValueError(
+                    f"blocks file must be sorted by block_id; saw "
+                    f"{row['block_id']} at position {expected_id}"
+                )
+            func = row["function"]
+            if func not in func_index:
+                func_index[func] = len(function_names)
+                function_names.append(func)
+            func_of_block.append(func_index[func])
+            block_bytes.append(int(row["bytes"]))
+
+    trace = np.loadtxt(Path(trace_csv), dtype=np.int64, ndmin=1)
+    return from_profile(name, trace, block_bytes, func_of_block, function_names)

@@ -1,0 +1,37 @@
+"""Unit tests for cache geometry (repro.cache.config)."""
+
+import pytest
+
+from repro.cache import PAPER_L1I, CacheConfig
+
+
+def test_paper_configuration():
+    assert PAPER_L1I.size_bytes == 32 * 1024
+    assert PAPER_L1I.assoc == 4
+    assert PAPER_L1I.line_bytes == 64
+    assert PAPER_L1I.n_lines == 512
+    assert PAPER_L1I.n_sets == 128
+
+
+def test_set_mapping():
+    cfg = CacheConfig(size_bytes=1024, assoc=2, line_bytes=64)  # 8 sets
+    assert cfg.n_sets == 8
+    assert cfg.set_of_line(0) == 0
+    assert cfg.set_of_line(8) == 0
+    assert cfg.set_of_line(13) == 5
+
+
+def test_describe():
+    assert "32KB" in PAPER_L1I.describe()
+    assert "4-way" in PAPER_L1I.describe()
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CacheConfig(size_bytes=1000, assoc=4, line_bytes=64)  # not multiple
+    with pytest.raises(ValueError):
+        CacheConfig(size_bytes=1024, assoc=0, line_bytes=64)
+    with pytest.raises(ValueError):
+        CacheConfig(size_bytes=1024, assoc=2, line_bytes=48)  # not pow2
+    with pytest.raises(ValueError):
+        CacheConfig(size_bytes=384 * 64, assoc=1, line_bytes=64)  # 384 sets

@@ -1,0 +1,128 @@
+"""Unit and property tests for replacement policies (repro.cache.policies)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import (
+    CacheConfig,
+    FIFOSet,
+    LRUSet,
+    PAPER_L1I,
+    RandomSet,
+    TreePLRUSet,
+    make_policy,
+    simulate,
+    simulate_policy,
+)
+
+
+class TestLRUSet:
+    def test_matches_fast_simulator(self):
+        rng = np.random.default_rng(0)
+        lines = rng.integers(0, 700, 5000)
+        fast = simulate(lines, PAPER_L1I)
+        slow = simulate_policy(lines, PAPER_L1I, "lru")
+        assert fast.misses == slow.misses
+        assert fast.accesses == slow.accesses
+
+
+class TestFIFO:
+    def test_hit_does_not_promote(self):
+        s = FIFOSet(assoc=2)
+        assert not s.lookup(1)
+        assert not s.lookup(2)
+        assert s.lookup(1)        # hit, but 1 stays oldest
+        assert not s.lookup(3)    # evicts 1 (FIFO), not 2
+        assert not s.lookup(1)
+        assert s.lookup(2) is False or True  # 2 may or may not survive
+
+    def test_lru_would_differ(self):
+        # Same access pattern where LRU keeps 1 but FIFO evicts it.
+        pattern = [1, 2, 1, 3, 1]
+        lru, fifo = LRUSet(2), FIFOSet(2)
+        lru_hits = [lru.lookup(x) for x in pattern]
+        fifo_hits = [fifo.lookup(x) for x in pattern]
+        assert lru_hits[-1] is True
+        assert fifo_hits[-1] is False
+
+
+class TestTreePLRU:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            TreePLRUSet(assoc=3)
+
+    def test_assoc2_equals_lru(self):
+        # with two ways, tree-PLRU degenerates to true LRU.
+        rng = np.random.default_rng(1)
+        pattern = rng.integers(0, 5, 300).tolist()
+        plru, lru = TreePLRUSet(2), LRUSet(2)
+        for x in pattern:
+            assert plru.lookup(x) == lru.lookup(x)
+
+    def test_fills_empty_ways_first(self):
+        s = TreePLRUSet(4)
+        for line in (10, 11, 12, 13):
+            assert not s.lookup(line)
+        assert s.contents() == {10, 11, 12, 13}
+        # all resident lines hit.
+        for line in (10, 11, 12, 13):
+            assert s.lookup(line)
+
+    def test_victim_is_not_most_recent(self):
+        s = TreePLRUSet(4)
+        for line in (1, 2, 3, 4):
+            s.lookup(line)
+        s.lookup(4)  # make 4 clearly recent
+        s.lookup(99)  # insert -> evicts someone
+        assert 4 in s.contents()
+
+
+class TestRandom:
+    def test_deterministic_with_seed(self):
+        a, b = RandomSet(2, seed=7), RandomSet(2, seed=7)
+        pattern = [1, 2, 3, 1, 4, 2, 5]
+        assert [a.lookup(x) for x in pattern] == [b.lookup(x) for x in pattern]
+
+    def test_capacity_respected(self):
+        s = RandomSet(2, seed=0)
+        for x in range(10):
+            s.lookup(x)
+        assert len(s.contents()) == 2
+
+
+def test_make_policy_names():
+    for name in ("lru", "fifo", "plru", "random"):
+        assert make_policy(name, 4).assoc == 4
+    with pytest.raises(ValueError):
+        make_policy("belady", 4)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    lines=st.lists(st.integers(0, 30), min_size=0, max_size=300),
+    policy=st.sampled_from(["lru", "fifo", "plru", "random"]),
+)
+def test_policies_bounded_by_compulsory_and_total(lines, policy):
+    cfg = CacheConfig(size_bytes=4 * 4 * 64, assoc=4, line_bytes=64)
+    arr = np.array(lines, dtype=np.int64)
+    stats = simulate_policy(arr, cfg, policy)
+    distinct = len(set(lines))
+    assert distinct <= stats.misses <= len(lines) or not lines
+    assert stats.accesses == len(lines)
+
+
+@settings(max_examples=30, deadline=None)
+@given(lines=st.lists(st.integers(0, 40), min_size=1, max_size=300))
+def test_lru_never_worse_than_fifo_on_single_set(lines):
+    """Within one fully-associative set, LRU dominates FIFO for stack-
+    friendly traces is NOT a theorem (Belady anomalies exist for FIFO
+    capacity changes, not LRU-vs-FIFO) — so only check both stay within
+    the compulsory/total band and LRU matches the reference simulator."""
+    cfg = CacheConfig(size_bytes=8 * 64, assoc=8, line_bytes=64)
+    arr = np.array(lines, dtype=np.int64)
+    lru = simulate_policy(arr, cfg, "lru")
+    fifo = simulate_policy(arr, cfg, "fifo")
+    assert lru.misses == simulate(arr, cfg).misses
+    assert fifo.misses >= len(set(lines))

@@ -1,0 +1,103 @@
+"""Unit and property tests for the solo cache simulator (repro.cache.setassoc)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import CacheConfig, CacheState, PAPER_L1I, simulate, warm_cache
+from repro.locality import COLD, reuse_distances
+
+
+def test_direct_mapped_conflicts():
+    cfg = CacheConfig(size_bytes=128, assoc=1, line_bytes=64)  # 2 sets
+    # lines 0 and 2 both map to set 0 and evict each other; line 1 -> set 1.
+    st_ = simulate(np.array([0, 2, 0, 2, 1, 1]), cfg)
+    assert st_.misses == 5
+    assert st_.accesses == 6
+    assert st_.hits == 1
+
+
+def test_two_way_absorbs_the_same_pattern():
+    cfg = CacheConfig(size_bytes=256, assoc=2, line_bytes=64)  # 2 sets, 2-way
+    st_ = simulate(np.array([0, 2, 0, 2, 1, 1]), cfg)
+    assert st_.misses == 3  # only cold misses
+
+
+def test_lru_replacement_within_set():
+    cfg = CacheConfig(size_bytes=128, assoc=2, line_bytes=64)  # 1 set, 2-way
+    # access 0,1 (cold), touch 0 (now MRU), insert 2 -> evicts 1 not 0.
+    st_ = simulate(np.array([0, 1, 0, 2, 0, 1]), cfg)
+    # misses: 0,1,2 cold + final 1 (evicted) = 4
+    assert st_.misses == 4
+
+
+def test_fully_associative_equals_reuse_distance_model():
+    rng = np.random.default_rng(0)
+    lines = rng.integers(0, 24, 800)
+    cfg = CacheConfig(size_bytes=8 * 64, assoc=8, line_bytes=64)  # 1 set, 8-way
+    st_ = simulate(lines, cfg)
+    d = reuse_distances(lines)
+    expected = int(((d == COLD) | (d > 8)).sum())
+    assert st_.misses == expected
+
+
+def test_prefetch_helps_sequential_stream():
+    lines = np.tile(np.arange(600), 3)  # sequential sweeps, > capacity
+    plain = simulate(lines, PAPER_L1I)
+    pref = simulate(lines, PAPER_L1I, prefetch=True)
+    assert pref.misses < plain.misses
+    assert pref.prefetches > 0
+    assert pref.prefetch_hits > 0
+
+
+def test_warm_start_state():
+    lines = np.arange(16)
+    state = warm_cache(lines, PAPER_L1I)
+    again = simulate(lines, PAPER_L1I, state=state)
+    assert again.misses == 0  # everything resident
+    assert state.resident_lines() >= set(range(16))
+
+
+def test_state_config_mismatch_rejected():
+    state = CacheState(PAPER_L1I)
+    other = CacheConfig(size_bytes=16 * 1024, assoc=4, line_bytes=64)
+    with pytest.raises(ValueError):
+        simulate(np.array([1]), other, state=state)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    lines=st.lists(st.integers(0, 40), min_size=0, max_size=400),
+    assoc=st.sampled_from([1, 2, 4]),
+)
+def test_miss_count_matches_per_set_lru_reference(lines, assoc):
+    cfg = CacheConfig(size_bytes=4 * assoc * 64, assoc=assoc, line_bytes=64)
+    arr = np.array(lines, dtype=np.int64)
+    st_ = simulate(arr, cfg)
+    # reference: independent LRU list per set.
+    sets = {}
+    misses = 0
+    for line in lines:
+        s = sets.setdefault(line % cfg.n_sets, [])
+        if line in s:
+            s.remove(line)
+        else:
+            misses += 1
+            if len(s) >= assoc:
+                s.pop()
+        s.insert(0, line)
+    assert st_.misses == misses
+    assert st_.accesses == len(lines)
+
+
+def test_cache_inclusion_monotonicity():
+    """More ways never increases misses (LRU inclusion property per set
+    holds when sets are identical)."""
+    rng = np.random.default_rng(7)
+    lines = rng.integers(0, 64, 2000)
+    m = []
+    for assoc in (1, 2, 4, 8):
+        cfg = CacheConfig(size_bytes=8 * assoc * 64, assoc=assoc, line_bytes=64)
+        m.append(simulate(lines, cfg).misses)
+    assert all(a >= b for a, b in zip(m, m[1:]))

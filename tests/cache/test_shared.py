@@ -1,0 +1,92 @@
+"""Unit tests for the shared-cache co-run simulator (repro.cache.shared)."""
+
+import numpy as np
+import pytest
+
+from repro.cache import CacheConfig, PAPER_L1I, simulate, simulate_shared
+
+
+def test_single_thread_equals_solo():
+    rng = np.random.default_rng(1)
+    lines = rng.integers(0, 600, 5000)
+    solo = simulate(lines, PAPER_L1I)
+    shared = simulate_shared([lines], PAPER_L1I)
+    assert shared[0].misses == solo.misses
+    assert shared[0].accesses == solo.accesses
+
+
+def test_empty_streams():
+    assert simulate_shared([], PAPER_L1I) == []
+    stats = simulate_shared([np.empty(0, dtype=np.int64)], PAPER_L1I)
+    assert stats[0].accesses == 0
+
+
+def test_quantum_validation():
+    with pytest.raises(ValueError):
+        simulate_shared([np.array([1])], PAPER_L1I, quantum=0)
+
+
+def test_corun_increases_misses_under_contention():
+    rng = np.random.default_rng(2)
+    # two disjoint working sets, each ~0.8x capacity: fits alone, thrashes
+    # together.
+    a = np.tile(np.arange(0, 400), 20)
+    b = np.tile(np.arange(1000, 1400), 20)
+    solo_a = simulate(a, PAPER_L1I).misses
+    shared = simulate_shared([a, b], PAPER_L1I, wrap=False)
+    # normalize to one pass.
+    assert shared[0].misses > solo_a
+
+
+def test_wrap_restarts_shorter_stream():
+    a = np.arange(0, 100)           # short
+    b = np.arange(1000, 1000 + 4000)  # long
+    shared = simulate_shared([a, b], PAPER_L1I, wrap=True)
+    # thread 0 must have issued more than one pass.
+    assert shared[0].accesses > a.shape[0]
+    # thread 1 completes exactly one pass.
+    assert shared[1].accesses == b.shape[0]
+
+
+def test_no_wrap_lets_thread_exit():
+    a = np.arange(0, 64)
+    b = np.arange(1000, 1000 + 2048)
+    shared = simulate_shared([a, b], PAPER_L1I, wrap=False)
+    assert shared[0].accesses == a.shape[0]
+    assert shared[1].accesses == b.shape[0]
+
+
+def test_total_conservation_against_merged_reference():
+    """With quantum q and no wrap, the shared sim must equal a solo sim of
+    the explicitly interleaved stream."""
+    rng = np.random.default_rng(3)
+    a = rng.integers(0, 300, 1000)
+    b = rng.integers(500, 800, 1000)
+    q = 8
+    shared = simulate_shared([a, b], PAPER_L1I, quantum=q, wrap=False)
+    merged = []
+    ia = ib = 0
+    while ia < len(a) or ib < len(b):
+        merged.extend(a[ia : ia + q])
+        ia += q
+        merged.extend(b[ib : ib + q])
+        ib += q
+    solo = simulate(np.array(merged), PAPER_L1I)
+    assert shared[0].misses + shared[1].misses == solo.misses
+
+
+def test_deterministic():
+    rng = np.random.default_rng(4)
+    a = rng.integers(0, 700, 3000)
+    b = rng.integers(0, 700, 2500)
+    r1 = simulate_shared([a, b], PAPER_L1I)
+    r2 = simulate_shared([a, b], PAPER_L1I)
+    assert r1[0].misses == r2[0].misses
+    assert r1[1].misses == r2[1].misses
+
+
+def test_shared_prefetch_counts():
+    a = np.tile(np.arange(0, 512), 4)
+    b = np.tile(np.arange(1000, 1512), 4)
+    stats = simulate_shared([a, b], PAPER_L1I, prefetch=True)
+    assert stats[0].prefetches > 0 or stats[1].prefetches > 0

@@ -1,0 +1,72 @@
+"""N-thread shared-cache tests (the SMT-width extension's substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import CacheConfig, PAPER_L1I, simulate, simulate_shared
+
+
+def disjoint_streams(n_threads, per_thread, working_set, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        rng.integers(t * 10_000, t * 10_000 + working_set, per_thread)
+        for t in range(n_threads)
+    ]
+
+
+def test_four_threads_all_measured():
+    streams = disjoint_streams(4, 2000, 200)
+    stats = simulate_shared(streams, PAPER_L1I)
+    assert len(stats) == 4
+    for st_, stream in zip(stats, streams):
+        assert st_.accesses >= stream.shape[0]
+
+
+def test_contention_grows_with_thread_count():
+    """Each thread's working set is ~0.6x capacity: one fits, four thrash."""
+    per_thread_ws = 300  # lines, vs 512 capacity
+    ratios = []
+    for width in (1, 2, 4):
+        streams = disjoint_streams(width, 4000, per_thread_ws)
+        if width == 1:
+            ratios.append(simulate(streams[0], PAPER_L1I).miss_ratio)
+        else:
+            stats = simulate_shared(streams, PAPER_L1I, wrap=False)
+            ratios.append(stats[0].misses / streams[0].shape[0])
+    assert ratios[0] <= ratios[1] <= ratios[2]
+    assert ratios[2] > ratios[0]
+
+
+def test_no_wrap_four_threads_conserves_accesses():
+    streams = disjoint_streams(4, 1500, 100, seed=3)
+    stats = simulate_shared(streams, PAPER_L1I, wrap=False)
+    for st_, stream in zip(stats, streams):
+        assert st_.accesses == stream.shape[0]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_threads=st.integers(2, 4),
+    quantum=st.sampled_from([1, 4, 16]),
+    seed=st.integers(0, 100),
+)
+def test_no_wrap_matches_merged_reference(n_threads, quantum, seed):
+    """N-thread generalization of the merged-stream equivalence."""
+    rng = np.random.default_rng(seed)
+    streams = [
+        rng.integers(t * 1000, t * 1000 + 60, 300) for t in range(n_threads)
+    ]
+    cfg = CacheConfig(size_bytes=4 * 1024, assoc=4, line_bytes=64)
+    shared = simulate_shared(streams, cfg, quantum=quantum, wrap=False)
+    merged = []
+    cursors = [0] * n_threads
+    while any(c < 300 for c in cursors):
+        for t in range(n_threads):
+            chunk = streams[t][cursors[t] : cursors[t] + quantum]
+            merged.extend(chunk.tolist())
+            cursors[t] += quantum
+    solo = simulate(np.array(merged), cfg)
+    assert sum(s.misses for s in shared) == solo.misses
+    assert sum(s.accesses for s in shared) == solo.accesses

@@ -1,0 +1,70 @@
+"""Shared fixtures: small IR modules and traces used across test packages."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import InputSpec, collect_trace
+from repro.ir import ModuleBuilder
+
+
+def build_tiny_module():
+    """main loops calling two leaf functions; leaves have two halves each.
+
+    This is the paper's Fig. 3 shape: per invocation only one half of each
+    leaf executes, and the halves are phase-correlated across leaves.
+    """
+    b = ModuleBuilder("tiny")
+    f = b.function("main")
+    f.block("entry", 3).loop("callx", "done", trips=300)
+    f.block("callx", 2).call("x", return_to="cally")
+    f.block("cally", 2).call("y", return_to="entry")
+    f.block("done", 1).exit()
+    for fname in ("x", "y"):
+        g = b.function(fname)
+        g.block("e", 4).branch(
+            "a", "b", taken_prob=0.97, phase_prob=0.03, phase_period=128
+        )
+        g.block("a", 6).ret()
+        g.block("b", 6).ret()
+    return b.build()
+
+
+def build_branchy_module():
+    """A single function with a switch and nested loops (CFG variety)."""
+    b = ModuleBuilder("branchy")
+    f = b.function("main")
+    f.block("entry", 2).loop("sel", "end", trips=200)
+    f.block("sel", 3).switch(["p", "q", "r"], [0.6, 0.3, 0.1])
+    f.block("p", 5).jump("entry")
+    f.block("q", 7).branch("q2", "entry", taken_prob=0.5)
+    f.block("q2", 4).jump("entry")
+    f.block("r", 9).jump("entry")
+    f.block("end", 1).exit()
+    return b.build()
+
+
+@pytest.fixture
+def tiny_module():
+    return build_tiny_module()
+
+
+@pytest.fixture
+def branchy_module():
+    return build_branchy_module()
+
+
+@pytest.fixture
+def tiny_bundle(tiny_module):
+    return collect_trace(tiny_module, InputSpec("test", seed=7, max_blocks=4000))
+
+
+@pytest.fixture
+def branchy_bundle(branchy_module):
+    return collect_trace(branchy_module, InputSpec("test", seed=9, max_blocks=3000))
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

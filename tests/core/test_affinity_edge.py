@@ -1,0 +1,91 @@
+"""Edge-case and internals tests for the affinity analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AffinityAnalysis, affine_pairs_naive
+
+
+def test_forward_coverage_through_intervening_occurrence():
+    """The case that distinguishes the exact algorithm from the stack-top
+    approximation (see the analysis module docstring): B2@3's coverage by
+    B3@6 must be found even though B2@5 intervenes."""
+    trace = np.array([1, 4, 2, 4, 2, 3, 5, 1, 4])  # paper Fig. 1
+    analysis = AffinityAnalysis(trace, w_max=6)
+    # covered(2, 3, 3): both occurrences of B2 have B3 within fp<=3.
+    assert analysis.covered(2, 3, 3) == 2
+
+
+def test_two_symbol_alternation():
+    t = np.tile([7, 9], 50)
+    analysis = AffinityAnalysis(t, w_max=4)
+    assert analysis.affine_pairs(2) == {(7, 9)}
+    assert analysis.occurrences(7) == 50
+
+
+def test_long_loop_then_new_symbol():
+    """A block first occurring long after a small loop still has small
+    *footprint* windows to the loop blocks — Definition 3 is volume-based,
+    not time-based."""
+    t = np.concatenate([np.tile([0, 1, 2], 200), np.array([3, 0, 1, 2])])
+    analysis = AffinityAnalysis(t, w_max=6)
+    # symbol 3 occurs once; every loop symbol has an occurrence within a
+    # footprint-4 window of it (the windows are long in time, short in
+    # volume), and 3's own occurrence sees them adjacently.
+    assert analysis.is_affine(3, 0, 4)
+    assert analysis.is_affine(3, 2, 4)
+    # cross-check against the oracle.
+    assert analysis.affine_pairs(4) == affine_pairs_naive(t, 4)
+
+
+def test_time_horizon_breaks_long_window_coverage():
+    t = np.concatenate([np.tile([0, 1, 2], 200), np.array([3, 0, 1, 2])])
+    capped = AffinityAnalysis(t, w_max=6, time_horizon=10)
+    # with a 10-step horizon, 0's early occurrences cannot be covered by 3.
+    assert not capped.is_affine(3, 0, 4)
+
+
+def test_single_occurrence_pairs():
+    t = np.array([1, 2])
+    analysis = AffinityAnalysis(t, w_max=4)
+    assert analysis.is_affine(1, 2, 2)
+    assert analysis.occurrences(1) == 1
+
+
+def test_symbols_absent_from_trace():
+    analysis = AffinityAnalysis(np.array([5, 6, 5]), w_max=3)
+    assert analysis.covered(5, 99, 3) == 0
+    assert not analysis.is_affine(5, 99, 3)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    trace=st.lists(st.integers(0, 3), min_size=2, max_size=40),
+    horizon=st.integers(1, 50),
+)
+def test_horizon_is_sound_approximation(trace, horizon):
+    """A time horizon may only *lose* coverage, never invent it, at every
+    (pair, w) — stronger than the pairs-subset check."""
+    t = np.array(trace, dtype=np.int64)
+    exact = AffinityAnalysis(t, w_max=4)
+    capped = AffinityAnalysis(t, w_max=4, time_horizon=horizon)
+    for x in exact.symbols:
+        for y in exact.symbols:
+            if x == y:
+                continue
+            for w in (2, 3, 4):
+                assert capped.covered(x, y, w) <= exact.covered(x, y, w)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 4), min_size=1, max_size=60))
+def test_occurrence_counts_match_trimmed_trace(trace):
+    from repro.trace import trim
+
+    t = np.array(trace, dtype=np.int64)
+    analysis = AffinityAnalysis(t, w_max=3)
+    trimmed = trim(t)
+    for s in set(trimmed.tolist()):
+        assert analysis.occurrences(s) == int((trimmed == s).sum())

@@ -1,0 +1,31 @@
+"""Unit tests for goal scoring (repro.core.goals)."""
+
+import pytest
+
+from repro.core import GoalScores, relative_reduction, score_goals
+
+
+def test_relative_reduction():
+    assert relative_reduction(0.04, 0.03) == pytest.approx(0.25)
+    assert relative_reduction(0.04, 0.05) == pytest.approx(-0.25)
+    assert relative_reduction(0.0, 0.1) == 0.0
+
+
+def test_score_goals_composition():
+    scores = score_goals(
+        solo_self_before=0.020,
+        solo_self_after=0.018,
+        corun_self_before=0.040,
+        corun_self_after=0.028,
+        corun_peer_before=0.030,
+        corun_peer_after=0.027,
+    )
+    assert scores.locality == pytest.approx(0.10)
+    assert scores.defensiveness == pytest.approx(0.30)
+    assert scores.politeness == pytest.approx(0.10)
+    assert scores.defensive_beyond_locality == pytest.approx(0.20)
+
+
+def test_headline_case_no_solo_benefit():
+    scores = GoalScores(locality=0.0, defensiveness=0.25, politeness=0.05)
+    assert scores.defensive_beyond_locality == pytest.approx(0.25)

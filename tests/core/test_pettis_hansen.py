@@ -1,0 +1,71 @@
+"""Unit and property tests for Pettis-Hansen ordering
+(repro.core.pettis_hansen)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import pettis_hansen_order, transition_graph
+
+traces = st.lists(st.integers(0, 8), min_size=0, max_size=200).map(
+    lambda xs: np.array(xs, dtype=np.int64)
+)
+
+
+def test_transition_graph_counts():
+    g = transition_graph(np.array([1, 2, 1, 3, 1, 2]))
+    assert g[(1, 2)] == 3
+    assert g[(1, 3)] == 2
+    assert (2, 3) not in g
+
+
+def test_transition_graph_trims():
+    g = transition_graph(np.array([1, 1, 2, 2]))
+    assert g == {(1, 2): 1}
+
+
+def test_hot_chain_packed_adjacent():
+    # a<->b alternate constantly; c appears rarely.
+    t = np.array([1, 2] * 50 + [3] + [1, 2] * 50)
+    order = pettis_hansen_order(t)
+    assert abs(order.index(1) - order.index(2)) == 1
+    # the heavy chain leads.
+    assert order.index(3) == 2
+
+
+def test_chain_merging_transitive():
+    # a-b heavy, b-c medium: expect a single chain a b c (or reversed).
+    t = np.array([1, 2] * 20 + [2, 3] * 10)
+    order = pettis_hansen_order(t)
+    ia, ib, ic = order.index(1), order.index(2), order.index(3)
+    assert abs(ia - ib) == 1
+    assert abs(ib - ic) == 1
+
+
+def test_mid_chain_nodes_not_rejoined():
+    # chain x-a-y forms first; a is then interior, so a-b cannot join and
+    # b stays in its own chain.
+    t = np.array(([7, 1, 8] * 30) + [1, 2] * 5)
+    order = pettis_hansen_order(t)
+    # 1's neighbours in the layout are from its heavy chain, not b=2.
+    i1 = order.index(1)
+    neighbours = {order[i1 - 1] if i1 > 0 else None, order[i1 + 1] if i1 + 1 < len(order) else None}
+    assert 2 not in neighbours
+
+
+def test_empty_and_singleton():
+    assert pettis_hansen_order(np.empty(0, dtype=np.int64)) == []
+    assert pettis_hansen_order(np.array([5, 5, 5])) == [5]
+
+
+@settings(max_examples=100, deadline=None)
+@given(traces)
+def test_order_is_permutation_of_symbols(t):
+    order = pettis_hansen_order(t)
+    assert sorted(order) == sorted(set(t.tolist()))
+
+
+@settings(max_examples=50, deadline=None)
+@given(traces)
+def test_deterministic(t):
+    assert pettis_hansen_order(t) == pettis_hansen_order(t)

@@ -1,0 +1,41 @@
+"""Unit tests for instrumentation packaging (repro.engine.instrument)."""
+
+import numpy as np
+
+from repro.engine import InputSpec, collect_trace, load_bundle, save_bundle
+
+
+def test_bundle_shapes_and_names(tiny_module):
+    bundle = collect_trace(tiny_module, InputSpec("test", seed=1, max_blocks=3000))
+    assert bundle.program == "tiny"
+    assert bundle.input_name == "test"
+    assert bundle.n_static_blocks == tiny_module.n_blocks
+    assert bundle.bb_trace.shape == bundle.func_trace.shape
+    assert len(bundle.block_names) == tiny_module.n_blocks
+    assert bundle.function_names == [f.name for f in tiny_module.functions]
+
+
+def test_func_trace_consistent_with_mapping(tiny_module):
+    bundle = collect_trace(tiny_module, InputSpec("test", seed=2, max_blocks=2000))
+    assert np.array_equal(
+        bundle.func_trace, bundle.func_of_gid[bundle.bb_trace]
+    )
+    # every block name is "function:block" with a matching function index.
+    for gid, name in enumerate(bundle.block_names):
+        func = name.split(":", 1)[0]
+        assert bundle.function_names[bundle.func_of_gid[gid]] == func
+
+
+def test_save_load_roundtrip(tiny_module, tmp_path):
+    bundle = collect_trace(tiny_module, InputSpec("ref", seed=3, max_blocks=1500))
+    path = tmp_path / "trace.npz"
+    save_bundle(bundle, path)
+    loaded = load_bundle(path)
+    assert loaded.program == bundle.program
+    assert loaded.input_name == bundle.input_name
+    assert np.array_equal(loaded.bb_trace, bundle.bb_trace)
+    assert np.array_equal(loaded.func_trace, bundle.func_trace)
+    assert loaded.block_names == bundle.block_names
+    assert loaded.function_names == bundle.function_names
+    assert loaded.instr_count == bundle.instr_count
+    assert loaded.natural_exit == bundle.natural_exit

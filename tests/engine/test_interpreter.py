@@ -1,0 +1,161 @@
+"""Unit tests for the deterministic interpreter (repro.engine.interpreter)."""
+
+import numpy as np
+import pytest
+
+from repro.engine import InputSpec, run
+from repro.ir import ModuleBuilder
+
+
+def loop_module(trips=5, body_instr=3):
+    b = ModuleBuilder("loop")
+    f = b.function("main")
+    f.block("head", 1).loop("body", "done", trips=trips)
+    f.block("body", body_instr).jump("head")
+    f.block("done", 1).exit()
+    return b.build()
+
+
+def test_determinism_same_seed(tiny_module):
+    a = run(tiny_module, InputSpec("t", seed=5, max_blocks=2000))
+    b = run(tiny_module, InputSpec("t", seed=5, max_blocks=2000))
+    assert np.array_equal(a.bb_trace, b.bb_trace)
+    assert a.instr_count == b.instr_count
+
+
+def test_different_seeds_differ(tiny_module):
+    a = run(tiny_module, InputSpec("t", seed=5, max_blocks=2000))
+    b = run(tiny_module, InputSpec("t", seed=6, max_blocks=2000))
+    assert not np.array_equal(a.bb_trace, b.bb_trace)
+
+
+def test_loop_trip_count_exact():
+    m = loop_module(trips=7)
+    res = run(m, InputSpec("t", seed=0, max_blocks=10_000))
+    head = m.function("main").block("head").gid
+    body = m.function("main").block("body").gid
+    done = m.function("main").block("done").gid
+    trace = res.bb_trace.tolist()
+    assert trace.count(body) == 6  # back edge taken trips-1 times
+    assert trace.count(head) == 7
+    assert trace.count(done) == 1
+    assert res.natural_exit
+
+
+def test_loop_counter_resets_between_visits():
+    b = ModuleBuilder("nested")
+    f = b.function("main")
+    f.block("outer", 1).loop("inner_head", "done", trips=3)
+    f.block("inner_head", 1).loop("inner_body", "outer", trips=4)
+    f.block("inner_body", 2).jump("inner_head")
+    f.block("done", 1).exit()
+    m = b.build()
+    res = run(m, InputSpec("t", seed=0, max_blocks=10_000))
+    inner_body = m.function("main").block("inner_body").gid
+    # outer takes its back edge twice (trips=3), entering the inner loop
+    # twice; each inner visit takes 3 back edges (trips=4).
+    assert res.bb_trace.tolist().count(inner_body) == 6
+
+
+def test_block_budget_truncates():
+    m = loop_module(trips=10_000)
+    res = run(m, InputSpec("t", seed=0, max_blocks=50))
+    assert res.n_blocks == 50
+    assert not res.natural_exit
+
+
+def test_instruction_count_matches_trace():
+    m = loop_module(trips=4, body_instr=5)
+    res = run(m, InputSpec("t", seed=0, max_blocks=10_000))
+    n_instr = {b.gid: b.n_instr for b in m.iter_blocks()}
+    assert res.instr_count == sum(n_instr[g] for g in res.bb_trace.tolist())
+
+
+def test_branch_probability_statistics():
+    b = ModuleBuilder("p")
+    f = b.function("main")
+    f.block("head", 1).loop("br", "done", trips=4000)
+    f.block("br", 1).branch("t", "f", taken_prob=0.25)
+    f.block("t", 1).jump("head")
+    f.block("f", 1).jump("head")
+    f.block("done", 1).exit()
+    m = b.build()
+    res = run(m, InputSpec("t", seed=123, max_blocks=100_000))
+    trace = res.bb_trace.tolist()
+    taken = trace.count(m.function("main").block("t").gid)
+    total = taken + trace.count(m.function("main").block("f").gid)
+    assert total > 3000
+    assert abs(taken / total - 0.25) < 0.03
+
+
+def test_phase_modulated_branch_flips():
+    b = ModuleBuilder("ph")
+    f = b.function("main")
+    f.block("head", 1).loop("br", "done", trips=100_000)
+    f.block("br", 1).branch("t", "f", taken_prob=1.0, phase_prob=0.0, phase_period=100)
+    f.block("t", 1).jump("head")
+    f.block("f", 1).jump("head")
+    f.block("done", 1).exit()
+    m = b.build()
+    res = run(m, InputSpec("t", seed=1, max_blocks=1000))
+    t_gid = m.function("main").block("t").gid
+    f_gid = m.function("main").block("f").gid
+    trace = res.bb_trace
+    # both halves must appear (phases alternate).
+    assert (trace == t_gid).any()
+    assert (trace == f_gid).any()
+
+
+def test_phase_offset_shifts_behaviour():
+    b = ModuleBuilder("ph2")
+    f = b.function("main")
+    f.block("head", 1).loop("br", "done", trips=100_000)
+    f.block("br", 1).branch("t", "f", taken_prob=1.0, phase_prob=0.0, phase_period=64)
+    f.block("t", 1).jump("head")
+    f.block("f", 1).jump("head")
+    f.block("done", 1).exit()
+    m = b.build()
+    a = run(m, InputSpec("t", seed=1, max_blocks=500, phase_offset=0))
+    c = run(m, InputSpec("t", seed=1, max_blocks=500, phase_offset=64))
+    assert not np.array_equal(a.bb_trace, c.bb_trace)
+
+
+def test_switch_weights_respected():
+    b = ModuleBuilder("sw")
+    f = b.function("main")
+    f.block("head", 1).loop("sel", "done", trips=100_000)
+    f.block("sel", 1).switch(["a", "b"], [3.0, 1.0])
+    f.block("a", 1).jump("head")
+    f.block("b", 1).jump("head")
+    f.block("done", 1).exit()
+    m = b.build()
+    res = run(m, InputSpec("t", seed=77, max_blocks=40_000))
+    trace = res.bb_trace.tolist()
+    a = trace.count(m.function("main").block("a").gid)
+    bcount = trace.count(m.function("main").block("b").gid)
+    assert abs(a / (a + bcount) - 0.75) < 0.03
+
+
+def test_call_and_return_resume_correctly(tiny_module):
+    res = run(tiny_module, InputSpec("t", seed=3, max_blocks=5000))
+    gid_of = {
+        (blk.func, blk.name): blk.gid for blk in tiny_module.iter_blocks()
+    }
+    trace = res.bb_trace.tolist()
+    # every x-entry is preceded by main:callx.
+    for i, g in enumerate(trace):
+        if g == gid_of[("x", "e")]:
+            assert trace[i - 1] == gid_of[("main", "callx")]
+    # after a leaf half, control returns to the corresponding call site's
+    # return block.
+    for i, g in enumerate(trace[:-1]):
+        if g in (gid_of[("x", "a")], gid_of[("x", "b")]):
+            assert trace[i + 1] == gid_of[("main", "cally")]
+
+
+def test_unsealed_module_rejected():
+    from repro.ir.module import BasicBlock, Exit, Function, Module
+
+    m = Module("m", [Function("main", [BasicBlock("e", 1, Exit())])], entry="main")
+    with pytest.raises(ValueError):
+        run(m, InputSpec("t", seed=0, max_blocks=10))

@@ -1,0 +1,154 @@
+"""Small-scale structural tests of every experiment driver.
+
+These run the real drivers against a 5%-scale Lab: the point is shape
+(row counts, N/A placement, summary keys, metric sanity), not the numbers
+— full-scale numbers live in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import Lab
+from repro.experiments.runner import run_experiment
+from repro.workloads import ALL_PROGRAMS, STUDY_PROGRAMS
+
+
+@pytest.fixture(scope="module")
+def lab():
+    return Lab(scale=0.05, noise_sigma=0.0)
+
+
+def test_intro_table(lab):
+    result = run_experiment("intro-table", lab)
+    assert len(result.rows) == 3
+    assert result.summary["n_nontrivial_programs"] >= 1
+    # co-run averages exceed the solo average.
+    assert result.summary["avg_corun1"] > result.summary["avg_solo"]
+    assert result.summary["avg_corun2"] > result.summary["avg_solo"]
+
+
+def test_table1(lab):
+    result = run_experiment("table1", lab)
+    assert [r[0] for r in result.rows] == STUDY_PROGRAMS
+    # mcf: tiny solo ratio, big inflation under probes.
+    assert result.summary["syn-mcf/solo"] < 0.002
+    assert result.summary["syn-mcf/corun_gcc"] > result.summary["syn-mcf/solo"]
+
+
+def test_fig4(lab):
+    result = run_experiment("fig4", lab)
+    assert len(result.rows) == len(ALL_PROGRAMS) == 29
+    # rows sorted by descending solo ratio.
+    solos = [float(r[1].rstrip("%")) for r in result.rows]
+    assert solos == sorted(solos, reverse=True)
+
+
+def test_table2(lab):
+    result = run_experiment("table2", lab)
+    assert len(result.rows) == 8
+    by_program = {r[0]: r for r in result.rows}
+    # N/A columns for the two BB-unsupported programs.
+    assert by_program["syn-perlbench"][4] == "N/A"
+    assert by_program["syn-povray"][4] == "N/A"
+    # every supported entry produced all three optimizers' stats.
+    assert "syn-gcc/bb-affinity/speedup" in result.summary
+    assert "syn-gcc/function-trg/sim_reduction" in result.summary
+
+
+def test_fig6(lab):
+    result = run_experiment("fig6", lab)
+    # 3 optimizers x 8 targets.
+    assert len(result.rows) == 24
+    # probe columns: 8 probes + avg.
+    assert len(result.headers) == 2 + 8 + 1
+
+
+def test_fig7(lab):
+    result = run_experiment("fig7", lab)
+    assert result.summary["n_pairs"] == 28.0
+    # baseline hyper-threading always helps.
+    base = [v for k, v in result.summary.items() if k.endswith("base_throughput")]
+    assert all(v > 0 for v in base)
+
+
+def test_optopt(lab):
+    result = run_experiment("optopt", lab)
+    assert len(result.rows) == 6  # ordered pairs of the top 3
+    assert "avg_extra_speedup" in result.summary
+
+
+def test_ablation_trg_window(lab):
+    result = run_experiment("ablation-trg-window", lab)
+    assert "spread" in result.summary
+    assert len(result.rows) == 6
+
+
+def test_ablation_affinity_windows(lab):
+    result = run_experiment("ablation-affinity-windows", lab)
+    assert len(result.rows) == 7
+
+
+def test_ablation_pruning(lab):
+    result = run_experiment("ablation-pruning", lab)
+    # keep ratio grows with the budget.
+    ratios = [v for k, v in result.summary.items() if k.endswith("keep_ratio")]
+    assert ratios == sorted(ratios)
+    assert result.summary["k10000/keep_ratio"] == pytest.approx(1.0)
+
+
+def test_comparators(lab):
+    result = run_experiment("comparators", lab)
+    assert len(result.rows) == 8
+    assert "avg/bb-affinity" in result.summary
+    assert "avg/function-coloring" in result.summary
+    by_program = {r[0]: r for r in result.rows}
+    assert by_program["syn-perlbench"][1] == "N/A"  # bb column
+
+
+def test_unified(lab):
+    result = run_experiment("unified", lab)
+    # 4 programs x 3 layouts.
+    assert len(result.rows) == 12
+    # L1I miss ratio drops (or at worst holds) under function affinity.
+    for name in ("syn-gcc", "syn-sjeng"):
+        base = result.summary[f"{name}/baseline/l1i"]
+        opt = result.summary[f"{name}/function-affinity/l1i"]
+        assert opt <= base * 1.05
+
+
+def test_model_validation(lab):
+    result = run_experiment("model-validation", lab)
+    assert len(result.rows) == 8
+    s = result.summary
+    # the footprint model must track the simulator's co-run ordering.
+    assert s["corun_correlation"] > 0.0
+    # co-run ratios exceed solo ratios in both channels on average.
+    model_solo = [v for k, v in s.items() if k.endswith("model_solo")]
+    model_corun = [v for k, v in s.items() if k.endswith("model_corun")]
+    assert sum(model_corun) > sum(model_solo)
+
+
+def test_smt_width(lab):
+    result = run_experiment("smt-width", lab)
+    assert len(result.rows) == 4
+    s = result.summary
+    # contention grows with width; optimizing all copies never hurts vs
+    # optimizing one.
+    assert s["w8/none"] >= s["w2/none"]
+    for w in (2, 4, 8):
+        assert s[f"w{w}/all"] <= s[f"w{w}/one_sided"] * 1.05
+
+
+def test_cache_sweep(lab):
+    result = run_experiment("cache-sweep", lab)
+    assert len(result.rows) == 16
+    s = result.summary
+    # bigger caches shrink the baseline solo miss ratio.
+    assert s["128kb/syn-gcc/solo_base"] <= s["16kb/syn-gcc/solo_base"]
+
+
+def test_scheduling(lab):
+    result = run_experiment("scheduling", lab)
+    s = result.summary
+    assert s["base_best_cost"] <= s["base_greedy_cost"] + 1e-9
+    assert s["base_best_cost"] <= s["base_worst_cost"]
+    assert len(result.rows) == 4

@@ -1,0 +1,97 @@
+"""Unit tests for the experiment Lab (repro.experiments.pipeline).
+
+These run at a very small scale so the whole file stays in seconds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import BASELINE, Lab
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def lab():
+    return Lab(scale=SCALE, noise_sigma=0.0)
+
+
+def test_scale_validation():
+    with pytest.raises(ValueError):
+        Lab(scale=0.0)
+    with pytest.raises(ValueError):
+        Lab(scale=1.5)
+
+
+def test_program_memoized(lab):
+    p1 = lab.program("syn-mcf")
+    p2 = lab.program("syn-mcf")
+    assert p1 is p2
+    assert p1.prog.name == "syn-mcf"
+    assert p1.instr_count > 0
+
+
+def test_scale_shrinks_budgets(lab):
+    p = lab.program("syn-mcf")
+    from repro.workloads import SUITE
+
+    assert p.ref_bundle.n_dynamic_blocks <= SUITE["syn-mcf"].spec.ref_blocks * SCALE + 1
+
+
+def test_layout_memoized_and_kinds(lab):
+    base = lab.layout("syn-mcf", BASELINE)
+    assert base is lab.layout("syn-mcf", BASELINE)
+    opt = lab.layout("syn-mcf", "function-affinity")
+    assert opt.kind.value == "function-reorder"
+
+
+def test_supports_reflects_suite_metadata(lab):
+    assert not lab.supports("syn-perlbench", "bb-affinity")
+    assert not lab.supports("syn-povray", "bb-trg")
+    assert lab.supports("syn-perlbench", "function-affinity")
+    assert lab.supports("syn-gcc", "bb-affinity")
+
+
+def test_lines_cached_and_int32(lab):
+    lines = lab.lines("syn-mcf", BASELINE)
+    assert lines.dtype == np.int32
+    assert lines is lab.lines("syn-mcf", BASELINE)
+
+
+def test_solo_miss_channels(lab):
+    sim = lab.solo_miss("syn-mcf", BASELINE, channel="sim")
+    hw = lab.solo_miss("syn-mcf", BASELINE, channel="hw")
+    assert sim.instructions == hw.instructions
+    assert sim.ratio >= 0
+    with pytest.raises(ValueError):
+        lab.solo_miss("syn-mcf", BASELINE, channel="bogus")
+
+
+def test_corun_symmetric_cache(lab):
+    a = ("syn-mcf", BASELINE)
+    b = ("syn-sjeng", BASELINE)
+    r1 = lab.corun_miss(a, b)
+    r2 = lab.corun_miss(b, a)
+    assert r1[0] == r2[1]
+    assert r1[1] == r2[0]
+
+
+def test_corun_contention_visible(lab):
+    solo = lab.solo_miss("syn-mcf", BASELINE, channel="sim").ratio
+    corun = lab.corun_miss(
+        ("syn-mcf", BASELINE), ("syn-gamess", BASELINE), channel="sim"
+    )[0].ratio
+    assert corun > solo
+
+
+def test_corun_speedup_sane(lab):
+    s = lab.corun_speedup("syn-mcf", "function-affinity", "syn-sjeng")
+    assert 0.8 < s < 1.3
+
+
+def test_timing_pieces(lab):
+    cost = lab.solo_cost("syn-mcf", BASELINE)
+    assert cost.total_cycles > cost.compute_cycles
+    timing = lab.corun_timing(("syn-mcf", BASELINE), ("syn-sjeng", BASELINE))
+    assert timing.makespan <= timing.solo_cycles[0] + timing.solo_cycles[1]
+    assert timing.corun_slowdown(0) >= 1.0

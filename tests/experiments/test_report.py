@@ -1,0 +1,78 @@
+"""Unit tests for reporting utilities (repro.experiments.report)."""
+
+from repro.experiments import ExperimentResult, format_table, pct, ratio
+
+
+def test_pct_formatting():
+    assert pct(0.0722) == "+7.22%"
+    assert pct(-0.0113) == "-1.13%"
+    assert pct(0.015, signed=False) == "1.50%"
+    assert pct(0.5, digits=0) == "+50%"
+
+
+def test_ratio_formatting():
+    assert ratio(1.23456) == "1.2346"
+    assert ratio(2.0, digits=1) == "2.0"
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "bbbb"], [["x", "1"], ["yy", "22"]])
+    lines = text.splitlines()
+    assert lines[0].startswith("a")
+    assert set(lines[1]) <= {"-", " "}
+    assert len(lines) == 4
+    # columns aligned: 'bbbb' starts at the same offset in every row.
+    offset = lines[0].index("bbbb")
+    assert lines[2][offset] == "1"
+
+
+def test_experiment_result_to_text():
+    result = ExperimentResult(
+        exp_id="x1",
+        title="demo",
+        headers=["col"],
+        rows=[["v"]],
+        summary={"metric": 0.5},
+        notes=["hello"],
+    )
+    text = result.to_text()
+    assert "== x1: demo ==" in text
+    assert "metric = 0.5000" in text
+    assert "note: hello" in text
+
+
+def test_experiment_result_minimal():
+    result = ExperimentResult(exp_id="y", title="t")
+    assert "== y: t ==" in result.to_text()
+
+
+def test_ascii_bars_alignment_and_negatives():
+    from repro.experiments import ExperimentResult
+    from repro.experiments.report import ascii_bars
+
+    chart = ascii_bars([("up", 0.2), ("down", -0.1)], width=20)
+    lines = chart.splitlines()
+    assert len(lines) == 2
+    # shared zero axis: the '|' column is identical across rows.
+    assert lines[0].index("|") == lines[1].index("|")
+    # positive bars extend right of the axis, negative bars end at it.
+    assert lines[0].split("|")[1].lstrip().startswith("#")
+    assert lines[1].split("|")[0].rstrip().endswith("#")
+
+
+def test_ascii_bars_empty():
+    from repro.experiments.report import ascii_bars
+
+    assert ascii_bars([]) == "(no data)"
+
+
+def test_experiment_result_renders_charts():
+    from repro.experiments import ExperimentResult
+    from repro.experiments.report import ascii_bars
+
+    result = ExperimentResult(
+        "id", "title", charts=[("my chart", ascii_bars([("x", 1.0)], width=5))]
+    )
+    text = result.to_text()
+    assert "-- my chart --" in text
+    assert "#####" in text

@@ -1,0 +1,93 @@
+"""Unit tests for the fluent builder (repro.ir.builder)."""
+
+import pytest
+
+from repro.ir import Branch, Jump, ModuleBuilder
+
+
+def test_builds_and_seals():
+    b = ModuleBuilder("m")
+    f = b.function("main")
+    f.block("entry", 2).jump("next")
+    f.block("next", 1).exit()
+    m = b.build()
+    assert m.sealed
+    assert m.n_blocks == 2
+    assert isinstance(m.function("main").entry.terminator, Jump)
+
+
+def test_straightline_shorthand():
+    b = ModuleBuilder("m")
+    f = b.function("main")
+    f.straightline("entry", 3, "end")
+    f.block("end", 1).exit()
+    m = b.build()
+    assert isinstance(m.function("main").entry.terminator, Jump)
+
+
+def test_unterminated_block_rejected():
+    b = ModuleBuilder("m")
+    f = b.function("main")
+    f.block("entry", 2)  # never terminated
+    with pytest.raises(RuntimeError):
+        b.build()
+
+
+def test_double_termination_rejected():
+    b = ModuleBuilder("m")
+    f = b.function("main")
+    setter = f.block("entry", 2)
+    setter.exit()
+    with pytest.raises(RuntimeError):
+        setter.jump("entry")
+
+
+def test_declaring_block_while_pending_rejected():
+    b = ModuleBuilder("m")
+    f = b.function("main")
+    f.block("entry", 2)
+    with pytest.raises(RuntimeError):
+        f.block("other", 1)
+
+
+def test_branch_parameters_forwarded():
+    b = ModuleBuilder("m")
+    f = b.function("main")
+    f.block("entry", 2).branch("a", "b", taken_prob=0.25, phase_prob=0.75, phase_period=64)
+    f.block("a", 1).exit()
+    f.block("b", 1).exit()
+    m = b.build()
+    term = m.function("main").entry.terminator
+    assert isinstance(term, Branch)
+    assert term.taken_prob == 0.25
+    assert term.phase_prob == 0.75
+    assert term.phase_period == 64
+
+
+def test_switch_and_loop_and_call():
+    b = ModuleBuilder("m")
+    f = b.function("main")
+    f.block("entry", 1).loop("sw", "done", trips=5)
+    f.block("sw", 1).switch(["c1", "c2"], [2.0, 1.0])
+    f.block("c1", 1).call("leaf", return_to="entry")
+    f.block("c2", 1).jump("entry")
+    f.block("done", 1).exit()
+    g = b.function("leaf")
+    g.block("e", 1).ret()
+    m = b.build()
+    assert m.n_functions == 2
+    assert m.function("main").block("c1").terminator.callee() == "leaf"
+
+
+def test_validation_runs_by_default():
+    b = ModuleBuilder("m")
+    f = b.function("main")
+    f.block("entry", 1).jump("nope")
+    with pytest.raises(Exception):
+        b.build()
+    # but can be skipped
+    b2 = ModuleBuilder("m")
+    f2 = b2.function("main")
+    f2.block("entry", 1).jump("nope")
+    m = b2.build(validate=False)
+    assert m.sealed

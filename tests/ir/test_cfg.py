@@ -1,0 +1,90 @@
+"""Unit tests for CFG queries (repro.ir.cfg)."""
+
+from repro.ir import ModuleBuilder
+from repro.ir.cfg import (
+    block_successor_gids,
+    call_graph,
+    intra_successors,
+    iter_fallthrough_pairs,
+    reachable_blocks,
+    static_call_sites,
+    topological_functions,
+)
+
+
+def make_module():
+    b = ModuleBuilder("m")
+    f = b.function("main")
+    f.block("entry", 1).branch("work", "done", 0.9)
+    f.block("work", 2).call("helper", return_to="entry")
+    f.block("done", 1).exit()
+    f.block("orphan", 3).jump("done")  # deliberately unreachable
+    g = b.function("helper")
+    g.block("e", 1).call("leafy", return_to="out")
+    g.block("out", 1).ret()
+    h = b.function("leafy")
+    h.block("e", 2).ret()
+    b.function("dead").block("e", 1).ret()  # never called
+    return b.build()
+
+
+def test_intra_successors_include_return_to_not_callee():
+    m = make_module()
+    work = m.function("main").block("work")
+    succ_names = [blk.name for blk in intra_successors(m, work)]
+    assert succ_names == ["entry"]
+
+
+def test_successor_gids_include_call_edges():
+    m = make_module()
+    succs = block_successor_gids(m)
+    work = m.function("main").block("work")
+    helper_entry = m.function("helper").entry
+    assert helper_entry.gid in succs[work.gid]
+
+
+def test_reachability_excludes_orphan_and_dead():
+    m = make_module()
+    reach = reachable_blocks(m)
+    orphan = m.function("main").block("orphan")
+    dead = m.function("dead").entry
+    assert orphan.gid not in reach
+    assert dead.gid not in reach
+    assert m.function("leafy").entry.gid in reach
+
+
+def test_call_graph_and_sites():
+    m = make_module()
+    cg = call_graph(m)
+    assert cg["main"] == {"helper"}
+    assert cg["helper"] == {"leafy"}
+    assert cg["leafy"] == set()
+    sites = static_call_sites(m, "helper")
+    assert [s.name for s in sites] == ["work"]
+
+
+def test_topological_functions_bottom_up():
+    m = make_module()
+    order = topological_functions(m)
+    assert order.index("leafy") < order.index("helper") < order.index("main")
+    assert set(order) == {f.name for f in m.functions}
+
+
+def test_fallthrough_pairs():
+    m = make_module()
+    pairs = dict(iter_fallthrough_pairs(m))
+    entry = m.function("main").entry
+    done = m.function("main").block("done")
+    # branch falls through to its else side.
+    assert pairs[entry.gid] == done.gid
+    # exit/ret blocks have no fallthrough.
+    assert done.gid not in pairs
+
+
+def test_topological_handles_recursion():
+    b = ModuleBuilder("rec")
+    f = b.function("main")
+    f.block("e", 1).call("main", return_to="out")
+    f.block("out", 1).exit()
+    m = b.build()
+    assert topological_functions(m) == ["main"]

@@ -1,0 +1,111 @@
+"""Unit and property tests for address assignment (repro.ir.codegen)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import (
+    INSTRUCTION_BYTES,
+    ModuleBuilder,
+    function_order_gids,
+    layout_blocks,
+    original_gid_order,
+)
+
+
+def straightline_module(sizes=(4, 6, 2, 3, 5)):
+    """One function, blocks in fall-through chain entry->b1->...->exit."""
+    b = ModuleBuilder("m")
+    f = b.function("main")
+    names = [f"b{i}" for i in range(len(sizes))]
+    for i, n in enumerate(sizes):
+        if i + 1 < len(sizes):
+            f.block(names[i], n).jump(names[i + 1])
+        else:
+            f.block(names[i], n).exit()
+    return b.build()
+
+
+def test_original_order_chain_needs_no_jumps():
+    m = straightline_module()
+    amap = layout_blocks(m, original_gid_order(m))
+    assert amap.added_jumps == 0
+    assert amap.total_bytes == m.size_bytes
+
+
+def test_reversed_order_charges_fallthrough_jumps():
+    m = straightline_module()
+    order = original_gid_order(m)[::-1]
+    amap = layout_blocks(m, order)
+    # every block except the exit block falls through somewhere no longer
+    # adjacent: 4 jumps.
+    assert amap.added_jumps == 4
+    assert amap.total_bytes == m.size_bytes + 4 * INSTRUCTION_BYTES
+
+
+def test_entry_stubs_charged_per_function():
+    m = straightline_module()
+    amap = layout_blocks(m, original_gid_order(m), entry_stubs=True)
+    assert amap.added_jumps == 1  # one function
+    assert amap.total_bytes == m.size_bytes + INSTRUCTION_BYTES
+
+
+def test_addresses_follow_layout_order():
+    m = straightline_module((4, 6, 2))
+    order = [2, 0, 1]
+    amap = layout_blocks(m, order)
+    starts = [int(amap.starts[g]) for g in order]
+    assert starts == sorted(starts)
+    assert starts[0] == 0
+    # block 2 first: size 2 instr = 8 bytes, then block 0 at 8.
+    assert int(amap.starts[0]) == int(amap.sizes[2])
+
+
+def test_rejects_non_permutations():
+    m = straightline_module((4, 6, 2))
+    with pytest.raises(ValueError):
+        layout_blocks(m, [0, 1])
+    with pytest.raises(ValueError):
+        layout_blocks(m, [0, 1, 1])
+
+
+def test_span_and_line_span():
+    m = straightline_module((16, 16))
+    amap = layout_blocks(m, original_gid_order(m))
+    start, end = amap.span(1)
+    assert (start, end) == (64, 128)
+    assert amap.line_span(1, 64) == (1, 1)
+    assert amap.line_span(0, 32) == (0, 1)
+
+
+def test_function_order_gids_appends_missing():
+    b = ModuleBuilder("m")
+    for name in ("main", "f1", "f2"):
+        fb = b.function(name)
+        fb.block("e", 2).exit()
+    m = b.build()
+    gids = function_order_gids(m, ["f2"])
+    # f2 first, then main and f1 in declaration order.
+    assert gids == [2, 0, 1]
+    with pytest.raises(ValueError):
+        function_order_gids(m, ["f1", "f1"])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    sizes=st.lists(st.integers(1, 30), min_size=2, max_size=8),
+    seed=st.integers(0, 2**32 - 1),
+)
+def test_any_permutation_produces_disjoint_dense_image(sizes, seed):
+    m = straightline_module(tuple(sizes))
+    rng = np.random.default_rng(seed)
+    order = list(rng.permutation(m.n_blocks))
+    amap = layout_blocks(m, [int(g) for g in order], entry_stubs=bool(seed % 2))
+    assert not amap.overlaps()
+    # dense: total bytes equals last end.
+    assert amap.end == amap.base + int(amap.sizes.sum())
+    # every block's span is within the image.
+    for g in range(m.n_blocks):
+        s, e = amap.span(g)
+        assert 0 <= s < e <= amap.end

@@ -1,0 +1,150 @@
+"""Unit tests for the IR type layer (repro.ir.module)."""
+
+import pytest
+
+from repro.ir import (
+    INSTRUCTION_BYTES,
+    BasicBlock,
+    BlockRef,
+    Branch,
+    Call,
+    Exit,
+    Function,
+    Jump,
+    LoopBranch,
+    Module,
+    Return,
+    Switch,
+)
+
+
+def make_module():
+    f = Function(
+        "main",
+        [
+            BasicBlock("entry", 4, Jump("body")),
+            BasicBlock("body", 6, Call("helper", "entry")),
+        ],
+    )
+    g = Function(
+        "helper",
+        [
+            BasicBlock("e", 2, Branch("a", "b", 0.3)),
+            BasicBlock("a", 3, Return()),
+            BasicBlock("b", 5, Return()),
+        ],
+    )
+    return Module("m", [f, g], entry="main").seal()
+
+
+class TestTerminators:
+    def test_jump_targets_and_fallthrough(self):
+        t = Jump("x")
+        assert t.local_targets() == ("x",)
+        assert t.fallthrough_target() == "x"
+        assert t.callee() is None
+
+    def test_branch_fallthrough_is_else(self):
+        t = Branch("then", "els", 0.5)
+        assert set(t.local_targets()) == {"then", "els"}
+        assert t.fallthrough_target() == "els"
+
+    def test_switch_requires_aligned_weights(self):
+        with pytest.raises(ValueError):
+            Switch(("a", "b"), (1.0,))
+        with pytest.raises(ValueError):
+            Switch((), ())
+        assert Switch(("a",), (1.0,)).fallthrough_target() is None
+
+    def test_call_carries_callee_and_return(self):
+        t = Call("f", "after")
+        assert t.callee() == "f"
+        assert t.local_targets() == ("after",)
+        assert t.fallthrough_target() == "after"
+
+    def test_return_and_exit_have_no_targets(self):
+        assert Return().local_targets() == ()
+        assert Exit().local_targets() == ()
+
+    def test_loop_trips_validated(self):
+        with pytest.raises(ValueError):
+            LoopBranch("b", "e", trips=0)
+        t = LoopBranch("b", "e", trips=3)
+        assert t.fallthrough_target() == "e"
+
+
+class TestBasicBlock:
+    def test_requires_at_least_terminator(self):
+        with pytest.raises(ValueError):
+            BasicBlock("x", 0, Return())
+
+    def test_size_bytes(self):
+        assert BasicBlock("x", 5, Return()).size_bytes == 5 * INSTRUCTION_BYTES
+
+
+class TestFunction:
+    def test_rejects_duplicate_block_names(self):
+        with pytest.raises(ValueError):
+            Function("f", [BasicBlock("x", 1, Return()), BasicBlock("x", 1, Return())])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Function("f", [])
+
+    def test_entry_is_first_block(self):
+        m = make_module()
+        assert m.function("main").entry.name == "entry"
+
+    def test_sizes_aggregate(self):
+        m = make_module()
+        main = m.function("main")
+        assert main.n_instr == 10
+        assert main.size_bytes == 40
+        assert len(main) == 2
+
+
+class TestModule:
+    def test_seal_assigns_dense_gids_in_declaration_order(self):
+        m = make_module()
+        gids = [b.gid for b in m.iter_blocks()]
+        assert gids == list(range(m.n_blocks))
+        assert m.block_by_gid(0).name == "entry"
+        assert m.block_by_gid(2).func == "helper"
+
+    def test_seal_is_idempotent(self):
+        m = make_module()
+        before = [b.gid for b in m.iter_blocks()]
+        m.seal()
+        assert [b.gid for b in m.iter_blocks()] == before
+
+    def test_rejects_duplicate_functions(self):
+        f1 = Function("f", [BasicBlock("e", 1, Return())])
+        f2 = Function("f", [BasicBlock("e", 1, Return())])
+        with pytest.raises(ValueError):
+            Module("m", [f1, f2], entry="f")
+
+    def test_rejects_missing_entry(self):
+        f = Function("f", [BasicBlock("e", 1, Return())])
+        with pytest.raises(ValueError):
+            Module("m", [f], entry="main")
+
+    def test_unsealed_use_raises(self):
+        f = Function("f", [BasicBlock("e", 1, Exit())])
+        m = Module("m", [f], entry="f")
+        with pytest.raises(RuntimeError):
+            m.block_by_gid(0)
+
+    def test_block_lookup_by_ref(self):
+        m = make_module()
+        blk = m.block(BlockRef("helper", "a"))
+        assert blk.n_instr == 3
+        assert str(BlockRef("helper", "a")) == "helper:a"
+
+    def test_metrics(self):
+        m = make_module()
+        assert m.n_functions == 2
+        assert m.n_blocks == 5
+        assert m.n_instr == 20
+        assert m.size_bytes == 80
+        assert m.block_sizes() == [16, 24, 8, 12, 20]
+        assert m.function_of_gid() == ["main", "main", "helper", "helper", "helper"]

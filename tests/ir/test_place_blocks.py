@@ -1,0 +1,70 @@
+"""Unit tests for gap-capable placement (repro.ir.codegen.place_blocks)."""
+
+import pytest
+
+from repro.ir import INSTRUCTION_BYTES, ModuleBuilder
+from repro.ir.codegen import place_blocks
+
+
+def chain_module(sizes=(4, 6, 2)):
+    b = ModuleBuilder("m")
+    f = b.function("main")
+    names = [f"b{i}" for i in range(len(sizes))]
+    for i, n in enumerate(sizes):
+        if i + 1 < len(sizes):
+            f.block(names[i], n).jump(names[i + 1])
+        else:
+            f.block(names[i], n).exit()
+    return b.build()
+
+
+def test_dense_placement_matches_chain():
+    m = chain_module()
+    starts = {0: 0, 1: 16, 2: 40}
+    amap = place_blocks(m, starts)
+    # b0 falls through to b1 at exactly its end (16): no jump.
+    assert int(amap.sizes[0]) == 16
+    # b1 ends at 16+24=40 where b2 starts: no jump either.
+    assert int(amap.sizes[1]) == 24
+    assert amap.added_jumps == 0
+    assert amap.order == [0, 1, 2]
+
+
+def test_gap_breaks_fallthrough_and_charges_jump():
+    m = chain_module()
+    starts = {0: 0, 1: 100, 2: 200}
+    amap = place_blocks(m, starts)
+    assert amap.added_jumps == 2  # both fall-throughs broken
+    assert int(amap.sizes[0]) == 16 + INSTRUCTION_BYTES
+    assert not amap.overlaps()
+    assert amap.end == 200 + int(amap.sizes[2])
+
+
+def test_entry_stub_charged():
+    m = chain_module((4,))
+    amap = place_blocks(m, {0: 0}, entry_stubs=True)
+    assert amap.added_jumps == 1
+    assert int(amap.sizes[0]) == 16 + INSTRUCTION_BYTES
+
+
+def test_overlap_rejected():
+    m = chain_module()
+    with pytest.raises(ValueError, match="overlap"):
+        place_blocks(m, {0: 0, 1: 8, 2: 100})
+
+
+def test_coverage_validated():
+    m = chain_module()
+    with pytest.raises(ValueError):
+        place_blocks(m, {0: 0, 1: 100})
+    with pytest.raises(ValueError):
+        place_blocks(m, {0: 0, 1: 100, 2: 200, 3: 300})
+    with pytest.raises(ValueError, match="negative"):
+        place_blocks(m, {0: -4, 1: 100, 2: 200})
+
+
+def test_order_sorted_by_address():
+    m = chain_module()
+    amap = place_blocks(m, {0: 200, 1: 0, 2: 100})
+    assert amap.order == [1, 2, 0]
+    assert amap.base == 0

@@ -1,0 +1,84 @@
+"""Unit tests for layout transformations (repro.ir.transforms)."""
+
+import pytest
+
+from repro.ir import (
+    LayoutKind,
+    ModuleBuilder,
+    baseline_layout,
+    reorder_basic_blocks,
+    reorder_functions,
+)
+
+
+def make_module():
+    b = ModuleBuilder("m")
+    f = b.function("main")
+    f.block("entry", 2).call("f1", return_to="next")
+    f.block("next", 3).call("f2", return_to="end")
+    f.block("end", 1).exit()
+    for name in ("f1", "f2", "f3"):
+        g = b.function(name)
+        g.block("e", 4).branch("a", "b", 0.5)
+        g.block("a", 5).ret()
+        g.block("b", 6).ret()
+    return b.build()
+
+
+def test_baseline_kind_and_coverage():
+    m = make_module()
+    lay = baseline_layout(m)
+    assert lay.kind is LayoutKind.ORIGINAL
+    assert sorted(lay.address_map.order) == list(range(m.n_blocks))
+
+
+def test_function_reorder_keeps_blocks_contiguous():
+    m = make_module()
+    lay = reorder_functions(m, ["f2", "main"])
+    order = lay.address_map.order
+    # f2's blocks lead.
+    f2_gids = [blk.gid for blk in m.function("f2").blocks]
+    assert order[: len(f2_gids)] == f2_gids
+    # unmentioned functions appended in declaration order.
+    assert set(order) == set(range(m.n_blocks))
+    assert lay.kind is LayoutKind.FUNCTION
+
+
+def test_function_reorder_rejects_duplicates():
+    m = make_module()
+    with pytest.raises(ValueError):
+        reorder_functions(m, ["f1", "f1"])
+
+
+def test_bb_reorder_partial_order_appends_cold_blocks():
+    m = make_module()
+    hot = [m.function("f1").block("a").gid, m.function("f2").block("b").gid]
+    lay = reorder_basic_blocks(m, hot, note="test")
+    order = lay.address_map.order
+    assert order[:2] == hot
+    assert sorted(order) == list(range(m.n_blocks))
+    assert lay.kind is LayoutKind.BASIC_BLOCK
+    assert lay.note == "test"
+
+
+def test_bb_reorder_validates_gids():
+    m = make_module()
+    with pytest.raises(ValueError):
+        reorder_basic_blocks(m, [999])
+    with pytest.raises(ValueError):
+        reorder_basic_blocks(m, [1, 1])
+
+
+def test_bb_reorder_charges_entry_stubs():
+    m = make_module()
+    base = baseline_layout(m)
+    moved = reorder_basic_blocks(m, list(base.address_map.order))
+    # identical order, but BB reordering pays one stub per function.
+    assert moved.added_jumps >= base.added_jumps + m.n_functions
+
+
+def test_total_bytes_consistency():
+    m = make_module()
+    lay = baseline_layout(m)
+    assert lay.total_bytes == lay.address_map.total_bytes
+    assert lay.added_jumps == lay.address_map.added_jumps

@@ -1,0 +1,77 @@
+"""Unit and property tests for all-window footprint (repro.locality.footprint)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.locality import average_footprint, footprint_brute, footprint_curve
+
+traces = st.lists(st.integers(0, 7), min_size=1, max_size=120).map(
+    lambda xs: np.array(xs, dtype=np.int64)
+)
+
+
+def test_constant_trace():
+    c = footprint_curve(np.zeros(10, dtype=np.int64))
+    assert c.m == 1
+    assert c(1) == 1.0
+    assert c(10) == 1.0
+
+
+def test_all_distinct_trace():
+    c = footprint_curve(np.arange(6))
+    # every window of length w contains w distinct symbols.
+    for w in range(1, 7):
+        assert c(w) == pytest.approx(w)
+
+
+def test_curve_endpoints():
+    t = np.array([1, 2, 1, 3])
+    c = footprint_curve(t)
+    assert c(0) == 0.0
+    assert c(4) == 3.0  # m distinct symbols
+    assert c.n == 4
+
+
+@settings(max_examples=120, deadline=None)
+@given(traces, st.data())
+def test_formula_matches_brute_force(t, data):
+    w = data.draw(st.integers(1, t.shape[0]))
+    assert footprint_curve(t)(w) == pytest.approx(footprint_brute(t, w))
+    assert average_footprint(t, w) == pytest.approx(footprint_brute(t, w))
+
+
+@settings(max_examples=80, deadline=None)
+@given(traces)
+def test_curve_monotone_nondecreasing(t):
+    c = footprint_curve(t)
+    assert (np.diff(c.fp) >= -1e-9).all()
+    assert c.fp[0] == 0.0
+    assert c.fp[-1] == pytest.approx(c.m)
+
+
+def test_fill_time_and_growth():
+    t = np.array([1, 2, 3, 1, 2, 3, 1, 2, 3])
+    c = footprint_curve(t)
+    assert c.fill_time(1.0) == 1
+    assert c.fill_time(3.0) <= c.n
+    # capacity above total footprint is never filled.
+    assert c.fill_time(10.0) == c.n + 1
+    assert c.growth(c.n) == 0.0
+    assert c.growth(1) == pytest.approx(float(c.fp[2] - c.fp[1]))
+
+
+def test_brute_force_validates_input():
+    t = np.array([1, 2])
+    with pytest.raises(ValueError):
+        footprint_brute(t, 0)
+    with pytest.raises(ValueError):
+        footprint_brute(t, 3)
+
+
+def test_empty_trace():
+    c = footprint_curve(np.empty(0, dtype=np.int64))
+    assert c.n == 0
+    assert c.m == 0
+    assert c(0) == 0.0

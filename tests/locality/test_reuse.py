@@ -1,0 +1,72 @@
+"""Unit and property tests for reuse distance (repro.locality.reuse)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.locality import (
+    COLD,
+    distance_histogram,
+    lru_miss_ratio_curve,
+    reuse_distances,
+    reuse_distances_naive,
+)
+
+traces = st.lists(st.integers(0, 8), min_size=0, max_size=250).map(
+    lambda xs: np.array(xs, dtype=np.int64)
+)
+
+
+def test_simple_example():
+    # a b a: a's second access sees {b, a} -> distance 2.
+    d = reuse_distances(np.array([1, 2, 1]))
+    assert d.tolist() == [COLD, COLD, 2]
+
+
+def test_immediate_repeat_distance_one():
+    d = reuse_distances(np.array([7, 7, 7]))
+    assert d.tolist() == [COLD, 1, 1]
+
+
+def test_all_distinct_all_cold():
+    d = reuse_distances(np.arange(10))
+    assert (d == COLD).all()
+
+
+@settings(max_examples=100, deadline=None)
+@given(traces)
+def test_fenwick_matches_naive(t):
+    assert np.array_equal(reuse_distances(t), reuse_distances_naive(t))
+
+
+def test_histogram_counts():
+    d = reuse_distances(np.array([1, 2, 1, 2, 1]))
+    hist, cold = distance_histogram(d)
+    assert cold == 2
+    assert hist[2] == 3
+
+
+def test_miss_ratio_curve_monotone_nonincreasing():
+    rng = np.random.default_rng(3)
+    t = rng.integers(0, 30, 500)
+    d = reuse_distances(t)
+    caps = np.array([1, 2, 4, 8, 16, 32, 64])
+    curve = lru_miss_ratio_curve(d, caps)
+    assert (np.diff(curve) <= 1e-12).all()
+    # at infinite capacity only cold misses remain.
+    _, cold = distance_histogram(d)
+    assert curve[-1] == pytest.approx(cold / len(t))
+
+
+def test_miss_ratio_curve_small_capacity():
+    # capacity 1: hit only on immediate repeats.
+    t = np.array([1, 1, 2, 1])
+    d = reuse_distances(t)
+    curve = lru_miss_ratio_curve(d, np.array([1]))
+    assert curve[0] == pytest.approx(3 / 4)
+
+
+def test_empty_trace_curve():
+    curve = lru_miss_ratio_curve(np.empty(0, dtype=np.int64), np.array([4]))
+    assert curve.tolist() == [0.0]

@@ -1,0 +1,93 @@
+"""Unit and property tests for window-footprint distributions
+(repro.locality.windowstats)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.locality.footprint import footprint_brute, footprint_curve
+from repro.locality.windowstats import (
+    miss_probability,
+    prob_sum_exceeds,
+    window_footprint_distribution,
+)
+
+traces = st.lists(st.integers(0, 7), min_size=2, max_size=120).map(
+    lambda xs: np.array(xs, dtype=np.int64)
+)
+
+
+def test_simple_distribution():
+    # windows of length 2 over a b a b: all have 2 distinct symbols.
+    d = window_footprint_distribution(np.array([1, 2, 1, 2]), 2)
+    assert d.n_windows == 3
+    assert d.pmf[2] == pytest.approx(1.0)
+    assert d.mean == pytest.approx(2.0)
+    assert d.max_footprint == 2
+
+
+def test_mixed_distribution():
+    # a a b: windows of 2 -> {a,a}=1 distinct, {a,b}=2 distinct.
+    d = window_footprint_distribution(np.array([1, 1, 2]), 2)
+    assert d.pmf[1] == pytest.approx(0.5)
+    assert d.pmf[2] == pytest.approx(0.5)
+    assert d.prob_at_least(2) == pytest.approx(0.5)
+    assert d.prob_at_least(3) == 0.0
+    assert d.prob_at_least(0) == pytest.approx(1.0)
+
+
+def test_window_validation():
+    with pytest.raises(ValueError):
+        window_footprint_distribution(np.array([1, 2]), 0)
+    with pytest.raises(ValueError):
+        window_footprint_distribution(np.array([1, 2]), 3)
+
+
+@settings(max_examples=80, deadline=None)
+@given(traces, st.data())
+def test_mean_matches_average_footprint(t, data):
+    """The distribution's mean must equal the all-window average footprint
+    — the two modules measure the same population."""
+    w = data.draw(st.integers(1, t.shape[0]))
+    d = window_footprint_distribution(t, w)
+    assert d.mean == pytest.approx(footprint_brute(t, w))
+    assert d.mean == pytest.approx(float(footprint_curve(t)(w)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(traces, st.data())
+def test_pmf_is_a_distribution(t, data):
+    w = data.draw(st.integers(1, t.shape[0]))
+    d = window_footprint_distribution(t, w)
+    assert d.pmf.sum() == pytest.approx(1.0)
+    assert (d.pmf >= 0).all()
+    assert d.max_footprint <= min(w, len(set(t.tolist())))
+
+
+def test_prob_sum_exceeds_convolution():
+    # two fair coins over footprints {1, 2}: sum >= 4 with prob 1/4.
+    d = window_footprint_distribution(np.array([1, 1, 2]), 2)  # 50/50 over 1,2
+    assert prob_sum_exceeds(d, d, 4) == pytest.approx(0.25)
+    assert prob_sum_exceeds(d, d, 2) == pytest.approx(1.0)
+    assert prob_sum_exceeds(d, d, 5) == 0.0
+
+
+def test_miss_probability_monotone_in_capacity():
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, 30, 2000)
+    b = rng.integers(100, 140, 2000)
+    probs = [miss_probability(a, b, c, window=64) for c in (10, 30, 50, 80)]
+    assert all(x >= y - 1e-12 for x, y in zip(probs, probs[1:]))
+    assert 0.0 <= probs[-1] <= probs[0] <= 1.0
+
+
+def test_miss_probability_rises_with_peer_pressure():
+    rng = np.random.default_rng(1)
+    me = rng.integers(0, 20, 2000)
+    light_peer = rng.integers(100, 104, 2000)
+    heavy_peer = rng.integers(100, 160, 2000)
+    c = 40
+    p_light = miss_probability(me, light_peer, c, window=64)
+    p_heavy = miss_probability(me, heavy_peer, c, window=64)
+    assert p_heavy >= p_light

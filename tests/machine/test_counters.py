@@ -1,0 +1,61 @@
+"""Unit tests for the PAPI substitute (repro.machine.counters)."""
+
+import numpy as np
+import pytest
+
+from repro.cache import PAPER_L1I, simulate
+from repro.machine import measure_corun, measure_solo
+
+
+def stream(seed, lo, hi, n=4000):
+    return np.random.default_rng(seed).integers(lo, hi, n)
+
+
+def test_noiseless_solo_matches_prefetch_simulation():
+    lines = stream(1, 0, 700)
+    reading = measure_solo(lines, 100_000, PAPER_L1I, noise_sigma=0.0)
+    expected = simulate(lines, PAPER_L1I, prefetch=True).misses
+    assert reading.icache_misses == expected
+    assert reading.instructions == 100_000
+    assert reading.miss_ratio == pytest.approx(expected / 100_000)
+
+
+def test_measurement_deterministic():
+    lines = stream(2, 0, 700)
+    r1 = measure_solo(lines, 50_000, PAPER_L1I, measurement_id="x")
+    r2 = measure_solo(lines, 50_000, PAPER_L1I, measurement_id="x")
+    assert r1 == r2
+
+
+def test_noise_is_small_and_id_dependent():
+    lines = stream(3, 0, 700)
+    base = measure_solo(lines, 50_000, PAPER_L1I, noise_sigma=0.0)
+    a = measure_solo(lines, 50_000, PAPER_L1I, noise_sigma=0.02, measurement_id="a")
+    b = measure_solo(lines, 50_000, PAPER_L1I, noise_sigma=0.02, measurement_id="b")
+    assert a != b
+    for reading in (a, b):
+        assert abs(reading.icache_misses - base.icache_misses) < 0.2 * base.icache_misses
+
+
+def test_corun_readings_normalize_to_one_pass():
+    a = stream(4, 0, 500, 1000)
+    b = stream(5, 1000, 1500, 5000)
+    readings = measure_corun(
+        [a, b], [10_000, 50_000], PAPER_L1I, noise_sigma=0.0
+    )
+    assert len(readings) == 2
+    assert readings[0].instructions == 10_000
+    # thread 0 wrapped several times; misses scaled back to one pass must
+    # stay below one miss per stream entry.
+    assert readings[0].icache_misses <= a.shape[0]
+
+
+def test_corun_validation():
+    with pytest.raises(ValueError):
+        measure_corun([np.array([1])], [1, 2], PAPER_L1I)
+
+
+def test_zero_instruction_ratio():
+    from repro.machine import CounterReading
+
+    assert CounterReading(0, 0).miss_ratio == 0.0

@@ -1,0 +1,94 @@
+"""Unit and property tests for co-scheduling (repro.machine.scheduler)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.scheduler import all_pairings, best_pairing, greedy_pairing
+
+
+def test_all_pairings_count():
+    # (2k-1)!! matchings.
+    assert len(list(all_pairings(list("abcd")))) == 3
+    assert len(list(all_pairings(list("abcdef")))) == 15
+    assert len(list(all_pairings(list("abcdefgh")))) == 105
+    assert list(all_pairings([])) == [()]
+
+
+def test_all_pairings_are_matchings():
+    items = list("abcdef")
+    for pairing in all_pairings(items):
+        used = [x for pair in pairing for x in pair]
+        assert sorted(used) == sorted(items)
+
+
+def test_odd_input_rejected():
+    with pytest.raises(ValueError):
+        list(all_pairings(["a", "b", "c"]))
+    with pytest.raises(ValueError):
+        greedy_pairing(["a"], lambda a, b: 1.0)
+
+
+def test_best_pairing_exact_on_known_instance():
+    # costs designed so the optimum is (a,b) + (c,d) = 1 + 1 = 2.
+    cost_table = {
+        frozenset("ab"): 1.0,
+        frozenset("cd"): 1.0,
+        frozenset("ac"): 10.0,
+        frozenset("bd"): 10.0,
+        frozenset("ad"): 3.0,
+        frozenset("bc"): 3.0,
+    }
+
+    def cost(a, b):
+        return cost_table[frozenset((a, b))]
+
+    best = best_pairing(list("abcd"), cost)
+    assert best.cost == pytest.approx(2.0)
+    assert {frozenset(p) for p in best.pairs} == {frozenset("ab"), frozenset("cd")}
+
+
+def test_greedy_can_be_suboptimal_but_valid():
+    # greedy takes (a,b)=0 then is stuck with (c,d)=10; optimal is 1+1=2.
+    cost_table = {
+        frozenset("ab"): 0.0,
+        frozenset("cd"): 10.0,
+        frozenset("ac"): 1.0,
+        frozenset("bd"): 1.0,
+        frozenset("ad"): 5.0,
+        frozenset("bc"): 5.0,
+    }
+
+    def cost(a, b):
+        return cost_table[frozenset((a, b))]
+
+    greedy = greedy_pairing(list("abcd"), cost)
+    exact = best_pairing(list("abcd"), cost)
+    assert greedy.cost == pytest.approx(10.0)
+    assert exact.cost == pytest.approx(2.0)
+    assert greedy.cost >= exact.cost
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.floats(0.1, 100.0), min_size=15, max_size=15)
+)
+def test_greedy_never_beats_exact(costs):
+    items = list("abcdef")
+    table = {}
+    it = iter(costs)
+    for a, b in itertools.combinations(items, 2):
+        table[frozenset((a, b))] = next(it)
+
+    def cost(a, b):
+        return table[frozenset((a, b))]
+
+    exact = best_pairing(items, cost)
+    greedy = greedy_pairing(items, cost)
+    assert greedy.cost >= exact.cost - 1e-9
+    # both produce valid matchings.
+    for pairing in (exact, greedy):
+        used = [x for pair in pairing.pairs for x in pair]
+        assert sorted(used) == items

@@ -1,0 +1,47 @@
+"""Unit tests for the CPI model (repro.machine.timing)."""
+
+import pytest
+
+from repro.machine import ThreadCost, TimingParams, speedup, thread_cost
+
+
+def test_cycle_accounting():
+    params = TimingParams(base_cpi=1.0, icache_miss_penalty=10.0)
+    cost = thread_cost(1000, icache_misses=50, data_cpi=0.5, params=params)
+    assert cost.compute_cycles == 1000.0
+    assert cost.icache_cycles == 500.0
+    assert cost.stall_cycles == 500.0 + 500.0
+    assert cost.total_cycles == 2000.0
+    assert cost.cpi == pytest.approx(2.0)
+    assert cost.compute_fraction == pytest.approx(0.5)
+
+
+def test_zero_instructions():
+    cost = ThreadCost(instructions=0, compute_cycles=0, stall_cycles=0)
+    assert cost.cpi == 0.0
+    assert cost.compute_fraction == 0.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        thread_cost(-1, 0, 0.5)
+    with pytest.raises(ValueError):
+        thread_cost(10, -1, 0.5)
+    with pytest.raises(ValueError):
+        thread_cost(10, 0, -0.5)
+
+
+def test_miss_reduction_gives_small_speedup_when_data_bound():
+    """The paper's headline relationship: halving instruction misses moves
+    end-to-end time by only a few percent on a data-bound program."""
+    params = TimingParams()
+    base = thread_cost(1_000_000, 10_000, data_cpi=1.0, params=params)
+    opt = thread_cost(1_000_000, 5_000, data_cpi=1.0, params=params)
+    s = speedup(base.total_cycles, opt.total_cycles)
+    assert 1.0 < s < 1.05
+
+
+def test_speedup_validation():
+    with pytest.raises(ValueError):
+        speedup(10.0, 0.0)
+    assert speedup(110.0, 100.0) == pytest.approx(1.1)

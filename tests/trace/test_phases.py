@@ -1,0 +1,104 @@
+"""Unit tests for phase detection (repro.trace.phases)."""
+
+import numpy as np
+import pytest
+
+from repro.trace.phases import Phase, detect_phases, phase_distance
+
+
+def test_distance_properties():
+    a = np.array([0.5, 0.5])
+    b = np.array([0.5, 0.5])
+    assert phase_distance(a, b) == 0.0
+    c = np.array([1.0, 0.0])
+    d = np.array([0.0, 1.0])
+    assert phase_distance(c, d) == pytest.approx(1.0)
+    # different lengths are padded.
+    assert phase_distance(np.array([1.0]), np.array([0.0, 1.0])) == pytest.approx(1.0)
+
+
+def test_two_clean_phases():
+    trace = np.array([1, 2] * 500 + [7, 8] * 500)
+    phases = detect_phases(trace, window=100, threshold=0.5)
+    assert len(phases) == 2
+    assert phases[0].start == 0
+    assert phases[0].end == 1000
+    assert phases[1].end == 2000
+    assert set(phases[0].hot_symbols) == {1, 2}
+    assert set(phases[1].hot_symbols) == {7, 8}
+
+
+def test_uniform_trace_is_one_phase():
+    rng = np.random.default_rng(0)
+    trace = rng.integers(0, 10, 4000)
+    phases = detect_phases(trace, window=200, threshold=0.5)
+    assert len(phases) == 1
+    assert phases[0].length == 4000
+
+
+def test_three_phases_and_coverage():
+    trace = np.array([0] * 600 + [1] * 600 + [2] * 600)
+    phases = detect_phases(trace, window=150, threshold=0.5)
+    assert len(phases) == 3
+    # phases tile the trace exactly.
+    assert phases[0].start == 0
+    for a, b in zip(phases, phases[1:]):
+        assert a.end == b.start
+    assert phases[-1].end == trace.shape[0]
+
+
+def test_boundary_resolution_is_window():
+    # the switch at 500 straddles a window; the straddling window may
+    # surface as its own short transition phase between the stable ones.
+    trace = np.array([0] * 500 + [1] * 1500)
+    phases = detect_phases(trace, window=200, threshold=0.4)
+    assert 2 <= len(phases) <= 3
+    # boundaries sit on window multiples, and the first stable phase ends
+    # within one window of the true switch point.
+    assert phases[0].end % 200 == 0
+    assert abs(phases[0].end - 500) <= 200
+    # the last phase is the pure-1 region.
+    assert phases[-1].hot_symbols == (1,)
+
+
+def test_threshold_extremes():
+    trace = np.array([0] * 300 + [1] * 300)
+    # threshold 1.0: nothing exceeds it strictly except disjoint windows —
+    # here the two halves ARE disjoint, so distance == 1.0 is not > 1.0.
+    assert len(detect_phases(trace, window=100, threshold=1.0)) == 1
+    # threshold 0: every fluctuation splits; with clean windows the two
+    # halves split once.
+    assert len(detect_phases(trace, window=100, threshold=0.0)) == 2
+
+
+def test_generator_phase_split_detected():
+    from repro.engine import collect_trace
+    from repro.workloads.generator import WorkloadSpec, build_program
+
+    spec = WorkloadSpec(
+        name="p",
+        seed=3,
+        n_stages=6,
+        leaves_per_stage=4,
+        phase_stage_split=True,
+        phase_period=2000,
+        ref_blocks=12_000,
+    )
+    module = build_program(spec)
+    bundle = collect_trace(module, spec.ref_input())
+    phases = detect_phases(bundle.func_trace, window=500, threshold=0.4)
+    # the stage-split program flips working sets: multiple phases.
+    assert len(phases) >= 2
+
+
+def test_validation_and_empty():
+    assert detect_phases(np.empty(0, dtype=np.int64)) == []
+    with pytest.raises(ValueError):
+        detect_phases(np.array([1]), window=0)
+    with pytest.raises(ValueError):
+        detect_phases(np.array([1]), threshold=2.0)
+
+
+def test_phase_dataclass():
+    p = Phase(10, 30, (1, 2))
+    assert p.length == 20

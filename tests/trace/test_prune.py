@@ -1,0 +1,69 @@
+"""Unit and property tests for popularity pruning (repro.trace.prune)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import popularity, prune_top_k
+
+traces = st.lists(st.integers(0, 9), min_size=1, max_size=300).map(
+    lambda xs: np.array(xs, dtype=np.int64)
+)
+
+
+def test_popularity_orders_by_frequency_then_symbol():
+    t = np.array([3, 1, 1, 2, 2, 2, 5, 5, 5])
+    symbols, counts = popularity(t)
+    assert symbols.tolist() == [2, 5, 1, 3]  # ties 2/5 broken by value
+    assert counts.tolist() == [3, 3, 2, 1]
+
+
+def test_prune_keeps_only_top_k():
+    t = np.array([0, 0, 0, 1, 1, 2])
+    res = prune_top_k(t, 2)
+    assert res.kept_symbols.tolist() == [0, 1]
+    assert res.trace.tolist() == [0, 0, 0, 1, 1]
+    assert res.keep_ratio == 5 / 6
+    assert res.n_symbols_before == 3
+    assert res.n_symbols_after == 2
+
+
+def test_prune_k_larger_than_alphabet_keeps_everything():
+    t = np.array([4, 4, 7])
+    res = prune_top_k(t, 100)
+    assert np.array_equal(res.trace, t)
+    assert res.keep_ratio == 1.0
+
+
+def test_prune_empty_trace():
+    res = prune_top_k(np.empty(0, dtype=np.int64), 5)
+    assert res.trace.shape == (0,)
+    assert res.keep_ratio == 1.0
+
+
+def test_prune_rejects_nonpositive_k():
+    import pytest
+
+    with pytest.raises(ValueError):
+        prune_top_k(np.array([1]), 0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(traces, st.integers(1, 12))
+def test_pruned_trace_contains_only_kept_symbols(t, k):
+    res = prune_top_k(t, k)
+    kept = set(res.kept_symbols.tolist())
+    assert set(res.trace.tolist()) <= kept
+    assert len(kept) == min(k, len(set(t.tolist())))
+    # keep ratio is exact.
+    assert res.keep_ratio == res.trace.shape[0] / t.shape[0]
+    # relative order of kept occurrences preserved.
+    expected = [x for x in t.tolist() if x in kept]
+    assert res.trace.tolist() == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(traces)
+def test_pruning_monotone_in_k(t):
+    ratios = [prune_top_k(t, k).keep_ratio for k in (1, 2, 4, 8)]
+    assert all(a <= b + 1e-12 for a, b in zip(ratios, ratios[1:]))

@@ -1,0 +1,54 @@
+"""Unit tests for trace sampling (repro.trace.sample)."""
+
+import numpy as np
+import pytest
+
+from repro.trace import iter_sample_windows, sample_ratio, window_sample
+
+
+def test_window_sample_exact():
+    t = np.arange(10)
+    out = window_sample(t, window=2, period=5)
+    assert out.tolist() == [0, 1, 5, 6]
+
+
+def test_window_equals_period_keeps_everything():
+    t = np.arange(9)
+    assert np.array_equal(window_sample(t, 3, 3), t)
+
+
+def test_trailing_partial_window():
+    t = np.arange(7)
+    out = window_sample(t, window=3, period=5)
+    assert out.tolist() == [0, 1, 2, 5, 6]
+
+
+def test_iter_windows_do_not_stitch():
+    t = np.arange(10)
+    windows = list(iter_sample_windows(t, 2, 5))
+    assert [w.tolist() for w in windows] == [[0, 1], [5, 6]]
+
+
+def test_sample_ratio_matches_actual():
+    t = np.arange(23)
+    for window, period in [(2, 5), (3, 7), (5, 5)]:
+        assert sample_ratio(len(t), window, period) == pytest.approx(
+            window_sample(t, window, period).shape[0] / len(t)
+        )
+    assert sample_ratio(0, 2, 5) == 1.0
+
+
+def test_validation():
+    t = np.arange(5)
+    with pytest.raises(ValueError):
+        window_sample(t, 0, 5)
+    with pytest.raises(ValueError):
+        window_sample(t, 6, 5)
+    with pytest.raises(ValueError):
+        sample_ratio(10, 3, 2)
+
+
+def test_empty_trace():
+    t = np.empty(0, dtype=np.int64)
+    assert window_sample(t, 2, 4).shape == (0,)
+    assert list(iter_sample_windows(t, 2, 4)) == []

@@ -1,0 +1,98 @@
+"""Unit and property tests for the LRU stack (repro.trace.stack)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import LRUStack
+
+
+class NaiveStack:
+    """Reference implementation: a plain list, MRU first."""
+
+    def __init__(self, capacity=None):
+        self.items = []
+        self.capacity = capacity
+
+    def access(self, key):
+        try:
+            i = self.items.index(key)
+        except ValueError:
+            self.items.insert(0, key)
+            if self.capacity is not None and len(self.items) > self.capacity:
+                self.items.pop()
+            return None
+        self.items.pop(i)
+        self.items.insert(0, key)
+        return i + 1
+
+
+def test_basic_depths():
+    s = LRUStack()
+    assert s.access("a") is None
+    assert s.access("b") is None
+    assert s.access("a") == 2
+    assert s.access("a") == 1
+    assert s.as_list() == ["a", "b"]
+
+
+def test_capacity_evicts_lru():
+    s = LRUStack(capacity=2)
+    s.access(1)
+    s.access(2)
+    s.access(3)  # evicts 1
+    assert 1 not in s
+    assert s.access(1) is None  # cold again
+    assert len(s) == 2
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        LRUStack(capacity=0)
+
+
+def test_top_iteration_limit():
+    s = LRUStack()
+    for x in (1, 2, 3, 4):
+        s.access(x)
+    assert list(s.top(2)) == [4, 3]
+    assert list(s.top()) == [4, 3, 2, 1]
+
+
+def test_walk_until():
+    s = LRUStack()
+    for x in (1, 2, 3):
+        s.access(x)
+    assert s.walk_until(1) == [3, 2]
+    assert s.walk_until(3) == []
+    assert s.walk_until(99) is None
+    assert s.walk_until(1, limit=1) is None  # deeper than limit
+
+
+def test_touch_does_not_report_depth():
+    s = LRUStack()
+    assert s.touch("x") is False
+    assert s.touch("x") is True
+    assert s.as_list() == ["x"]
+
+
+def test_depth_query():
+    s = LRUStack()
+    for x in "abc":
+        s.access(x)
+    assert s.depth("c") == 1
+    assert s.depth("a") == 3
+    assert s.depth("zz") is None
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    ops=st.lists(st.integers(0, 7), min_size=1, max_size=200),
+    capacity=st.one_of(st.none(), st.integers(1, 5)),
+)
+def test_matches_naive_model(ops, capacity):
+    fast = LRUStack(capacity=capacity)
+    slow = NaiveStack(capacity=capacity)
+    for x in ops:
+        assert fast.access(x) == slow.access(x)
+    assert fast.as_list() == slow.items

@@ -1,0 +1,36 @@
+"""Unit tests for trace statistics (repro.trace.stats)."""
+
+import numpy as np
+import pytest
+
+from repro.trace import summarize
+
+
+def test_uniform_entropy():
+    t = np.repeat(np.arange(8), 10)
+    stats = summarize(t)
+    assert stats.entropy_bits == pytest.approx(3.0)
+    assert stats.n_symbols == 8
+    assert stats.length == 80
+    # 8 runs after trimming.
+    assert stats.trimmed_length == 8
+    assert stats.trim_ratio == pytest.approx(0.1)
+
+
+def test_single_symbol():
+    stats = summarize(np.zeros(10, dtype=np.int64))
+    assert stats.entropy_bits == pytest.approx(0.0)
+    assert stats.top_decile_coverage == 1.0
+
+
+def test_empty_trace():
+    stats = summarize(np.empty(0, dtype=np.int64))
+    assert stats.length == 0
+    assert stats.trim_ratio == 1.0
+
+
+def test_top_decile_coverage_skewed():
+    # symbol 0 dominates: top 10% of 10 symbols = 1 symbol = 0.
+    t = np.array([0] * 91 + list(range(1, 10)))
+    stats = summarize(t)
+    assert stats.top_decile_coverage == pytest.approx(0.91)

@@ -1,0 +1,78 @@
+"""Unit tests for the 29-program suite (repro.workloads.suite)."""
+
+import pytest
+
+from repro.workloads import (
+    ALL_PROGRAMS,
+    PROBE_PROGRAMS,
+    STUDY_PROGRAMS,
+    SUITE,
+    build,
+    get_program,
+)
+
+
+def test_twenty_nine_programs():
+    assert len(SUITE) == 29
+    assert len(ALL_PROGRAMS) == 29
+
+
+def test_study_set_is_papers_eight():
+    expected = {
+        "syn-perlbench",
+        "syn-gcc",
+        "syn-mcf",
+        "syn-gobmk",
+        "syn-povray",
+        "syn-sjeng",
+        "syn-omnetpp",
+        "syn-xalancbmk",
+    }
+    assert set(STUDY_PROGRAMS) == expected
+    for name in STUDY_PROGRAMS:
+        assert SUITE[name].study
+
+
+def test_probes_are_gcc_and_gamess():
+    assert PROBE_PROGRAMS == ["syn-gcc", "syn-gamess"]
+    for name in PROBE_PROGRAMS:
+        assert SUITE[name].probe
+
+
+def test_bb_reorder_unsupported_for_perlbench_and_povray():
+    unsupported = {n for n, p in SUITE.items() if not p.bb_reorder_supported}
+    assert unsupported == {"syn-perlbench", "syn-povray"}
+
+
+def test_get_program_accepts_short_names():
+    assert get_program("mcf").name == "syn-mcf"
+    assert get_program("syn-mcf").name == "syn-mcf"
+    with pytest.raises(KeyError):
+        get_program("nonexistent")
+
+
+def test_build_with_budget_overrides():
+    prog, module = build("syn-mcf", ref_blocks=12_345, test_blocks=678)
+    assert prog.spec.ref_blocks == 12_345
+    assert prog.spec.test_blocks == 678
+    assert module.sealed
+    # base definition untouched.
+    assert SUITE["syn-mcf"].spec.ref_blocks != 12_345
+
+
+def test_every_program_builds_and_validates():
+    from repro.ir import validate_module
+
+    for name in ALL_PROGRAMS:
+        _, module = build(name, ref_blocks=5_000, test_blocks=2_000)
+        validate_module(module)
+        assert module.n_functions > 3
+
+
+def test_data_cpi_spread():
+    values = [SUITE[n].spec.data_cpi for n in ALL_PROGRAMS]
+    assert min(values) > 0
+    # mcf is the most memory-bound program in the suite.
+    assert SUITE["syn-mcf"].spec.data_cpi == max(
+        SUITE[n].spec.data_cpi for n in STUDY_PROGRAMS
+    )
