@@ -41,6 +41,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-evaluate", action="store_true", help="skip the ref-input evaluation"
     )
+    parser.add_argument(
+        "--lint",
+        action="store_true",
+        help="statically analyze every produced layout (see python -m repro.lint)",
+    )
     args = parser.parse_args(argv)
 
     prog, module = build_suite_program(args.program)
@@ -59,6 +64,7 @@ def main(argv: list[str] | None = None) -> int:
         spec.test_input(),
         None if args.no_evaluate else spec.ref_input(),
         build_dir=args.build_dir,
+        lint=args.lint,
     )
 
     print(f"program {result.program}: {module.n_functions} functions, "
@@ -67,6 +73,9 @@ def main(argv: list[str] | None = None) -> int:
         line = f"  {name:20s} bytes={layout.total_bytes:7d} jumps={layout.added_jumps:4d}"
         if name in result.miss_ratios:
             line += f"  miss/instr={result.miss_ratios[name]:.4%}"
+        if name in result.lint_reports:
+            s = result.lint_reports[name].summary()
+            line += f"  lint={s['errors']}E/{s['warnings']}W"
         print(line)
     if result.miss_ratios:
         print(f"best layout: {result.best_layout()}")

@@ -35,6 +35,8 @@ from ..engine.instrument import TraceBundle, collect_trace, save_bundle
 from ..engine.state import InputSpec
 from ..ir.module import Module
 from ..ir.transforms import LayoutResult, baseline_layout
+from ..lint.diagnostics import LintReport
+from ..lint.rules import LintConfig, run_lint
 from .artifacts import save_layout, save_report
 
 __all__ = ["BuildResult", "Driver"]
@@ -49,6 +51,8 @@ class BuildResult:
     layouts: dict[str, LayoutResult]
     #: per-layout evaluation: miss ratio per instruction (None if skipped).
     miss_ratios: dict[str, float] = field(default_factory=dict)
+    #: per-layout static analysis (populated by ``build(..., lint=True)``).
+    lint_reports: dict[str, LintReport] = field(default_factory=dict)
     #: per-stage wall-clock seconds.
     timings: dict[str, float] = field(default_factory=dict)
     #: build directory, when persisted.
@@ -61,7 +65,7 @@ class BuildResult:
         return min(self.miss_ratios, key=self.miss_ratios.__getitem__)
 
     def report(self) -> dict:
-        return {
+        out = {
             "program": self.program,
             "layouts": {
                 name: {
@@ -75,6 +79,11 @@ class BuildResult:
             },
             "timings": self.timings,
         }
+        if self.lint_reports:
+            out["lint"] = {
+                name: report.to_dict() for name, report in self.lint_reports.items()
+            }
+        return out
 
 
 class Driver:
@@ -102,11 +111,18 @@ class Driver:
         test_input: InputSpec,
         ref_input: Optional[InputSpec] = None,
         build_dir: Optional[str | Path] = None,
+        *,
+        lint: bool = False,
+        lint_config: Optional[LintConfig] = None,
     ) -> BuildResult:
         """Run the pipeline on ``module``.
 
         ``ref_input`` enables the evaluation stage; ``build_dir`` persists
-        all artifacts.
+        all artifacts.  ``lint=True`` adds a post-layout verification stage:
+        every produced layout is statically analyzed against the test-input
+        profile and the per-layout :class:`~repro.lint.diagnostics.LintReport`
+        is recorded in :attr:`BuildResult.lint_reports` (and in
+        :meth:`BuildResult.report`).
         """
         timings: dict[str, float] = {}
 
@@ -125,6 +141,14 @@ class Driver:
         result = BuildResult(
             program=module.name, profile=profile, layouts=layouts, timings=timings
         )
+
+        if lint:
+            start = time.perf_counter()
+            for name, layout in layouts.items():
+                result.lint_reports[name] = run_lint(
+                    module, layout, profile, self.cache, lint_config, layout_name=name
+                )
+            timings["lint"] = time.perf_counter() - start
 
         if ref_input is not None:
             start = time.perf_counter()

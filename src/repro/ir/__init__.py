@@ -22,6 +22,7 @@ from .module import (
     Switch,
     Terminator,
 )
+from ..lint.integrity import LayoutError
 from .transforms import (
     LayoutKind,
     LayoutResult,
@@ -43,6 +44,7 @@ __all__ = [
     "Function",
     "FunctionBuilder",
     "Jump",
+    "LayoutError",
     "LayoutKind",
     "LayoutResult",
     "LoopBranch",

@@ -17,6 +17,12 @@ Three steps of BB reordering (paper Sec. II-E):
    completeness, address-map overlap check) and residual-jump elimination
    (a jump to the lexically next block is never emitted — also handled by
    the adjacency test in the size model).
+
+The sanity checks are the layout-integrity audits from
+:mod:`repro.lint.integrity` — the same functions behind the linter's L006
+rule — so a broken order raises :class:`~repro.lint.integrity.LayoutError`
+(a :class:`ValueError`) carrying the identical diagnostics ``python -m
+repro.lint`` would report.
 """
 
 from __future__ import annotations
@@ -24,6 +30,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
+from ..lint.integrity import (
+    audit_address_map,
+    audit_function_order,
+    audit_gid_order,
+    raise_on_errors,
+)
 from .codegen import AddressMap, function_order_gids, layout_blocks, original_gid_order
 from .module import Module
 from .validate import validate_module
@@ -84,10 +96,10 @@ def reorder_functions(module: Module, func_order: list[str], note: str = "") -> 
     ``func_order`` are appended in declaration order.
     """
     validate_module(module)
+    raise_on_errors(audit_function_order(module, func_order))
     gids = function_order_gids(module, func_order)
     amap = layout_blocks(module, gids, entry_stubs=False)
-    if amap.overlaps():  # pragma: no cover - structural invariant
-        raise AssertionError("function reordering produced overlapping blocks")
+    raise_on_errors(audit_address_map(module, amap))
     return LayoutResult(LayoutKind.FUNCTION, amap, list(func_order), note=note)
 
 
@@ -99,21 +111,13 @@ def reorder_basic_blocks(module: Module, gid_order: list[int], note: str = "") -
     mirroring how cold code is left in place by the paper's pass.
     """
     validate_module(module)
-    n = module.n_blocks
-    seen = set()
-    full: list[int] = []
-    for gid in gid_order:
-        if not 0 <= gid < n:
-            raise ValueError(f"gid {gid} out of range")
-        if gid in seen:
-            raise ValueError(f"gid {gid} appears twice in layout order")
-        seen.add(gid)
-        full.append(gid)
+    raise_on_errors(audit_gid_order(module, gid_order))
+    seen = set(gid_order)
+    full = list(gid_order)
     for gid in original_gid_order(module):
         if gid not in seen:
             full.append(gid)
 
     amap = layout_blocks(module, full, entry_stubs=True)
-    if amap.overlaps():  # pragma: no cover - structural invariant
-        raise AssertionError("BB reordering produced overlapping blocks")
+    raise_on_errors(audit_address_map(module, amap))
     return LayoutResult(LayoutKind.BASIC_BLOCK, amap, full, note=note)

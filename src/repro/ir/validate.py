@@ -8,6 +8,9 @@ program.
 
 Checks
 ------
+* function names are unique in the module and block names are unique
+  within each function (constructors enforce this too, but a module can
+  be mutated after construction — the verifier re-checks);
 * every terminator's local targets name blocks in the same function;
 * every call targets a defined function;
 * the entry function exists and every function has an entry block;
@@ -40,9 +43,19 @@ def validate_module(module: Module) -> list[str]:
         raise ValidationError("module is not sealed")
 
     warnings: list[str] = []
-    fnames = {f.name for f in module.functions}
+    fname_list = [f.name for f in module.functions]
+    fnames = set(fname_list)
+    if len(fnames) != len(fname_list):
+        dupes = sorted({n for n in fname_list if fname_list.count(n) > 1})
+        raise ValidationError(f"duplicate function name(s) in module: {', '.join(dupes)}")
 
     for func in module.functions:
+        block_names = [b.name for b in func.blocks]
+        if len(set(block_names)) != len(block_names):
+            dupes = sorted({n for n in block_names if block_names.count(n) > 1})
+            raise ValidationError(
+                f"duplicate block name(s) in function {func.name!r}: {', '.join(dupes)}"
+            )
         for block in func.blocks:
             term = block.terminator
             for target in term.local_targets():

@@ -1,0 +1,175 @@
+"""Shared derived facts for lint rules.
+
+Every rule reasons over the same few projections of ``(Module, AddressMap,
+TraceBundle, CacheConfig)`` — per-block execution counts, the hot set, the
+byte→line→set geometry, per-line heat and hot-byte occupancy.  A
+:class:`LintContext` computes each projection once, lazily, and hands it to
+all rules, so a full lint run costs one pass over the profile and one pass
+over the blocks regardless of how many rules are enabled.
+
+Heat model
+----------
+A block is **hot** when it belongs to the smallest set of most frequently
+executed blocks whose occurrences cover ``hot_coverage`` of the dynamic
+trace (the same popularity ordering the paper's pruning step uses,
+:func:`repro.trace.prune.popularity`).  Everything else — including code
+the profile never reached — is **cold**.  Line *heat* counts dynamic
+fetches of the line: one per execution of each block that spans it.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..cache.config import CacheConfig
+from ..engine.fetch import line_spans
+from ..ir.module import Module
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.instrument import TraceBundle
+    from ..ir.codegen import AddressMap
+
+__all__ = ["LintContext"]
+
+
+class LintContext:
+    """Lazily-derived facts one lint run shares across rules."""
+
+    def __init__(
+        self,
+        module: Module,
+        amap: "AddressMap",
+        bundle: "TraceBundle",
+        cache: CacheConfig,
+        *,
+        hot_coverage: float = 0.9,
+    ):
+        if not 0.0 < hot_coverage <= 1.0:
+            raise ValueError("hot_coverage must be in (0, 1]")
+        self.module = module
+        self.amap = amap
+        self.bundle = bundle
+        self.cache = cache
+        self.hot_coverage = hot_coverage
+
+    # -- identity ---------------------------------------------------------
+
+    @property
+    def n_blocks(self) -> int:
+        return self.module.n_blocks
+
+    def block_name(self, gid: int) -> str:
+        b = self.module.block_by_gid(gid)
+        return f"{b.func}:{b.name}"
+
+    # -- profile heat -----------------------------------------------------
+
+    @cached_property
+    def exec_counts(self) -> np.ndarray:
+        """Dynamic execution count per gid (int64, indexed by gid)."""
+        return np.bincount(
+            self.bundle.bb_trace, minlength=self.n_blocks
+        ).astype(np.int64)
+
+    @cached_property
+    def total_dynamic(self) -> int:
+        return int(self.exec_counts.sum())
+
+    @cached_property
+    def hot_gids(self) -> list[int]:
+        """Hot blocks, most frequently executed first.
+
+        The smallest popularity prefix covering ``hot_coverage`` of all
+        dynamic block occurrences (ties broken by gid for determinism).
+        """
+        counts = self.exec_counts
+        if self.total_dynamic == 0:
+            return []
+        order = np.lexsort((np.arange(self.n_blocks), -counts))
+        cum = np.cumsum(counts[order])
+        need = self.hot_coverage * self.total_dynamic
+        cut = int(np.searchsorted(cum, need)) + 1
+        hot = order[:cut]
+        return [int(g) for g in hot if counts[g] > 0]
+
+    @cached_property
+    def hot_mask(self) -> np.ndarray:
+        mask = np.zeros(self.n_blocks, dtype=bool)
+        mask[self.hot_gids] = True
+        return mask
+
+    def is_hot(self, gid: int) -> bool:
+        return bool(self.hot_mask[gid])
+
+    # -- geometry ---------------------------------------------------------
+
+    @cached_property
+    def _spans(self) -> tuple[np.ndarray, np.ndarray]:
+        return line_spans(self.amap, self.cache.line_bytes)
+
+    @property
+    def first_line(self) -> np.ndarray:
+        """First cache-line index of each block (indexed by gid)."""
+        return self._spans[0]
+
+    @property
+    def lines_per_block(self) -> np.ndarray:
+        """Number of cache lines each block spans (indexed by gid)."""
+        return self._spans[1]
+
+    @cached_property
+    def position(self) -> dict[int, int]:
+        """gid -> index in layout order."""
+        return {gid: i for i, gid in enumerate(self.amap.order)}
+
+    # -- line-level projections ------------------------------------------
+
+    @cached_property
+    def line_heat(self) -> dict[int, int]:
+        """line index -> dynamic fetches of that line."""
+        heat: dict[int, int] = {}
+        counts = self.exec_counts
+        first, n_lines = self._spans
+        for gid in np.nonzero(counts)[0]:
+            c = int(counts[gid])
+            lo = int(first[gid])
+            for line in range(lo, lo + int(n_lines[gid])):
+                heat[line] = heat.get(line, 0) + c
+        return heat
+
+    @cached_property
+    def hot_lines(self) -> list[int]:
+        """Distinct cache lines touched by hot blocks — the static hot footprint."""
+        lines: set[int] = set()
+        first, n_lines = self._spans
+        for gid in self.hot_gids:
+            lo = int(first[gid])
+            lines.update(range(lo, lo + int(n_lines[gid])))
+        return sorted(lines)
+
+    @cached_property
+    def hot_line_blocks(self) -> dict[int, list[int]]:
+        """line index -> hot gids spanning it (hottest first)."""
+        by_line: dict[int, list[int]] = {}
+        first, n_lines = self._spans
+        for gid in self.hot_gids:  # hot_gids is already heat-ordered
+            lo = int(first[gid])
+            for line in range(lo, lo + int(n_lines[gid])):
+                by_line.setdefault(line, []).append(gid)
+        return by_line
+
+    @cached_property
+    def line_hot_bytes(self) -> dict[int, int]:
+        """line index -> bytes of that line occupied by hot blocks."""
+        lb = self.cache.line_bytes
+        occ: dict[int, int] = {}
+        for gid in self.hot_gids:
+            start, end = self.amap.span(gid)
+            for line in range(start // lb, (end - 1) // lb + 1):
+                lo = max(start, line * lb)
+                hi = min(end, (line + 1) * lb)
+                occ[line] = occ.get(line, 0) + (hi - lo)
+        return occ

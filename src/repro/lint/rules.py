@@ -1,0 +1,143 @@
+"""Rule registry and the lint driver.
+
+A *rule* is a function ``(LintContext, LintConfig) -> (diagnostics,
+metrics)`` registered under a stable id (``L001`` ...).  The registry keeps
+the catalog queryable (`python -m repro.lint --list-rules`), and
+:class:`LintConfig` carries the per-run policy: disabled rules, severity
+overrides, the heat model's coverage threshold and the rules' tunables.
+
+Rules must emit their findings as :class:`~repro.lint.diagnostics.Diagnostic`
+objects and return their aggregate measurements as a plain dict even when
+clean, so every report carries the full metric set for layout comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Mapping, Optional
+
+from ..cache.config import PAPER_L1I, CacheConfig
+from ..engine.instrument import TraceBundle
+from ..ir.codegen import AddressMap
+from ..ir.module import Module
+from ..ir.transforms import LayoutResult
+from .context import LintContext
+from .diagnostics import Diagnostic, LintReport, Severity
+
+__all__ = ["Rule", "LintConfig", "rule", "get_rule", "all_rules", "run_lint"]
+
+RuleFn = Callable[[LintContext, "LintConfig"], tuple[list[Diagnostic], dict]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered lint rule."""
+
+    id: str
+    name: str
+    summary: str
+    default_severity: Severity
+    fn: RuleFn
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def rule(
+    id: str, name: str, summary: str, default_severity: Severity
+) -> Callable[[RuleFn], RuleFn]:
+    """Class decorator registering a rule function under ``id``."""
+
+    def register(fn: RuleFn) -> RuleFn:
+        if id in _REGISTRY:
+            raise ValueError(f"rule id {id!r} already registered")
+        _REGISTRY[id] = Rule(id, name, summary, default_severity, fn)
+        return fn
+
+    return register
+
+
+def get_rule(rule_id: str) -> Rule:
+    _ensure_rulepack()
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(f"unknown lint rule {rule_id!r} (known: {sorted(_REGISTRY)})")
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, ordered by id."""
+    _ensure_rulepack()
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def _ensure_rulepack() -> None:
+    # The rule pack registers itself on import; importing it lazily here
+    # keeps `rules` import-light and avoids an import cycle with it.
+    from . import rulepack  # noqa: F401
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Per-run lint policy and rule tunables."""
+
+    #: fraction of dynamic occurrences the hot set must cover.
+    hot_coverage: float = 0.9
+    #: rule ids to skip entirely.
+    disabled: frozenset[str] = frozenset()
+    #: rule id -> severity every diagnostic of that rule is forced to.
+    severity_overrides: Mapping[str, Severity] = field(default_factory=dict)
+    #: cap on per-finding diagnostics a rule emits (aggregates are exempt).
+    max_reports: int = 20
+    #: L003: a cold run inside hot code is flagged below this many lines.
+    interleave_max_cold_lines: int = 2
+    #: L004: a hot-touched line below this hot-byte fraction is fragmented.
+    line_utilization_threshold: float = 0.5
+    #: L004: warn when more than this fraction of hot lines are fragmented.
+    fragmentation_warn_fraction: float = 0.25
+
+    def enabled_rules(self) -> list[Rule]:
+        return [r for r in all_rules() if r.id not in self.disabled]
+
+    def severity_for(self, rule_id: str, emitted: Severity) -> Severity:
+        return self.severity_overrides.get(rule_id, emitted)
+
+    def with_overrides(self, **kw) -> "LintConfig":
+        return replace(self, **kw)
+
+
+def run_lint(
+    module: Module,
+    layout: "LayoutResult | AddressMap",
+    bundle: TraceBundle,
+    cache: CacheConfig = PAPER_L1I,
+    config: Optional[LintConfig] = None,
+    *,
+    layout_name: str = "",
+) -> LintReport:
+    """Run every enabled rule over one concrete layout.
+
+    ``layout`` may be a :class:`~repro.ir.transforms.LayoutResult` (its
+    kind/note label the report) or a bare address map.
+    """
+    config = config or LintConfig()
+    if isinstance(layout, LayoutResult):
+        amap = layout.address_map
+        name = layout_name or layout.note or layout.kind.value
+    else:
+        amap = layout
+        name = layout_name or "layout"
+
+    ctx = LintContext(module, amap, bundle, cache, hot_coverage=config.hot_coverage)
+    report = LintReport(
+        program=module.name, layout=name, cache=cache.describe()
+    )
+    for r in config.enabled_rules():
+        diags, metrics = r.fn(ctx, config)
+        override = config.severity_overrides.get(r.id)
+        if override is not None:
+            diags = [replace(d, severity=override) for d in diags]
+        report.extend(diags)
+        report.metrics[r.id] = metrics
+        report.rules_run.append(r.id)
+    return report

@@ -42,6 +42,28 @@ def test_best_layout_requires_evaluation(tiny_module):
         result.best_layout()
 
 
+def test_build_with_lint_records_reports(tiny_module):
+    driver = Driver(optimizers=["bb-affinity"])
+    result = driver.build(
+        tiny_module, InputSpec("test", seed=1, max_blocks=3000), lint=True
+    )
+    assert set(result.lint_reports) == {"baseline", "bb-affinity"}
+    for report in result.lint_reports.values():
+        assert report.ok  # legal layouts never produce L006 errors
+        assert report.rules_run == ["L001", "L002", "L003", "L004", "L005", "L006"]
+    assert result.timings["lint"] > 0
+    rep = result.report()
+    assert set(rep["lint"]) == {"baseline", "bb-affinity"}
+    assert rep["lint"]["baseline"]["summary"]["errors"] == 0
+
+
+def test_build_without_lint_skips_reports(tiny_module):
+    driver = Driver(optimizers=["bb-affinity"])
+    result = driver.build(tiny_module, InputSpec("test", seed=1, max_blocks=2000))
+    assert result.lint_reports == {}
+    assert "lint" not in result.report()
+
+
 def test_unknown_optimizer_rejected():
     with pytest.raises(ValueError):
         Driver(optimizers=["magic-layout"])

@@ -3,12 +3,14 @@
 import pytest
 
 from repro.ir import (
+    LayoutError,
     LayoutKind,
     ModuleBuilder,
     baseline_layout,
     reorder_basic_blocks,
     reorder_functions,
 )
+from repro.lint.integrity import audit_function_order, audit_gid_order
 
 
 def make_module():
@@ -75,6 +77,34 @@ def test_bb_reorder_charges_entry_stubs():
     moved = reorder_basic_blocks(m, list(base.address_map.order))
     # identical order, but BB reordering pays one stub per function.
     assert moved.added_jumps >= base.added_jumps + m.n_functions
+
+
+def test_transform_errors_are_layout_errors_with_diagnostics():
+    # Transforms and the L006 linter rule share the same audits, so the
+    # eager rejection carries the identical diagnostic the linter reports.
+    m = make_module()
+    with pytest.raises(LayoutError) as exc:
+        reorder_basic_blocks(m, [999])
+    expected = audit_gid_order(m, [999])
+    assert [d.message for d in exc.value.diagnostics] == [d.message for d in expected]
+    assert str(exc.value) == expected[0].message
+
+    with pytest.raises(LayoutError) as exc:
+        reorder_functions(m, ["f1", "f1"])
+    expected = audit_function_order(m, ["f1", "f1"])
+    assert [d.message for d in exc.value.diagnostics] == [d.message for d in expected]
+
+
+def test_function_reorder_rejects_unknown_function():
+    m = make_module()
+    with pytest.raises(LayoutError, match="not defined"):
+        reorder_functions(m, ["ghost"])
+
+
+def test_layout_error_is_value_error():
+    # Compatibility: callers that caught the transforms' original bare
+    # ValueError keep working.
+    assert issubclass(LayoutError, ValueError)
 
 
 def test_total_bytes_consistency():

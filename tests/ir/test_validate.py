@@ -78,6 +78,26 @@ def test_switch_weights_validated():
         validate_module(m)
 
 
+def test_duplicate_function_names_rejected():
+    # Function/Module constructors catch duplicates at build time; the
+    # verifier must also catch modules mutated after construction.
+    m = build([BasicBlock("e", 1, Exit())])
+    m.functions.append(Function("main", [BasicBlock("e2", 1, Exit())]))
+    m._sealed = False
+    m.seal()
+    with pytest.raises(ValidationError, match="duplicate function name"):
+        validate_module(m)
+
+
+def test_duplicate_block_names_rejected():
+    m = build([BasicBlock("e", 1, Exit())])
+    m.function("main").blocks.append(BasicBlock("e", 1, Exit()))
+    m._sealed = False
+    m.seal()
+    with pytest.raises(ValidationError, match="duplicate block name"):
+        validate_module(m)
+
+
 def test_unreachable_blocks_are_warnings_not_errors():
     m = build([
         BasicBlock("e", 1, Exit()),

@@ -1,0 +1,59 @@
+"""Shared helpers for the lint test package: hand-built modules with known
+layout defects, synthetic trace bundles with exact heat, and a small cache
+geometry that makes set arithmetic easy to reason about."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.engine.instrument import TraceBundle
+from repro.ir import BasicBlock, Exit, Function, Module, Return
+
+#: 1 KB, 2-way, 64 B lines -> 16 lines, 8 sets.  Lines 64 apart in index
+#: (bytes 512 apart) collide in the same set.
+TINY_CACHE = CacheConfig(size_bytes=1024, assoc=2, line_bytes=64)
+
+
+def make_bundle(module: Module, trace) -> TraceBundle:
+    """Fabricate a TraceBundle with an exact, hand-chosen block trace."""
+    function_names = [f.name for f in module.functions]
+    fidx = {n: i for i, n in enumerate(function_names)}
+    func_of_gid = np.array(
+        [fidx[n] for n in module.function_of_gid()], dtype=np.int32
+    )
+    bb = np.asarray(trace, dtype=np.int64)
+    instr = int(sum(module.block_by_gid(int(g)).n_instr for g in bb))
+    return TraceBundle(
+        program=module.name,
+        input_name="synthetic",
+        bb_trace=bb,
+        func_trace=func_of_gid[bb] if bb.shape[0] else bb.astype(np.int32),
+        block_names=[
+            f"{b.func}:{b.name}"
+            for b in (module.block_by_gid(g) for g in range(module.n_blocks))
+        ],
+        function_names=function_names,
+        func_of_gid=func_of_gid,
+        instr_count=instr,
+        natural_exit=True,
+    )
+
+
+def leaf_module(n_functions: int, n_instr: int = 16) -> Module:
+    """``n_functions`` single-block leaf functions (no calls, no branches).
+
+    Every block is ``n_instr`` instructions (``4 * n_instr`` bytes) with no
+    fall-through successor, so explicit placement controls addresses without
+    any added-jump interference.
+    """
+    funcs = [Function("main", [BasicBlock("entry", n_instr, Exit())])]
+    for i in range(1, n_functions):
+        funcs.append(Function(f"f{i}", [BasicBlock("entry", n_instr, Return())]))
+    return Module("leafmod", funcs, entry="main").seal()
+
+
+@pytest.fixture
+def tiny_cache():
+    return TINY_CACHE

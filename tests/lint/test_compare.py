@@ -1,0 +1,61 @@
+"""Unit tests for the static layout diff (repro.lint.compare)."""
+
+from repro.ir import baseline_layout
+from repro.ir.codegen import place_blocks
+from repro.lint import compare_layouts, conflict_score
+
+from .conftest import TINY_CACHE, leaf_module, make_bundle
+
+
+def _conflicting_and_packed():
+    """One module, two layouts: all hot lines on one set vs. spread out."""
+    m = leaf_module(4)
+    bundle = make_bundle(m, [0, 1, 2, 3] * 10)
+    conflicting = place_blocks(m, {0: 0, 1: 512, 2: 1024, 3: 1536})
+    packed = baseline_layout(m).address_map
+    return m, bundle, conflicting, packed
+
+
+def test_compare_picks_the_conflict_free_layout():
+    m, bundle, conflicting, packed = _conflicting_and_packed()
+    cmp = compare_layouts(
+        m, bundle, conflicting, packed, TINY_CACHE, name_a="piled", name_b="packed"
+    )
+    assert cmp.winner == "b"
+    assert cmp.winner_name == "packed"
+    whys = cmp.explanations()
+    assert any("set-conflict score" in w for w in whys)
+
+
+def test_compare_is_symmetric():
+    m, bundle, conflicting, packed = _conflicting_and_packed()
+    fwd = compare_layouts(m, bundle, conflicting, packed, TINY_CACHE)
+    rev = compare_layouts(m, bundle, packed, conflicting, TINY_CACHE)
+    assert fwd.winner == "b" and rev.winner == "a"
+
+
+def test_compare_identical_layouts_tie():
+    m, bundle, _, packed = _conflicting_and_packed()
+    cmp = compare_layouts(m, bundle, packed, packed, TINY_CACHE)
+    assert cmp.winner == "tie"
+    assert cmp.winner_name == "tie"
+    assert cmp.explanations() == []
+
+
+def test_compare_serialization_and_rendering():
+    m, bundle, conflicting, packed = _conflicting_and_packed()
+    cmp = compare_layouts(
+        m, bundle, conflicting, packed, TINY_CACHE, name_a="a1", name_b="b1"
+    )
+    d = cmp.to_dict()
+    assert d["winner"] == "b1"
+    assert {m["metric"] for m in d["metrics"]} >= {"conflict_score", "hot_lines"}
+    text = cmp.render_text()
+    assert "compare a1 vs b1" in text
+    assert "verdict: b1" in text
+
+
+def test_conflict_score_helper_matches_report_metric():
+    m, bundle, conflicting, packed = _conflicting_and_packed()
+    assert conflict_score(m, conflicting, bundle, TINY_CACHE) == 0.5
+    assert conflict_score(m, packed, bundle, TINY_CACHE) == 0.0

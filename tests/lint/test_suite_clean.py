@@ -1,0 +1,26 @@
+"""Property: the baseline layout of every suite program is lint-ERROR-free.
+
+Baselines are produced by the same address-assignment machinery as the
+optimized layouts, so a structural ERROR (L006) on any suite baseline means
+either the generator or the analyzer regressed.  Warnings are expected —
+flagging the defects baselines ship with is the analyzer's purpose.
+"""
+
+import pytest
+
+from repro.engine import InputSpec, collect_trace
+from repro.ir import baseline_layout
+from repro.lint import Severity, run_lint
+from repro.workloads.suite import ALL_PROGRAMS, build
+
+
+@pytest.mark.parametrize("name", ALL_PROGRAMS)
+def test_baseline_layout_has_no_lint_errors(name):
+    prog, module = build(name)
+    bundle = collect_trace(
+        module, InputSpec("test", seed=prog.spec.seed, max_blocks=4000)
+    )
+    report = run_lint(module, baseline_layout(module), bundle)
+    errors = [d for d in report.diagnostics if d.severity is Severity.ERROR]
+    assert errors == [], f"{name}: {[d.message for d in errors]}"
+    assert report.rules_run == ["L001", "L002", "L003", "L004", "L005", "L006"]
