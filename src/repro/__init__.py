@@ -16,7 +16,11 @@ Subpackages
 - :mod:`repro.core` — the paper's contribution: w-window affinity, TRG,
   the four optimizers, and goal scoring;
 - :mod:`repro.workloads` — the 29-program synthetic SPEC stand-in suite;
-- :mod:`repro.experiments` — one driver per paper table/figure.
+- :mod:`repro.experiments` — one driver per paper table/figure, with a
+  hardened runner (``--keep-going``, journal + ``--resume``);
+- :mod:`repro.lint` — static layout analyzer (rule-based diagnostics);
+- :mod:`repro.robust` — error taxonomy, crash-safe artifact IO, run
+  journal, and the fault-injection harness.
 
 Quickstart::
 

@@ -15,6 +15,13 @@ gives the reproduction the same shape — a *build directory* holding:
 Layout serialization is loss-free with respect to evaluation: a loaded
 layout reproduces the exact fetch stream of the original (asserted in the
 tests), so builds can be evaluated later or on another machine.
+
+Persistence is crash-safe: every ``save_*`` goes through
+:func:`repro.robust.atomic.atomic_write`, so a killed build leaves the old
+artifact or none — never a truncated file.  Every ``load_*`` validates
+before constructing, so a truncated, bit-flipped, or schema-broken file
+surfaces as :class:`~repro.robust.errors.ArtifactError` naming the path
+and the defect, not as a ``JSONDecodeError`` three layers down.
 """
 
 from __future__ import annotations
@@ -26,12 +33,26 @@ import numpy as np
 
 from ..ir.codegen import AddressMap
 from ..ir.transforms import LayoutKind, LayoutResult
+from ..robust.atomic import atomic_write_text
+from ..robust.errors import ArtifactError
 
 __all__ = ["save_layout", "load_layout", "save_report", "load_report"]
 
+#: top-level keys a serialized layout must carry.
+_LAYOUT_KEYS = (
+    "kind",
+    "note",
+    "order",
+    "starts",
+    "sizes",
+    "added_jumps",
+    "base",
+    "input_order",
+)
+
 
 def save_layout(layout: LayoutResult, path: str | Path) -> None:
-    """Serialize a :class:`LayoutResult` as JSON."""
+    """Serialize a :class:`LayoutResult` as JSON (atomically)."""
     amap = layout.address_map
     payload = {
         "kind": layout.kind.value,
@@ -45,21 +66,112 @@ def save_layout(layout: LayoutResult, path: str | Path) -> None:
             int(x) if isinstance(x, (int, np.integer)) else x for x in layout.order
         ],
     }
-    Path(path).write_text(json.dumps(payload, indent=1))
+    atomic_write_text(path, json.dumps(payload, indent=1))
+
+
+def _read_json(path: Path, kind: str):
+    """Read + parse a JSON artifact; all failure modes become ArtifactError."""
+    try:
+        text = path.read_text()
+    except FileNotFoundError as err:
+        raise ArtifactError(
+            f"{kind} file does not exist", path=path, defect="missing file", cause=err
+        ) from err
+    except OSError as err:
+        raise ArtifactError(
+            f"{kind} file is unreadable", path=path, defect="unreadable", cause=err
+        ) from err
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as err:
+        raise ArtifactError(
+            f"{kind} file is not valid JSON (truncated or corrupt)",
+            path=path,
+            defect=f"invalid JSON at offset {err.pos}",
+            cause=err,
+        ) from err
 
 
 def load_layout(path: str | Path) -> LayoutResult:
-    """Load a layout written by :func:`save_layout`."""
-    payload = json.loads(Path(path).read_text())
+    """Load and validate a layout written by :func:`save_layout`.
+
+    Raises :class:`~repro.robust.errors.ArtifactError` on any defect:
+    missing file, truncated/garbled JSON, missing keys, an unknown layout
+    kind, non-parallel ``order``/``starts``/``sizes`` arrays, duplicate
+    gids, or negative addresses.
+    """
+    path = Path(path)
+    payload = _read_json(path, "layout")
+    if not isinstance(payload, dict):
+        raise ArtifactError(
+            "layout file must hold a JSON object",
+            path=path,
+            defect=f"top-level {type(payload).__name__}",
+        )
+    missing = [k for k in _LAYOUT_KEYS if k not in payload]
+    if missing:
+        raise ArtifactError(
+            f"layout file is missing key(s): {', '.join(missing)}",
+            path=path,
+            defect=f"missing keys {missing}",
+        )
+    try:
+        kind = LayoutKind(payload["kind"])
+    except ValueError as err:
+        raise ArtifactError(
+            f"layout file has unknown kind {payload['kind']!r}",
+            path=path,
+            defect="unknown layout kind",
+            cause=err,
+        ) from err
+    try:
+        order = [int(x) for x in payload["order"]]
+        starts = np.array(payload["starts"], dtype=np.int64)
+        sizes = np.array(payload["sizes"], dtype=np.int64)
+        added_jumps = int(payload["added_jumps"])
+        base = int(payload["base"])
+    except (TypeError, ValueError) as err:
+        raise ArtifactError(
+            "layout file has non-numeric layout arrays",
+            path=path,
+            defect="non-numeric array entry",
+            cause=err,
+        ) from err
+    n = len(order)
+    if starts.ndim != 1 or sizes.ndim != 1 or starts.shape[0] != n or sizes.shape[0] != n:
+        raise ArtifactError(
+            f"layout arrays are not parallel: {n} order entries, "
+            f"{starts.shape[0]} starts, {sizes.shape[0]} sizes",
+            path=path,
+            defect="array length mismatch",
+        )
+    if sorted(order) != list(range(n)):
+        raise ArtifactError(
+            "layout order is not a permutation of block gids",
+            path=path,
+            defect="duplicate or out-of-range gid in order",
+        )
+    if n and int(starts.min()) < 0:
+        raise ArtifactError(
+            f"layout has a negative block start address ({int(starts.min())})",
+            path=path,
+            defect="negative start address",
+        )
+    if n and int(sizes.min()) <= 0:
+        raise ArtifactError(
+            f"layout has a non-positive block size ({int(sizes.min())})",
+            path=path,
+            defect="non-positive block size",
+        )
     amap = AddressMap(
-        order=list(payload["order"]),
-        starts=np.array(payload["starts"], dtype=np.int64),
-        sizes=np.array(payload["sizes"], dtype=np.int64),
-        added_jumps=int(payload["added_jumps"]),
-        base=int(payload["base"]),
+        order=order,
+        starts=starts,
+        sizes=sizes,
+        added_jumps=added_jumps,
+        base=base,
     )
     return LayoutResult(
-        kind=LayoutKind(payload["kind"]),
+        kind=kind,
         address_map=amap,
         order=list(payload["input_order"]),
         note=payload["note"],
@@ -67,9 +179,18 @@ def load_layout(path: str | Path) -> LayoutResult:
 
 
 def save_report(report: dict, path: str | Path) -> None:
-    """Write the driver's summary report."""
-    Path(path).write_text(json.dumps(report, indent=1, sort_keys=True))
+    """Write the driver's summary report (atomically)."""
+    atomic_write_text(path, json.dumps(report, indent=1, sort_keys=True))
 
 
 def load_report(path: str | Path) -> dict:
-    return json.loads(Path(path).read_text())
+    """Load and validate a report written by :func:`save_report`."""
+    path = Path(path)
+    payload = _read_json(path, "report")
+    if not isinstance(payload, dict):
+        raise ArtifactError(
+            "report file must hold a JSON object",
+            path=path,
+            defect=f"top-level {type(payload).__name__}",
+        )
+    return payload

@@ -37,6 +37,7 @@ from ..ir.module import Module
 from ..ir.transforms import LayoutResult, baseline_layout
 from ..lint.diagnostics import LintReport
 from ..lint.rules import LintConfig, run_lint
+from ..robust.errors import ArtifactError, ProfileError, error_context
 from .artifacts import save_layout, save_report
 
 __all__ = ["BuildResult", "Driver"]
@@ -123,50 +124,72 @@ class Driver:
         profile and the per-layout :class:`~repro.lint.diagnostics.LintReport`
         is recorded in :attr:`BuildResult.lint_reports` (and in
         :meth:`BuildResult.report`).
+
+        Every stage failure surfaces as a typed
+        :class:`~repro.robust.errors.ReproError`: a module/input that
+        breaks instrumentation raises ``ProfileError`` (stage
+        ``instrument``), optimizer and evaluation blow-ups raise
+        ``SimulationError`` naming the stage and layout, and persistence
+        problems raise ``ArtifactError`` — never a raw ``KeyError`` /
+        ``IndexError`` from the pipeline internals.
         """
         timings: dict[str, float] = {}
+        program = module.name
 
         start = time.perf_counter()
-        profile = collect_trace(module, test_input)
+        with error_context(
+            "instrument", program=program, reraise=ProfileError
+        ):
+            profile = collect_trace(module, test_input)
         timings["instrument"] = time.perf_counter() - start
 
         layouts: dict[str, LayoutResult] = {"baseline": baseline_layout(module)}
         for name in self.optimizer_names:
             start = time.perf_counter()
-            layouts[name] = self._optimizer(name)(
-                module, profile, self.optimizer_config
-            )
+            with error_context("optimize", program=program, layout=name):
+                layouts[name] = self._optimizer(name)(
+                    module, profile, self.optimizer_config
+                )
             timings[f"optimize/{name}"] = time.perf_counter() - start
 
         result = BuildResult(
-            program=module.name, profile=profile, layouts=layouts, timings=timings
+            program=program, profile=profile, layouts=layouts, timings=timings
         )
 
         if lint:
             start = time.perf_counter()
             for name, layout in layouts.items():
-                result.lint_reports[name] = run_lint(
-                    module, layout, profile, self.cache, lint_config, layout_name=name
-                )
+                with error_context("lint", program=program, layout=name):
+                    result.lint_reports[name] = run_lint(
+                        module, layout, profile, self.cache, lint_config,
+                        layout_name=name,
+                    )
             timings["lint"] = time.perf_counter() - start
 
         if ref_input is not None:
             start = time.perf_counter()
-            ref = collect_trace(module, ref_input)
+            with error_context(
+                "evaluate-instrument", program=program, reraise=ProfileError
+            ):
+                ref = collect_trace(module, ref_input)
             for name, layout in layouts.items():
-                stream = fetch_lines(
-                    ref.bb_trace, layout.address_map, self.cache.line_bytes
-                )
-                stats = simulate(stream, self.cache)
-                result.miss_ratios[name] = stats.misses / ref.instr_count
+                with error_context("evaluate", program=program, layout=name):
+                    stream = fetch_lines(
+                        ref.bb_trace, layout.address_map, self.cache.line_bytes
+                    )
+                    stats = simulate(stream, self.cache)
+                    result.miss_ratios[name] = stats.misses / ref.instr_count
             timings["evaluate"] = time.perf_counter() - start
 
         if build_dir is not None:
             out = Path(build_dir)
-            out.mkdir(parents=True, exist_ok=True)
-            save_bundle(profile, out / "trace.npz")
-            for name, layout in layouts.items():
-                save_layout(layout, out / f"layout-{name}.json")
-            save_report(result.report(), out / "report.json")
+            with error_context(
+                "persist", program=program, path=out, reraise=ArtifactError
+            ):
+                out.mkdir(parents=True, exist_ok=True)
+                save_bundle(profile, out / "trace.npz")
+                for name, layout in layouts.items():
+                    save_layout(layout, out / f"layout-{name}.json")
+                save_report(result.report(), out / "report.json")
             result.build_dir = out
         return result

@@ -17,16 +17,32 @@ paper's on-disk trace files.
 
 from __future__ import annotations
 
+import zipfile
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
 from ..ir.module import Module
+from ..robust.atomic import atomic_write
+from ..robust.errors import ArtifactError
 from .interpreter import RunResult, run
 from .state import InputSpec
 
 __all__ = ["TraceBundle", "collect_trace", "save_bundle", "load_bundle"]
+
+#: arrays a serialized bundle must carry.
+_BUNDLE_KEYS = (
+    "program",
+    "input_name",
+    "bb_trace",
+    "func_of_gid",
+    "block_names",
+    "function_names",
+    "instr_count",
+    "natural_exit",
+)
 
 
 @dataclass
@@ -84,33 +100,96 @@ def collect_trace(module: Module, spec: InputSpec) -> TraceBundle:
 
 
 def save_bundle(bundle: TraceBundle, path: str | Path) -> None:
-    """Persist a bundle as a compressed ``.npz`` archive."""
-    np.savez_compressed(
-        Path(path),
-        program=np.array(bundle.program),
-        input_name=np.array(bundle.input_name),
-        bb_trace=bundle.bb_trace,
-        func_of_gid=bundle.func_of_gid,
-        block_names=np.array(bundle.block_names),
-        function_names=np.array(bundle.function_names),
-        instr_count=np.array(bundle.instr_count),
-        natural_exit=np.array(bundle.natural_exit),
-    )
+    """Persist a bundle as a compressed ``.npz`` archive (atomically).
+
+    Writing through :func:`repro.robust.atomic.atomic_write` guarantees a
+    killed build leaves the previous ``trace.npz`` or none — never a
+    truncated archive that a later :func:`load_bundle` chokes on.
+    """
+    with atomic_write(Path(path), binary=True) as fh:
+        np.savez_compressed(
+            fh,
+            program=np.array(bundle.program),
+            input_name=np.array(bundle.input_name),
+            bb_trace=bundle.bb_trace,
+            func_of_gid=bundle.func_of_gid,
+            block_names=np.array(bundle.block_names),
+            function_names=np.array(bundle.function_names),
+            instr_count=np.array(bundle.instr_count),
+            natural_exit=np.array(bundle.natural_exit),
+        )
 
 
 def load_bundle(path: str | Path) -> TraceBundle:
-    """Load a bundle written by :func:`save_bundle`."""
-    with np.load(Path(path), allow_pickle=False) as data:
-        bb_trace = data["bb_trace"]
-        func_of_gid = data["func_of_gid"]
+    """Load and validate a bundle written by :func:`save_bundle`.
+
+    Raises :class:`~repro.robust.errors.ArtifactError` naming the path and
+    defect when the archive is missing, truncated, not an npz, missing
+    arrays, or internally inconsistent (non-integer trace, gids out of
+    range of the mapping) — never a raw ``BadZipFile`` / ``KeyError`` /
+    ``IndexError``.
+    """
+    path = Path(path)
+    try:
+        data = np.load(path, allow_pickle=False)
+    except FileNotFoundError as err:
+        raise ArtifactError(
+            "trace bundle does not exist", path=path, defect="missing file", cause=err
+        ) from err
+    except (zipfile.BadZipFile, OSError, ValueError) as err:
+        raise ArtifactError(
+            "trace bundle is not a readable npz archive (truncated or corrupt)",
+            path=path,
+            defect="unreadable archive",
+            cause=err,
+        ) from err
+    with data:
+        missing = [k for k in _BUNDLE_KEYS if k not in data.files]
+        if missing:
+            raise ArtifactError(
+                f"trace bundle is missing array(s): {', '.join(missing)}",
+                path=path,
+                defect=f"missing arrays {missing}",
+            )
+        try:
+            bb_trace = data["bb_trace"]
+            func_of_gid = data["func_of_gid"]
+            program = str(data["program"])
+            input_name = str(data["input_name"])
+            block_names = [str(s) for s in data["block_names"]]
+            function_names = [str(s) for s in data["function_names"]]
+            instr_count = int(data["instr_count"])
+            natural_exit = bool(data["natural_exit"])
+        except (zipfile.BadZipFile, zlib.error, OSError, ValueError, TypeError) as err:
+            raise ArtifactError(
+                "trace bundle arrays are corrupt",
+                path=path,
+                defect="undecodable array payload",
+                cause=err,
+            ) from err
+        if not np.issubdtype(bb_trace.dtype, np.integer):
+            raise ArtifactError(
+                f"trace bundle bb_trace has non-integer dtype {bb_trace.dtype}",
+                path=path,
+                defect="non-integer trace dtype",
+            )
+        n_static = int(func_of_gid.shape[0]) if func_of_gid.ndim else 0
+        if bb_trace.size and (
+            int(bb_trace.min()) < 0 or int(bb_trace.max()) >= n_static
+        ):
+            raise ArtifactError(
+                f"trace bundle bb_trace references gids outside [0, {n_static})",
+                path=path,
+                defect="trace gid out of range of mapping",
+            )
         return TraceBundle(
-            program=str(data["program"]),
-            input_name=str(data["input_name"]),
+            program=program,
+            input_name=input_name,
             bb_trace=bb_trace,
             func_trace=func_of_gid[bb_trace],
-            block_names=[str(s) for s in data["block_names"]],
-            function_names=[str(s) for s in data["function_names"]],
+            block_names=block_names,
+            function_names=function_names,
             func_of_gid=func_of_gid,
-            instr_count=int(data["instr_count"]),
-            natural_exit=bool(data["natural_exit"]),
+            instr_count=instr_count,
+            natural_exit=natural_exit,
         )

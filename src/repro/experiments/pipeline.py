@@ -40,6 +40,7 @@ from ..ir.transforms import LayoutResult, baseline_layout
 from ..machine.counters import measure_corun, measure_solo
 from ..machine.smt import CoRunTiming, corun_pair
 from ..machine.timing import ThreadCost, TimingParams, thread_cost
+from ..robust.errors import ProfileError, error_context
 from ..workloads.suite import SuiteProgram
 from ..workloads.suite import build as build_suite_program
 
@@ -131,38 +132,49 @@ class Lab:
     # -- program preparation -------------------------------------------------
 
     def program(self, name: str) -> PreparedProgram:
-        """Build + instrument a suite program (memoized)."""
+        """Build + instrument a suite program (memoized).
+
+        An unknown program name or a module that breaks instrumentation
+        raises :class:`~repro.robust.errors.ProfileError` carrying the
+        stage and program.
+        """
         prepared = self._programs.get(name)
         if prepared is None:
-            prog, module = build_suite_program(name)
-            spec = prog.spec
-            ref_blocks = max(10_000, int(spec.ref_blocks * self.scale))
-            test_blocks = max(5_000, int(spec.test_blocks * self.scale))
-            prog, module = build_suite_program(
-                name, ref_blocks=ref_blocks, test_blocks=test_blocks
-            )
-            prepared = PreparedProgram(
-                prog=prog,
-                module=module,
-                test_bundle=collect_trace(module, prog.spec.test_input()),
-                ref_bundle=collect_trace(module, prog.spec.ref_input()),
-            )
+            with error_context("prepare", program=name, reraise=ProfileError):
+                prog, module = build_suite_program(name)
+                spec = prog.spec
+                ref_blocks = max(10_000, int(spec.ref_blocks * self.scale))
+                test_blocks = max(5_000, int(spec.test_blocks * self.scale))
+                prog, module = build_suite_program(
+                    name, ref_blocks=ref_blocks, test_blocks=test_blocks
+                )
+                prepared = PreparedProgram(
+                    prog=prog,
+                    module=module,
+                    test_bundle=collect_trace(module, prog.spec.test_input()),
+                    ref_bundle=collect_trace(module, prog.spec.ref_input()),
+                )
             self._programs[name] = prepared
         return prepared
 
     def layout(self, name: str, layout_name: str) -> LayoutResult:
-        """Baseline or one of the four optimizers' layouts (memoized)."""
+        """Baseline or one of the four optimizers' layouts (memoized).
+
+        Unknown layout names and optimizer blow-ups raise
+        :class:`~repro.robust.errors.SimulationError` (stage ``optimize``).
+        """
         key = (name, layout_name)
         result = self._layouts.get(key)
         if result is None:
             prepared = self.program(name)
-            if layout_name == BASELINE:
-                result = baseline_layout(prepared.module)
-            else:
-                optimizer = OPTIMIZERS[layout_name]
-                result = optimizer(
-                    prepared.module, prepared.test_bundle, self.optimizer_config
-                )
+            with error_context("optimize", program=name, layout=layout_name):
+                if layout_name == BASELINE:
+                    result = baseline_layout(prepared.module)
+                else:
+                    optimizer = OPTIMIZERS[layout_name]
+                    result = optimizer(
+                        prepared.module, prepared.test_bundle, self.optimizer_config
+                    )
             self._layouts[key] = result
         return result
 
@@ -179,9 +191,10 @@ class Lab:
         if stream is None:
             prepared = self.program(name)
             amap = self.layout(name, layout_name).address_map
-            stream = fetch_lines(
-                prepared.ref_bundle.bb_trace, amap, self.cache_cfg.line_bytes
-            ).astype(np.int32)
+            with error_context("fetch", program=name, layout=layout_name):
+                stream = fetch_lines(
+                    prepared.ref_bundle.bb_trace, amap, self.cache_cfg.line_bytes
+                ).astype(np.int32)
             self._lines[key] = stream
         return stream
 
@@ -189,25 +202,26 @@ class Lab:
 
     def solo_miss(self, name: str, layout_name: str, channel: str = "hw") -> MissRatios:
         """Solo miss measurement through the given channel ('hw' or 'sim')."""
+        if channel not in ("sim", "hw"):
+            raise ValueError(f"unknown channel {channel!r}")
         key = (name, layout_name, channel)
         result = self._solo.get(key)
         if result is None:
             prepared = self.program(name)
             stream = self.lines(name, layout_name)
-            if channel == "sim":
-                stats = simulate(stream, self.cache_cfg, prefetch=False)
-                result = MissRatios(stats.misses, prepared.instr_count)
-            elif channel == "hw":
-                reading = measure_solo(
-                    stream,
-                    prepared.instr_count,
-                    self.cache_cfg,
-                    noise_sigma=self.noise_sigma,
-                    measurement_id=f"{name}/{layout_name}",
-                )
-                result = MissRatios(reading.icache_misses, reading.instructions)
-            else:
-                raise ValueError(f"unknown channel {channel!r}")
+            with error_context("simulate", program=name, layout=layout_name):
+                if channel == "sim":
+                    stats = simulate(stream, self.cache_cfg, prefetch=False)
+                    result = MissRatios(stats.misses, prepared.instr_count)
+                else:
+                    reading = measure_solo(
+                        stream,
+                        prepared.instr_count,
+                        self.cache_cfg,
+                        noise_sigma=self.noise_sigma,
+                        measurement_id=f"{name}/{layout_name}",
+                    )
+                    result = MissRatios(reading.icache_misses, reading.instructions)
             self._solo[key] = result
         return result
 
@@ -222,6 +236,8 @@ class Lab:
         Per-thread misses are normalized to one pass of each program's ref
         stream, so ratios stay comparable to solo measurements.
         """
+        if channel not in ("sim", "hw"):
+            raise ValueError(f"unknown channel {channel!r}")
         key = (a, b, channel)
         result = self._corun.get(key)
         if result is not None:
@@ -235,29 +251,28 @@ class Lab:
 
         pa, pb = self.program(a[0]), self.program(b[0])
         sa, sb = self.lines(*a), self.lines(*b) + THREAD_STRIDE
-        if channel == "sim":
-            stats = simulate_shared(
-                [sa, sb], self.cache_cfg, quantum=self.quantum, prefetch=False
-            )
-            result = (
-                _per_pass(stats[0], len(sa), pa.instr_count),
-                _per_pass(stats[1], len(sb), pb.instr_count),
-            )
-        elif channel == "hw":
-            readings = measure_corun(
-                [sa, sb],
-                [pa.instr_count, pb.instr_count],
-                self.cache_cfg,
-                quantum=self.quantum,
-                noise_sigma=self.noise_sigma,
-                measurement_id=f"{a[0]}/{a[1]}|{b[0]}/{b[1]}",
-            )
-            result = (
-                MissRatios(readings[0].icache_misses, readings[0].instructions),
-                MissRatios(readings[1].icache_misses, readings[1].instructions),
-            )
-        else:
-            raise ValueError(f"unknown channel {channel!r}")
+        with error_context("simulate", program=f"{a[0]}|{b[0]}", layout=f"{a[1]}|{b[1]}"):
+            if channel == "sim":
+                stats = simulate_shared(
+                    [sa, sb], self.cache_cfg, quantum=self.quantum, prefetch=False
+                )
+                result = (
+                    _per_pass(stats[0], len(sa), pa.instr_count),
+                    _per_pass(stats[1], len(sb), pb.instr_count),
+                )
+            else:
+                readings = measure_corun(
+                    [sa, sb],
+                    [pa.instr_count, pb.instr_count],
+                    self.cache_cfg,
+                    quantum=self.quantum,
+                    noise_sigma=self.noise_sigma,
+                    measurement_id=f"{a[0]}/{a[1]}|{b[0]}/{b[1]}",
+                )
+                result = (
+                    MissRatios(readings[0].icache_misses, readings[0].instructions),
+                    MissRatios(readings[1].icache_misses, readings[1].instructions),
+                )
         self._corun[key] = result
         return result
 

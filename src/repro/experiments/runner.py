@@ -1,9 +1,25 @@
-"""Experiment registry and command-line runner.
+"""Experiment registry and hardened command-line runner.
 
 ``python -m repro.experiments`` runs every table/figure reproduction and
 prints the paper-shaped output; ``--only fig5 --scale 0.25`` narrows and
 shrinks the run.  The same registry backs the pytest-benchmark harness in
 ``benchmarks/``.
+
+The runner is built for long, messy batch runs:
+
+* every experiment executes in its own isolation boundary — a failure is
+  caught, typed (:class:`~repro.robust.errors.SimulationError` et al.),
+  and summarized instead of aborting the interpreter with a traceback;
+* ``--keep-going`` continues the suite past failures and exits nonzero
+  with a failure summary;
+* a JSONL run journal (written whenever ``--journal``, ``--keep-going``
+  or ``--resume`` is in play) records each outcome crash-safely, and
+  ``--resume`` skips experiments the journal already shows completed;
+* ``--retries N`` re-attempts a failed experiment up to N extra times —
+  mainly useful for the seed-sensitive ablations;
+* ``--inject-fault ID`` is a fault-injection drill: it forces that
+  experiment to fail so operators (and the test suite) can verify the
+  keep-going/journal/resume machinery end to end.
 """
 
 from __future__ import annotations
@@ -11,8 +27,12 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, TextIO
 
+from ..robust.errors import ReproError, SimulationError
+from ..robust.journal import RunJournal
 from . import (
     ablations,
     exp_cache_sweep,
@@ -33,7 +53,18 @@ from . import (
 from .pipeline import Lab
 from .report import ExperimentResult
 
-__all__ = ["EXPERIMENTS", "run_experiment", "run_all", "main"]
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentOutcome",
+    "UnknownExperimentError",
+    "run_experiment",
+    "run_all",
+    "run_suite",
+    "main",
+]
+
+#: default run-journal path (see ``--journal``).
+DEFAULT_JOURNAL = "repro-experiments.jsonl"
 
 #: experiment id -> driver. Drivers take a Lab and return ExperimentResult.
 EXPERIMENTS: dict[str, Callable[[Lab], ExperimentResult]] = {
@@ -59,20 +90,169 @@ EXPERIMENTS: dict[str, Callable[[Lab], ExperimentResult]] = {
 }
 
 
+class UnknownExperimentError(ReproError, KeyError):
+    """An experiment id not present in the registry.
+
+    Doubles as :class:`KeyError` for callers that predate the taxonomy.
+    """
+
+    def __init__(self, exp_id: str):
+        self.exp_id = exp_id
+        super().__init__(
+            f"unknown experiment {exp_id!r}; known: {', '.join(EXPERIMENTS)}",
+            stage="experiment",
+            defect=f"unknown id {exp_id!r}",
+        )
+
+
 def run_experiment(exp_id: str, lab: Lab) -> ExperimentResult:
     """Run one experiment by id against a shared lab."""
     try:
         driver = EXPERIMENTS[exp_id]
     except KeyError:
-        raise KeyError(
-            f"unknown experiment {exp_id!r}; known: {', '.join(EXPERIMENTS)}"
-        ) from None
+        raise UnknownExperimentError(exp_id) from None
     return driver(lab)
 
 
 def run_all(lab: Lab, only: list[str] | None = None) -> list[ExperimentResult]:
     ids = only or list(EXPERIMENTS)
     return [run_experiment(i, lab) for i in ids]
+
+
+# -- hardened suite execution ------------------------------------------------
+
+@dataclass
+class ExperimentOutcome:
+    """The isolated result of one experiment slot in a suite run."""
+
+    exp_id: str
+    #: "ok", "failed", or "skipped" (journal said already complete).
+    status: str
+    elapsed_s: float = 0.0
+    attempts: int = 0
+    result: Optional[ExperimentResult] = None
+    error: Optional[ReproError] = None
+
+
+def _as_repro_error(exp_id: str, err: Exception) -> ReproError:
+    """Type any escaped exception; ReproErrors pass through annotated."""
+    if isinstance(err, ReproError):
+        return err.ensure_context(stage="experiment")
+    wrapped = SimulationError(
+        f"experiment {exp_id!r} failed",
+        stage="experiment",
+        defect=type(err).__name__,
+        cause=err,
+    )
+    wrapped.__cause__ = err
+    return wrapped
+
+
+def run_suite(
+    lab: Lab,
+    ids: list[str],
+    *,
+    keep_going: bool = False,
+    journal: Optional[RunJournal] = None,
+    resume: bool = False,
+    retries: int = 0,
+    inject_fault: Optional[str] = None,
+    out: Optional[TextIO] = None,
+) -> list[ExperimentOutcome]:
+    """Run ``ids`` with per-experiment isolation.
+
+    Each experiment's failure is captured as a typed
+    :class:`~repro.robust.errors.ReproError` in its
+    :class:`ExperimentOutcome` (and journal entry).  Without
+    ``keep_going`` the suite stops after the first failure — but still
+    returns outcomes instead of raising, so the caller always gets the
+    journal-consistent picture.  ``resume`` skips ids the journal's
+    latest entry marks ``ok``.  ``retries`` grants each failing
+    experiment that many extra attempts.  ``inject_fault`` forces the
+    named experiment to fail (a drill for the failure machinery).
+    """
+    out = out or sys.stdout
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        raise UnknownExperimentError(unknown[0])
+
+    already_done = journal.completed() if (journal and resume) else set()
+    outcomes: list[ExperimentOutcome] = []
+    for exp_id in ids:
+        if exp_id in already_done:
+            outcomes.append(ExperimentOutcome(exp_id, "skipped"))
+            print(f"== {exp_id}: skipped (journal: already complete) ==", file=out)
+            print(file=out)
+            continue
+
+        outcome = ExperimentOutcome(exp_id, "failed")
+        start = time.time()
+        for attempt in range(1, retries + 2):
+            outcome.attempts = attempt
+            try:
+                if inject_fault == exp_id:
+                    raise SimulationError(
+                        f"injected fault in experiment {exp_id!r} (drill)",
+                        stage="experiment",
+                        defect="injected fault",
+                    )
+                outcome.result = run_experiment(exp_id, lab)
+                outcome.status = "ok"
+                outcome.error = None
+                break
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as err:
+                outcome.error = _as_repro_error(exp_id, err)
+                if attempt <= retries:
+                    print(
+                        f"!! {exp_id}: attempt {attempt} failed "
+                        f"({outcome.error}); retrying",
+                        file=out,
+                    )
+        outcome.elapsed_s = time.time() - start
+
+        if journal is not None:
+            journal.record(
+                exp_id,
+                outcome.status,
+                elapsed_s=outcome.elapsed_s,
+                attempts=outcome.attempts,
+                error=outcome.error.to_dict() if outcome.error else None,
+            )
+        if outcome.status == "ok":
+            print(outcome.result.to_text(), file=out)
+            print(f"  [{outcome.elapsed_s:.1f}s]", file=out)
+        else:
+            print(f"== {exp_id}: FAILED ==", file=out)
+            print(f"  {outcome.error}", file=out)
+            print(f"  [{outcome.elapsed_s:.1f}s, {outcome.attempts} attempt(s)]", file=out)
+        print(file=out)
+        outcomes.append(outcome)
+
+        if outcome.status == "failed" and not keep_going:
+            break
+    return outcomes
+
+
+def _summarize(outcomes: list[ExperimentOutcome], out: TextIO) -> None:
+    ok = sum(1 for o in outcomes if o.status == "ok")
+    skipped = sum(1 for o in outcomes if o.status == "skipped")
+    failed = [o for o in outcomes if o.status == "failed"]
+    line = f"suite: {ok} ok, {len(failed)} failed, {skipped} skipped"
+    print(line, file=out)
+    for o in failed:
+        print(f"  FAILED {o.exp_id}: {o.error}", file=out)
+
+
+def _positive_scale(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"scale must be a number, got {text!r}")
+    if not 0.0 < value <= 1.0:
+        raise argparse.ArgumentTypeError(f"scale must be in (0, 1], got {value}")
+    return value
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -82,7 +262,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--scale",
-        type=float,
+        type=_positive_scale,
         default=1.0,
         help="trace-budget multiplier in (0,1]; smaller = faster",
     )
@@ -92,17 +272,76 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help=f"experiment ids to run (default: all). Known: {', '.join(EXPERIMENTS)}",
     )
+    parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="continue past failed experiments; summarize failures and exit nonzero",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip experiments the run journal already shows completed",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="extra attempts for a failed experiment (for seed-sensitive ablations)",
+    )
+    parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help=f"run-journal path (default {DEFAULT_JOURNAL}; journaling is on "
+        "whenever --journal, --keep-going or --resume is given)",
+    )
+    parser.add_argument(
+        "--inject-fault",
+        default=None,
+        metavar="ID",
+        help="fault-injection drill: force this experiment to fail",
+    )
     args = parser.parse_args(argv)
 
+    ids = args.only if args.only is not None else list(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"error: unknown experiment id(s): {', '.join(sorted(unknown))}\n"
+            f"known ids: {', '.join(EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.retries < 0:
+        print("error: --retries must be >= 0", file=sys.stderr)
+        return 2
+    if args.inject_fault is not None and args.inject_fault not in EXPERIMENTS:
+        print(
+            f"error: --inject-fault names unknown experiment "
+            f"{args.inject_fault!r}\nknown ids: {', '.join(EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    journal: Optional[RunJournal] = None
+    if args.journal is not None or args.keep_going or args.resume:
+        journal = RunJournal(Path(args.journal or DEFAULT_JOURNAL))
+
     lab = Lab(scale=args.scale)
-    for exp_id in args.only or list(EXPERIMENTS):
-        start = time.time()
-        result = run_experiment(exp_id, lab)
-        elapsed = time.time() - start
-        print(result.to_text())
-        print(f"  [{elapsed:.1f}s]")
-        print()
-    return 0
+    outcomes = run_suite(
+        lab,
+        ids,
+        keep_going=args.keep_going,
+        journal=journal,
+        resume=args.resume,
+        retries=args.retries,
+        inject_fault=args.inject_fault,
+    )
+    _summarize(outcomes, sys.stdout)
+    if journal is not None:
+        print(f"journal: {journal.path}")
+    return 1 if any(o.status == "failed" for o in outcomes) else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 import numpy as np
 
 from ..ir.module import INSTRUCTION_BYTES, Module
+from ..robust.errors import ReproError
 from .diagnostics import Diagnostic, Severity
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -39,16 +40,25 @@ __all__ = [
 RULE_INTEGRITY = "L006"
 
 
-class LayoutError(ValueError):
+class LayoutError(ReproError, ValueError):
     """A layout order or address map violates a structural invariant.
 
-    Subclasses :class:`ValueError` so long-standing callers that caught the
-    transforms' original bare ``ValueError`` keep working.
+    Part of the :class:`~repro.robust.errors.ReproError` taxonomy (so
+    batch pipelines can triage it alongside ``ProfileError`` /
+    ``ArtifactError``), and still a :class:`ValueError` so long-standing
+    callers that caught the transforms' original bare ``ValueError`` keep
+    working.  The triggering lint diagnostics ride along in
+    :attr:`diagnostics` and in the machine-readable context.
     """
 
     def __init__(self, diagnostics: Sequence[Diagnostic]):
         self.diagnostics = list(diagnostics)
-        super().__init__("; ".join(d.message for d in self.diagnostics))
+        super().__init__(
+            "; ".join(d.message for d in self.diagnostics),
+            stage="layout",
+            defect=self.diagnostics[0].rule if self.diagnostics else None,
+            diagnostics=[d.to_dict() for d in self.diagnostics],
+        )
 
 
 def _diag(severity: Severity, location: str, message: str, **measured) -> Diagnostic:

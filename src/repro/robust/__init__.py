@@ -1,0 +1,42 @@
+"""Robustness subsystem: error taxonomy, crash-safe IO, fault injection.
+
+Real layout pipelines are long-running batch jobs over messy profiles;
+profile collection and ingestion are the fragile stages.  This package
+makes the instrument -> optimize -> simulate -> persist pipeline survive
+bad inputs, crashes, and partial failures:
+
+- :mod:`repro.robust.errors` — the :class:`ReproError` taxonomy
+  (``ProfileError``, ``SimulationError``, ``ArtifactError``, joined by
+  :class:`repro.lint.integrity.LayoutError`) with machine-readable
+  context;
+- :mod:`repro.robust.atomic` — write-temp-then-rename persistence, so a
+  killed build leaves the old artifact or none, never a truncated file;
+- :mod:`repro.robust.journal` — the append-only JSONL run journal behind
+  ``python -m repro.experiments --resume``;
+- :mod:`repro.robust.faults` — deterministic fault injection (truncation,
+  bit flips, out-of-range gids, crash points) used by ``tests/robust/``
+  to prove every entry point degrades with a typed error.
+"""
+
+from .atomic import atomic_write, atomic_write_bytes, atomic_write_text
+from .errors import (
+    ArtifactError,
+    ProfileError,
+    ReproError,
+    SimulationError,
+    error_context,
+)
+from .journal import JournalEntry, RunJournal
+
+__all__ = [
+    "ArtifactError",
+    "JournalEntry",
+    "ProfileError",
+    "ReproError",
+    "RunJournal",
+    "SimulationError",
+    "atomic_write",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "error_context",
+]

@@ -1,0 +1,175 @@
+"""Structured error taxonomy for the whole pipeline.
+
+Every failure the reproduction can produce — a malformed external profile,
+a corrupted on-disk artifact, a pipeline stage blowing up on bad input —
+is reported as a :class:`ReproError` subclass carrying machine-readable
+context (pipeline stage, program, layout, offending path, defect, and the
+original cause).  Long-running batch jobs over messy profiles need to
+triage failures programmatically; a bare ``KeyError`` from three layers
+down cannot be triaged, a ``ProfileError(stage="ingest", path=...,
+defect="missing column 'bytes'")`` can.
+
+The taxonomy::
+
+    ReproError                      root; .context dict + .to_dict()
+    ├── ProfileError (ValueError)   profile collection / ingestion defects
+    ├── SimulationError             a pipeline stage failed (optimize,
+    │                               simulate, measure, experiment)
+    ├── ArtifactError               an on-disk artifact is missing,
+    │                               truncated, or corrupt
+    └── LayoutError (ValueError)    structural layout-invariant violation
+                                    (defined in :mod:`repro.lint.integrity`,
+                                    joins the taxonomy by inheritance)
+
+``ProfileError`` and ``LayoutError`` also subclass :class:`ValueError` so
+callers that predate the taxonomy and catch ``ValueError`` keep working.
+
+This module is a leaf: it imports only the standard library, so every
+other subsystem (lint, compiler, engine, workloads, experiments) can
+depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional, Type
+
+__all__ = [
+    "ArtifactError",
+    "ProfileError",
+    "ReproError",
+    "SimulationError",
+    "error_context",
+]
+
+#: context keys rendered (in this order) after the message.
+_CONTEXT_KEYS = ("stage", "program", "layout", "path", "defect")
+
+
+class ReproError(Exception):
+    """Root of the pipeline's error taxonomy.
+
+    Parameters beyond ``message`` are free-form context.  The well-known
+    keys — ``stage``, ``program``, ``layout``, ``path``, ``defect``,
+    ``cause`` — are also exposed as attributes; anything else lands in
+    :attr:`context` only.
+    """
+
+    def __init__(self, message: str, *, cause: Optional[BaseException] = None, **context: Any):
+        self.message = message
+        self.cause = cause
+        self.context: dict[str, Any] = {
+            k: v for k, v in context.items() if v is not None
+        }
+        super().__init__(self._render())
+
+    def _render(self) -> str:
+        parts = [self.message]
+        tags = [
+            f"{key}={self.context[key]}"
+            for key in _CONTEXT_KEYS
+            if key in self.context
+        ]
+        if tags:
+            parts.append(f"[{', '.join(tags)}]")
+        if self.cause is not None:
+            parts.append(f"(caused by {type(self.cause).__name__}: {self.cause})")
+        return " ".join(parts)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def stage(self) -> Optional[str]:
+        return self.context.get("stage")
+
+    @property
+    def program(self) -> Optional[str]:
+        return self.context.get("program")
+
+    @property
+    def layout(self) -> Optional[str]:
+        return self.context.get("layout")
+
+    @property
+    def path(self) -> Optional[str]:
+        p = self.context.get("path")
+        return None if p is None else str(p)
+
+    @property
+    def defect(self) -> Optional[str]:
+        return self.context.get("defect")
+
+    def ensure_context(self, **context: Any) -> "ReproError":
+        """Fill in context keys that are not already set (outer pipeline
+        layers annotate errors raised deeper down without clobbering the
+        more precise inner context)."""
+        for key, value in context.items():
+            if value is not None and key not in self.context:
+                self.context[key] = value
+        self.args = (self._render(),)
+        return self
+
+    def to_dict(self) -> dict[str, Any]:
+        """Machine-readable form, e.g. for the experiment run journal."""
+        out: dict[str, Any] = {
+            "type": type(self).__name__,
+            "message": self.message,
+        }
+        out.update(
+            (k, str(v) if k == "path" else v) for k, v in self.context.items()
+        )
+        if self.cause is not None:
+            out["cause"] = f"{type(self.cause).__name__}: {self.cause}"
+        return out
+
+
+class ProfileError(ReproError, ValueError):
+    """Profile collection or ingestion failed: a malformed external CSV,
+    a trace referencing unknown blocks, a non-integer trace dtype, a
+    module/profile mismatch.  Subclasses :class:`ValueError` because the
+    pre-taxonomy validation in :mod:`repro.workloads.external` raised bare
+    ``ValueError`` and callers may still catch that."""
+
+
+class SimulationError(ReproError):
+    """A pipeline stage (optimize, simulate, measure, experiment driver)
+    failed.  ``stage`` names the stage; ``cause`` carries the original
+    exception when the failure was wrapped rather than raised directly."""
+
+
+class ArtifactError(ReproError):
+    """An on-disk artifact (``layout-*.json``, ``report.json``,
+    ``trace.npz``, a run journal) is missing, truncated, or corrupt.
+    ``path`` names the file and ``defect`` describes what is wrong."""
+
+
+@contextmanager
+def error_context(
+    stage: str,
+    *,
+    program: Optional[str] = None,
+    layout: Optional[str] = None,
+    path: Optional[Any] = None,
+    reraise: Type[ReproError] = SimulationError,
+) -> Iterator[None]:
+    """Annotate or wrap anything raised inside the block.
+
+    A :class:`ReproError` escaping the block gains any missing context
+    keys and is re-raised unchanged; any other ``Exception`` is wrapped in
+    ``reraise`` with the original as ``cause``.  ``BaseException`` —
+    ``KeyboardInterrupt``, injected crashes — passes through untouched.
+    """
+    try:
+        yield
+    except ReproError as err:
+        err.ensure_context(stage=stage, program=program, layout=layout, path=path)
+        raise
+    except Exception as err:
+        raise reraise(
+            f"{stage} failed",
+            stage=stage,
+            program=program,
+            layout=layout,
+            path=path,
+            cause=err,
+        ) from err

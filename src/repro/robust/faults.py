@@ -1,0 +1,245 @@
+"""Deterministic fault injection for the robustness test suite.
+
+Layout pipelines are long-running batch jobs over messy inputs: profiles
+arrive truncated, traces reference blocks that were never mapped, a build
+is killed mid-write and leaves half a JSON file.  This module *produces*
+those defects on demand — deterministically, from an explicit seed — so
+the test suite can prove that every entry point degrades with a typed
+:class:`~repro.robust.errors.ReproError` instead of a raw ``KeyError`` /
+``IndexError`` / ``JSONDecodeError``.
+
+Three families:
+
+* **in-memory faults** — pure functions returning corrupted copies of
+  traces, block tables, and layout payloads;
+* **on-disk faults** — in-place file corruption (truncation, bit flips,
+  JSON field surgery);
+* **crash points** — named hooks (:func:`crash_at` / :func:`maybe_crash`)
+  that the atomic writer checks, so a test can kill a persist mid-write
+  and assert the old artifact survived intact.
+
+:class:`InjectedCrash` derives from ``BaseException`` on purpose: a real
+``kill -9`` is not catchable, so a simulated one must sail past every
+``except Exception`` in the pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+__all__ = [
+    "InjectedCrash",
+    "crash_at",
+    "maybe_crash",
+    "armed_crash_points",
+    "out_of_range_gids",
+    "negative_gids",
+    "float_trace",
+    "empty_trace",
+    "break_module_terminator",
+    "non_contiguous_functions",
+    "truncate_file",
+    "flip_bits",
+    "drop_json_key",
+    "misalign_json_array",
+]
+
+
+# -- crash points ------------------------------------------------------------
+
+class InjectedCrash(BaseException):
+    """Simulated process death at a named crash point.
+
+    Derives from ``BaseException`` so no ``except Exception`` handler in
+    the code under test can swallow it — exactly like a real SIGKILL.
+    """
+
+    def __init__(self, point: str, detail: str = ""):
+        self.point = point
+        self.detail = detail
+        super().__init__(f"injected crash at {point!r}" + (f" ({detail})" if detail else ""))
+
+
+#: currently armed crash-point names (module-level, test-scoped via crash_at).
+_ARMED: set[str] = set()
+
+#: crash points the atomic writer exposes, for discoverability.
+ATOMIC_PRE_RENAME = "atomic-write:pre-rename"
+ATOMIC_MID_WRITE = "atomic-write:mid-write"
+
+
+def maybe_crash(point: str, detail: str = "") -> None:
+    """Raise :class:`InjectedCrash` if ``point`` is armed.  Production code
+    calls this at its crash points; it is a no-op unless a test armed the
+    point via :func:`crash_at`."""
+    if point in _ARMED:
+        raise InjectedCrash(point, detail)
+
+
+@contextmanager
+def crash_at(point: str) -> Iterator[None]:
+    """Arm a crash point for the duration of the block."""
+    _ARMED.add(point)
+    try:
+        yield
+    finally:
+        _ARMED.discard(point)
+
+
+def armed_crash_points() -> frozenset[str]:
+    return frozenset(_ARMED)
+
+
+# -- in-memory faults --------------------------------------------------------
+
+def out_of_range_gids(
+    trace: np.ndarray, n_blocks: int, *, seed: int = 0, count: int = 4
+) -> np.ndarray:
+    """Copy of ``trace`` with ``count`` entries rewritten to gids >= n_blocks."""
+    rng = np.random.default_rng(seed)
+    bad = np.array(trace, copy=True)
+    if bad.size == 0:
+        return np.full(count, n_blocks + 7, dtype=np.int64)
+    idx = rng.choice(bad.size, size=min(count, bad.size), replace=False)
+    bad[idx] = n_blocks + rng.integers(1, 100, size=idx.size)
+    return bad
+
+
+def negative_gids(trace: np.ndarray, *, seed: int = 0, count: int = 4) -> np.ndarray:
+    """Copy of ``trace`` with ``count`` entries rewritten to negative gids."""
+    rng = np.random.default_rng(seed)
+    bad = np.array(trace, copy=True)
+    if bad.size == 0:
+        return np.full(count, -3, dtype=np.int64)
+    idx = rng.choice(bad.size, size=min(count, bad.size), replace=False)
+    bad[idx] = -rng.integers(1, 50, size=idx.size)
+    return bad
+
+
+def float_trace(trace: np.ndarray) -> np.ndarray:
+    """The trace as float64 with a fractional entry — the classic silent
+    ``astype(int)`` truncation hazard."""
+    bad = np.asarray(trace, dtype=np.float64).copy()
+    if bad.size:
+        bad[bad.size // 2] += 0.5
+    else:
+        bad = np.array([0.5])
+    return bad
+
+
+def empty_trace() -> np.ndarray:
+    """A zero-length integer trace."""
+    return np.empty(0, dtype=np.int64)
+
+
+class _BrokenTerminator:
+    """An object no interpreter dispatch recognizes — stands in for a
+    clobbered control-transfer instruction."""
+
+    targets: tuple = ()
+    callee = None
+
+    def __repr__(self) -> str:  # pragma: no cover - repr only
+        return "<broken terminator>"
+
+
+def break_module_terminator(module: Any, gid: int = 0) -> None:
+    """Corrupt a (sealed) module in place: replace one block's terminator
+    with garbage, so the next instrumented run hits an unknown control
+    transfer.  Duck-typed on purpose — the harness stays import-light."""
+    module.block_by_gid(gid).terminator = _BrokenTerminator()
+
+
+def non_contiguous_functions(func_of_block: Sequence[int]) -> list[int]:
+    """A func-of-block table whose first function's blocks are split by a
+    foreign block — violates the contiguity contract of ``from_profile``."""
+    table = list(func_of_block)
+    if len(table) < 3 or len(set(table)) < 2:
+        raise ValueError("need >= 3 blocks over >= 2 functions to interleave")
+    other = next(fi for fi in table if fi != table[0])
+    table[1] = other
+    return table
+
+
+# -- on-disk faults ----------------------------------------------------------
+
+def truncate_file(path: str | Path, *, keep_fraction: float = 0.5) -> int:
+    """Truncate a file in place to ``keep_fraction`` of its bytes (at least
+    one byte short of full).  Returns the new size."""
+    p = Path(path)
+    size = p.stat().st_size
+    keep = min(int(size * keep_fraction), size - 1)
+    keep = max(keep, 0)
+    with p.open("rb+") as fh:
+        fh.truncate(keep)
+    return keep
+
+
+def flip_bits(path: str | Path, *, seed: int = 0, count: int = 8) -> list[int]:
+    """Flip ``count`` deterministic bits in the file.  Returns the byte
+    offsets touched."""
+    p = Path(path)
+    data = bytearray(p.read_bytes())
+    if not data:
+        raise ValueError(f"cannot flip bits in empty file {p}")
+    rng = np.random.default_rng(seed)
+    offsets = sorted(
+        int(i) for i in rng.choice(len(data), size=min(count, len(data)), replace=False)
+    )
+    for off in offsets:
+        data[off] ^= 1 << int(rng.integers(0, 8))
+    p.write_bytes(bytes(data))
+    return offsets
+
+
+def drop_json_key(path: str | Path, key: str) -> None:
+    """Remove a top-level key from a JSON file (schema corruption)."""
+    p = Path(path)
+    payload = json.loads(p.read_text())
+    if key not in payload:
+        raise KeyError(f"{p} has no top-level key {key!r}")
+    del payload[key]
+    p.write_text(json.dumps(payload, indent=1))
+
+
+def misalign_json_array(path: str | Path, key: str, *, drop: int = 1) -> None:
+    """Shorten a top-level JSON array by ``drop`` entries (length-mismatch
+    corruption, e.g. ``starts`` no longer parallel to ``order``)."""
+    p = Path(path)
+    payload = json.loads(p.read_text())
+    value = payload.get(key)
+    if not isinstance(value, list) or len(value) < drop:
+        raise ValueError(f"{p}: key {key!r} is not an array of >= {drop} entries")
+    payload[key] = value[: len(value) - drop]
+    p.write_text(json.dumps(payload, indent=1))
+
+
+def corrupt_layout_payload(payload: dict, defect: str) -> dict[str, Any]:
+    """Return a corrupted copy of a layout JSON payload.
+
+    Defects: ``drop-kind``, ``bad-kind``, ``duplicate-gid``,
+    ``length-mismatch``, ``negative-start``.
+    """
+    bad = json.loads(json.dumps(payload))  # deep copy via JSON round-trip
+    if defect == "drop-kind":
+        del bad["kind"]
+    elif defect == "bad-kind":
+        bad["kind"] = "no-such-layout-kind"
+    elif defect == "duplicate-gid":
+        # keep the length so the defect is the duplication, not a mismatch.
+        bad["order"] = bad["order"][:1] + bad["order"][:-1]
+    elif defect == "length-mismatch":
+        bad["starts"] = bad["starts"][:-1]
+    elif defect == "negative-start":
+        bad["starts"] = [-8] + bad["starts"][1:]
+    else:
+        raise ValueError(f"unknown layout defect {defect!r}")
+    return bad
+
+
+__all__.append("corrupt_layout_payload")

@@ -1,0 +1,134 @@
+"""Append-only JSONL journal of an experiment run.
+
+One line per finished experiment attempt::
+
+    {"exp_id": "fig5", "status": "ok", "elapsed_s": 12.3, "attempts": 1,
+     "finished_at": 1754460000.0, "error": null}
+
+The journal is the source of truth for ``--resume``: a later run reads it
+back and skips every experiment already recorded with ``status == "ok"``.
+Records are flushed and fsynced line-by-line, so a crash loses at most
+the line being written — and the reader tolerates exactly that, ignoring
+a truncated or garbled trailing line instead of dying on it (a journal
+describing a crash must itself survive the crash).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from .errors import ArtifactError
+
+__all__ = ["JournalEntry", "RunJournal"]
+
+#: statuses a journal entry may carry.
+STATUSES = ("ok", "failed", "skipped")
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One finished experiment attempt."""
+
+    exp_id: str
+    status: str
+    elapsed_s: float = 0.0
+    attempts: int = 1
+    finished_at: float = 0.0
+    #: machine-readable error (ReproError.to_dict()) for failed entries.
+    error: Optional[dict] = None
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "exp_id": self.exp_id,
+                "status": self.status,
+                "elapsed_s": round(self.elapsed_s, 3),
+                "attempts": self.attempts,
+                "finished_at": self.finished_at,
+                "error": self.error,
+            },
+            sort_keys=True,
+        )
+
+
+class RunJournal:
+    """Append-only experiment journal at ``path``."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    def record(
+        self,
+        exp_id: str,
+        status: str,
+        *,
+        elapsed_s: float = 0.0,
+        attempts: int = 1,
+        error: Optional[dict] = None,
+    ) -> JournalEntry:
+        """Append one entry, flushed and fsynced before returning."""
+        if status not in STATUSES:
+            raise ValueError(f"status must be one of {STATUSES}, got {status!r}")
+        entry = JournalEntry(
+            exp_id=exp_id,
+            status=status,
+            elapsed_s=elapsed_s,
+            attempts=attempts,
+            finished_at=time.time(),
+            error=error,
+        )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as fh:
+            fh.write(entry.to_json() + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        return entry
+
+    def entries(self) -> list[JournalEntry]:
+        """Read the journal back, tolerating a truncated trailing line.
+
+        A garbled line anywhere *except* the end is a real corruption and
+        raises :class:`~repro.robust.errors.ArtifactError`; a bad final
+        line is the expected signature of a crash mid-append and is
+        dropped silently.
+        """
+        if not self.path.exists():
+            return []
+        out: list[JournalEntry] = []
+        lines = self.path.read_text().splitlines()
+        for lineno, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                raw = json.loads(line)
+                entry = JournalEntry(
+                    exp_id=raw["exp_id"],
+                    status=raw["status"],
+                    elapsed_s=float(raw.get("elapsed_s", 0.0)),
+                    attempts=int(raw.get("attempts", 1)),
+                    finished_at=float(raw.get("finished_at", 0.0)),
+                    error=raw.get("error"),
+                )
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as err:
+                if lineno == len(lines):
+                    break  # torn final line: crash signature, drop it.
+                raise ArtifactError(
+                    f"journal line {lineno} is corrupt",
+                    path=self.path,
+                    defect="garbled interior line",
+                    cause=err,
+                ) from err
+            out.append(entry)
+        return out
+
+    def completed(self) -> set[str]:
+        """Experiment ids whose *latest* entry has ``status == "ok"``."""
+        latest: dict[str, str] = {}
+        for entry in self.entries():
+            latest[entry.exp_id] = entry.status
+        return {exp_id for exp_id, status in latest.items() if status == "ok"}

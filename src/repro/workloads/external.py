@@ -26,8 +26,12 @@ import numpy as np
 from ..engine.instrument import TraceBundle
 from ..ir.builder import ModuleBuilder
 from ..ir.module import INSTRUCTION_BYTES, Module
+from ..robust.errors import ProfileError
 
 __all__ = ["from_profile", "load_profile_csv"]
+
+#: columns the blocks CSV must carry.
+_BLOCK_COLUMNS = ("block_id", "function", "bytes")
 
 
 def from_profile(
@@ -59,12 +63,33 @@ def from_profile(
     """
     n_blocks = len(block_bytes)
     if len(func_of_block) != n_blocks:
-        raise ValueError("block_bytes and func_of_block must align")
+        raise ProfileError(
+            "block_bytes and func_of_block must align",
+            stage="ingest",
+            program=name,
+            defect=f"{n_blocks} block sizes vs {len(func_of_block)} owners",
+        )
     if n_blocks == 0:
-        raise ValueError("need at least one block")
+        raise ProfileError(
+            "need at least one block", stage="ingest", program=name, defect="empty block table"
+        )
     trace = np.asarray(bb_trace)
+    if trace.size and not np.issubdtype(trace.dtype, np.integer):
+        raise ProfileError(
+            f"trace has non-integer dtype {trace.dtype}; block ids must be "
+            "integers (a float trace would be silently truncated)",
+            stage="ingest",
+            program=name,
+            defect=f"trace dtype {trace.dtype}",
+        )
     if trace.size and (trace.min() < 0 or trace.max() >= n_blocks):
-        raise ValueError("trace references unknown block ids")
+        raise ProfileError(
+            "trace references unknown block ids",
+            stage="ingest",
+            program=name,
+            defect=f"trace ids span [{int(trace.min())}, {int(trace.max())}], "
+            f"table has {n_blocks} blocks",
+        )
 
     # validate contiguity and build per-function block lists.
     blocks_of: dict[int, list[int]] = {}
@@ -72,16 +97,30 @@ def from_profile(
     for gid, fi in enumerate(func_of_block):
         if fi not in blocks_of:
             if fi != len(blocks_of):
-                raise ValueError(
-                    "functions must be numbered in first-block order"
+                raise ProfileError(
+                    "functions must be numbered in first-block order",
+                    stage="ingest",
+                    program=name,
+                    defect=f"function {fi} first appears at block {gid}, "
+                    f"expected index {len(blocks_of)}",
                 )
             blocks_of[fi] = []
         elif prev_func != fi:
-            raise ValueError(f"blocks of function {fi} are not contiguous")
+            raise ProfileError(
+                f"blocks of function {fi} are not contiguous",
+                stage="ingest",
+                program=name,
+                defect=f"function {fi} re-appears at block {gid}",
+            )
         blocks_of[fi].append(gid)
         prev_func = fi
     if len(blocks_of) != len(function_names):
-        raise ValueError("function_names must cover every function index")
+        raise ProfileError(
+            "function_names must cover every function index",
+            stage="ingest",
+            program=name,
+            defect=f"{len(blocks_of)} functions vs {len(function_names)} names",
+        )
 
     builder = ModuleBuilder(name, entry=function_names[0])
     for fi, gids in blocks_of.items():
@@ -139,28 +178,142 @@ def load_profile_csv(
 
     Functions are numbered by first appearance in the blocks file, which
     matches the "first-block order" requirement of :func:`from_profile`.
+
+    Every malformed input — a missing file, renamed or missing columns,
+    non-integer or non-positive ``bytes`` values, unsorted block ids,
+    non-integer trace lines, an empty trace — raises
+    :class:`~repro.robust.errors.ProfileError` naming the file and the
+    defect, never a raw ``KeyError`` / ``int()`` / numpy error.
     """
     import csv
     from pathlib import Path
 
+    blocks_path, trace_path = Path(blocks_csv), Path(trace_csv)
     block_bytes: list[int] = []
     func_of_block: list[int] = []
     function_names: list[str] = []
     func_index: dict[str, int] = {}
-    with Path(blocks_csv).open(newline="") as fh:
+    try:
+        fh = blocks_path.open(newline="")
+    except OSError as err:
+        raise ProfileError(
+            "blocks file is unreadable",
+            stage="ingest",
+            program=name,
+            path=blocks_path,
+            cause=err,
+        ) from err
+    with fh:
         reader = csv.DictReader(fh)
+        header = reader.fieldnames or []
+        missing = [c for c in _BLOCK_COLUMNS if c not in header]
+        if missing:
+            raise ProfileError(
+                f"blocks file is missing column(s): {', '.join(missing)} "
+                f"(header has: {', '.join(header) or 'nothing'})",
+                stage="ingest",
+                program=name,
+                path=blocks_path,
+                defect=f"missing columns {missing}",
+            )
         for expected_id, row in enumerate(reader):
-            if int(row["block_id"]) != expected_id:
-                raise ValueError(
+            lineno = expected_id + 2  # header is line 1
+            try:
+                block_id = int(row["block_id"])
+            except (TypeError, ValueError) as err:
+                raise ProfileError(
+                    f"blocks file line {lineno}: block_id {row['block_id']!r} "
+                    "is not an integer",
+                    stage="ingest",
+                    program=name,
+                    path=blocks_path,
+                    defect=f"non-integer block_id at line {lineno}",
+                    cause=err,
+                ) from err
+            if block_id != expected_id:
+                raise ProfileError(
                     f"blocks file must be sorted by block_id; saw "
-                    f"{row['block_id']} at position {expected_id}"
+                    f"{row['block_id']} at position {expected_id}",
+                    stage="ingest",
+                    program=name,
+                    path=blocks_path,
+                    defect=f"unsorted block_id at line {lineno}",
                 )
             func = row["function"]
+            if func is None or func == "":
+                raise ProfileError(
+                    f"blocks file line {lineno}: empty function name",
+                    stage="ingest",
+                    program=name,
+                    path=blocks_path,
+                    defect=f"empty function at line {lineno}",
+                )
+            try:
+                size = int(row["bytes"])
+            except (TypeError, ValueError) as err:
+                raise ProfileError(
+                    f"blocks file line {lineno}: bytes value {row['bytes']!r} "
+                    "is not an integer",
+                    stage="ingest",
+                    program=name,
+                    path=blocks_path,
+                    defect=f"non-integer bytes at line {lineno}",
+                    cause=err,
+                ) from err
+            if size <= 0:
+                raise ProfileError(
+                    f"blocks file line {lineno}: block size must be positive, "
+                    f"got {size}",
+                    stage="ingest",
+                    program=name,
+                    path=blocks_path,
+                    defect=f"non-positive bytes at line {lineno}",
+                )
             if func not in func_index:
                 func_index[func] = len(function_names)
                 function_names.append(func)
             func_of_block.append(func_index[func])
-            block_bytes.append(int(row["bytes"]))
+            block_bytes.append(size)
 
-    trace = np.loadtxt(Path(trace_csv), dtype=np.int64, ndmin=1)
+    trace = _load_trace_lines(name, trace_path)
     return from_profile(name, trace, block_bytes, func_of_block, function_names)
+
+
+def _load_trace_lines(name: str, trace_path) -> np.ndarray:
+    """Parse the one-id-per-line trace file with typed failure modes."""
+    try:
+        text = trace_path.read_text()
+    except OSError as err:
+        raise ProfileError(
+            "trace file is unreadable",
+            stage="ingest",
+            program=name,
+            path=trace_path,
+            cause=err,
+        ) from err
+    values: list[int] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        token = line.strip()
+        if not token:
+            continue
+        try:
+            values.append(int(token))
+        except ValueError as err:
+            raise ProfileError(
+                f"trace file line {lineno}: {token!r} is not an integer "
+                "block id",
+                stage="ingest",
+                program=name,
+                path=trace_path,
+                defect=f"non-integer trace entry at line {lineno}",
+                cause=err,
+            ) from err
+    if not values:
+        raise ProfileError(
+            "trace file holds no block ids (empty profile)",
+            stage="ingest",
+            program=name,
+            path=trace_path,
+            defect="empty trace",
+        )
+    return np.asarray(values, dtype=np.int64)

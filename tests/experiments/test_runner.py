@@ -68,11 +68,26 @@ def test_main_cli_runs_one_experiment(capsys):
     assert "optimal" in out
 
 
-def test_main_rejects_unknown_experiment():
+def test_main_rejects_unknown_experiment(capsys):
+    """A bad --only id exits 2 with the known-ids message, no traceback."""
     from repro.experiments.runner import main
 
-    with pytest.raises(KeyError):
-        main(["--scale", "0.05", "--only", "fig99"])
+    rc = main(["--scale", "0.05", "--only", "fig99"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment id(s): fig99" in err
+    assert "known ids:" in err
+    assert "ablation-seeds" in err
+
+
+def test_main_rejects_out_of_range_scale(capsys):
+    from repro.experiments.runner import main
+
+    for bad in ("0", "1.5", "-0.1", "banana"):
+        with pytest.raises(SystemExit) as exc:
+            main(["--scale", bad, "--only", "ablation-optimal-gap"])
+        assert exc.value.code == 2
+    assert "scale must be" in capsys.readouterr().err
 
 
 def test_run_all_with_subset():

@@ -1,0 +1,237 @@
+"""Artifact round-trips under corruption and injected crashes.
+
+Every corrupted on-disk artifact must surface as ArtifactError — never as
+JSONDecodeError / BadZipFile / KeyError — and the atomic writers must
+leave either the old artifact or none when killed mid-persist.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.compiler import load_layout, load_report, save_layout, save_report
+from repro.engine import InputSpec, collect_trace, load_bundle, save_bundle
+from repro.ir import baseline_layout
+from repro.robust import ArtifactError, atomic_write_text
+from repro.robust import faults
+from repro.robust.faults import (
+    ATOMIC_MID_WRITE,
+    ATOMIC_PRE_RENAME,
+    InjectedCrash,
+    crash_at,
+)
+
+
+@pytest.fixture
+def layout_file(tiny_module, tmp_path):
+    path = tmp_path / "layout-baseline.json"
+    save_layout(baseline_layout(tiny_module), path)
+    return path
+
+
+@pytest.fixture
+def bundle_file(tiny_module, tmp_path):
+    bundle = collect_trace(tiny_module, InputSpec("test", seed=1, max_blocks=2000))
+    path = tmp_path / "trace.npz"
+    save_bundle(bundle, path)
+    return path
+
+
+# -- layout json -------------------------------------------------------------
+
+def test_truncated_layout_json(layout_file):
+    faults.truncate_file(layout_file, keep_fraction=0.5)
+    with pytest.raises(ArtifactError) as exc:
+        load_layout(layout_file)
+    assert exc.value.path == str(layout_file)
+    assert "JSON" in str(exc.value)
+
+
+def test_missing_layout_file(tmp_path):
+    with pytest.raises(ArtifactError, match="does not exist"):
+        load_layout(tmp_path / "layout-nope.json")
+
+
+def test_layout_missing_key(layout_file):
+    faults.drop_json_key(layout_file, "order")
+    with pytest.raises(ArtifactError, match="missing key"):
+        load_layout(layout_file)
+
+
+def test_layout_array_length_mismatch(layout_file):
+    faults.misalign_json_array(layout_file, "starts")
+    with pytest.raises(ArtifactError, match="not parallel"):
+        load_layout(layout_file)
+
+
+@pytest.mark.parametrize(
+    "defect, match",
+    [
+        ("drop-kind", "missing key"),
+        ("bad-kind", "unknown kind"),
+        ("duplicate-gid", "not a permutation"),
+        ("length-mismatch", "not parallel"),
+        ("negative-start", "negative"),
+    ],
+)
+def test_layout_payload_defects(layout_file, defect, match):
+    payload = json.loads(layout_file.read_text())
+    bad = faults.corrupt_layout_payload(payload, defect)
+    layout_file.write_text(json.dumps(bad))
+    with pytest.raises(ArtifactError, match=match):
+        load_layout(layout_file)
+
+
+def test_intact_layout_roundtrips(layout_file, tiny_module):
+    loaded = load_layout(layout_file)
+    original = baseline_layout(tiny_module)
+    assert loaded.address_map.order == list(original.address_map.order)
+    assert np.array_equal(loaded.address_map.starts, original.address_map.starts)
+
+
+# -- report json -------------------------------------------------------------
+
+def test_truncated_report(tmp_path):
+    path = tmp_path / "report.json"
+    save_report({"program": "x", "layouts": {}}, path)
+    faults.truncate_file(path, keep_fraction=0.4)
+    with pytest.raises(ArtifactError) as exc:
+        load_report(path)
+    assert exc.value.path == str(path)
+
+
+def test_report_must_be_object(tmp_path):
+    path = tmp_path / "report.json"
+    path.write_text("[1, 2, 3]")
+    with pytest.raises(ArtifactError, match="JSON object"):
+        load_report(path)
+
+
+def test_missing_report(tmp_path):
+    with pytest.raises(ArtifactError, match="does not exist"):
+        load_report(tmp_path / "report.json")
+
+
+# -- trace bundle ------------------------------------------------------------
+
+def test_truncated_bundle(bundle_file):
+    faults.truncate_file(bundle_file, keep_fraction=0.5)
+    with pytest.raises(ArtifactError) as exc:
+        load_bundle(bundle_file)
+    assert exc.value.path == str(bundle_file)
+
+
+def test_bitflipped_bundle(bundle_file):
+    faults.flip_bits(bundle_file, seed=11, count=64)
+    with pytest.raises(ArtifactError):
+        load_bundle(bundle_file)
+
+
+def test_missing_bundle(tmp_path):
+    with pytest.raises(ArtifactError, match="does not exist"):
+        load_bundle(tmp_path / "trace.npz")
+
+
+def test_bundle_not_an_archive(tmp_path):
+    path = tmp_path / "trace.npz"
+    path.write_text("this is not a zip file at all")
+    with pytest.raises(ArtifactError, match="npz"):
+        load_bundle(path)
+
+
+def test_bundle_missing_array(tiny_module, tmp_path):
+    path = tmp_path / "trace.npz"
+    np.savez_compressed(path, bb_trace=np.array([0, 1, 2]))
+    with pytest.raises(ArtifactError, match="missing array"):
+        load_bundle(path)
+
+
+def test_bundle_out_of_range_gids(bundle_file, tmp_path):
+    good = load_bundle(bundle_file)
+    bad_path = tmp_path / "bad.npz"
+    np.savez_compressed(
+        bad_path,
+        program=np.array(good.program),
+        input_name=np.array(good.input_name),
+        bb_trace=faults.out_of_range_gids(good.bb_trace, good.n_static_blocks),
+        func_of_gid=good.func_of_gid,
+        block_names=np.array(good.block_names),
+        function_names=np.array(good.function_names),
+        instr_count=np.array(good.instr_count),
+        natural_exit=np.array(good.natural_exit),
+    )
+    with pytest.raises(ArtifactError, match="out of range"):
+        load_bundle(bad_path)
+
+
+def test_bundle_float_trace_rejected(bundle_file, tmp_path):
+    good = load_bundle(bundle_file)
+    bad_path = tmp_path / "bad.npz"
+    np.savez_compressed(
+        bad_path,
+        program=np.array(good.program),
+        input_name=np.array(good.input_name),
+        bb_trace=faults.float_trace(good.bb_trace),
+        func_of_gid=good.func_of_gid,
+        block_names=np.array(good.block_names),
+        function_names=np.array(good.function_names),
+        instr_count=np.array(good.instr_count),
+        natural_exit=np.array(good.natural_exit),
+    )
+    with pytest.raises(ArtifactError, match="non-integer"):
+        load_bundle(bad_path)
+
+
+# -- atomic persistence under injected crashes -------------------------------
+
+def _dir_entries(path):
+    return sorted(p.name for p in path.iterdir())
+
+
+def test_crash_before_rename_keeps_old_artifact(tmp_path):
+    path = tmp_path / "artifact.json"
+    atomic_write_text(path, '{"version": 1}')
+    with crash_at(ATOMIC_PRE_RENAME):
+        with pytest.raises(InjectedCrash):
+            atomic_write_text(path, '{"version": 2}')
+    assert json.loads(path.read_text()) == {"version": 1}
+    assert _dir_entries(tmp_path) == ["artifact.json"]  # no temp litter
+
+
+def test_crash_mid_write_leaves_no_file(tmp_path):
+    path = tmp_path / "artifact.json"
+    with crash_at(ATOMIC_MID_WRITE):
+        with pytest.raises(InjectedCrash):
+            atomic_write_text(path, '{"version": 1}')
+    assert _dir_entries(tmp_path) == []
+
+
+def test_crashed_save_layout_never_leaves_truncated_file(tiny_module, tmp_path):
+    """The acceptance scenario: kill a persisting build mid-write; the old
+    layout must load byte-identically afterwards."""
+    layout = baseline_layout(tiny_module)
+    path = tmp_path / "layout-baseline.json"
+    save_layout(layout, path)
+    before = path.read_bytes()
+    for point in (ATOMIC_MID_WRITE, ATOMIC_PRE_RENAME):
+        with crash_at(point):
+            with pytest.raises(InjectedCrash):
+                save_layout(layout, path)
+        assert path.read_bytes() == before
+        load_layout(path)  # still a valid artifact
+        assert _dir_entries(tmp_path) == ["layout-baseline.json"]
+
+
+def test_crashed_save_bundle_keeps_old_archive(tiny_module, tmp_path):
+    bundle = collect_trace(tiny_module, InputSpec("test", seed=1, max_blocks=2000))
+    path = tmp_path / "trace.npz"
+    save_bundle(bundle, path)
+    before = path.read_bytes()
+    with crash_at(ATOMIC_PRE_RENAME):
+        with pytest.raises(InjectedCrash):
+            save_bundle(bundle, path)
+    assert path.read_bytes() == before
+    loaded = load_bundle(path)
+    assert np.array_equal(loaded.bb_trace, bundle.bb_trace)
+    assert _dir_entries(tmp_path) == ["trace.npz"]

@@ -1,0 +1,94 @@
+"""Unit tests for the error taxonomy (repro.robust.errors)."""
+
+import pytest
+
+from repro.lint import LayoutError
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.robust import (
+    ArtifactError,
+    ProfileError,
+    ReproError,
+    SimulationError,
+    error_context,
+)
+
+
+def test_taxonomy_roots():
+    assert issubclass(ProfileError, ReproError)
+    assert issubclass(SimulationError, ReproError)
+    assert issubclass(ArtifactError, ReproError)
+    assert issubclass(LayoutError, ReproError)
+    # backward compatibility: pre-taxonomy callers caught ValueError.
+    assert issubclass(ProfileError, ValueError)
+    assert issubclass(LayoutError, ValueError)
+
+
+def test_context_attributes_and_rendering():
+    err = ProfileError(
+        "bad column", stage="ingest", program="app", path="/tmp/x.csv",
+        defect="missing column 'bytes'",
+    )
+    assert err.stage == "ingest"
+    assert err.program == "app"
+    assert err.path == "/tmp/x.csv"
+    assert err.defect == "missing column 'bytes'"
+    text = str(err)
+    assert "bad column" in text
+    assert "stage=ingest" in text
+    assert "missing column 'bytes'" in text
+
+
+def test_to_dict_is_machine_readable():
+    cause = KeyError("bytes")
+    err = ArtifactError("truncated", path="/tmp/a.json", defect="eof", cause=cause)
+    d = err.to_dict()
+    assert d["type"] == "ArtifactError"
+    assert d["message"] == "truncated"
+    assert d["path"] == "/tmp/a.json"
+    assert d["defect"] == "eof"
+    assert "KeyError" in d["cause"]
+
+
+def test_ensure_context_fills_only_missing_keys():
+    err = SimulationError("boom", stage="optimize")
+    err.ensure_context(stage="experiment", program="syn-mcf")
+    assert err.stage == "optimize"  # inner context wins
+    assert err.program == "syn-mcf"
+    assert "program=syn-mcf" in str(err)
+
+
+def test_error_context_wraps_foreign_exceptions():
+    with pytest.raises(SimulationError) as exc:
+        with error_context("simulate", program="p", layout="l"):
+            raise IndexError("index 9 is out of bounds")
+    err = exc.value
+    assert err.stage == "simulate"
+    assert err.program == "p"
+    assert err.layout == "l"
+    assert isinstance(err.cause, IndexError)
+    assert isinstance(err.__cause__, IndexError)
+
+
+def test_error_context_annotates_repro_errors_without_rewrapping():
+    inner = ProfileError("bad trace", defect="float dtype")
+    with pytest.raises(ProfileError) as exc:
+        with error_context("instrument", program="p"):
+            raise inner
+    assert exc.value is inner
+    assert exc.value.stage == "instrument"
+    assert exc.value.defect == "float dtype"
+
+
+def test_error_context_passes_base_exceptions_through():
+    with pytest.raises(KeyboardInterrupt):
+        with error_context("simulate"):
+            raise KeyboardInterrupt()
+
+
+def test_layout_error_carries_diagnostics_in_context():
+    diag = Diagnostic("L006", Severity.ERROR, "layout", "gid 7 appears twice")
+    err = LayoutError([diag])
+    assert err.stage == "layout"
+    assert err.defect == "L006"
+    assert err.diagnostics == [diag]
+    assert err.to_dict()["diagnostics"][0]["message"] == "gid 7 appears twice"

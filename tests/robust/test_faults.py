@@ -1,0 +1,118 @@
+"""Unit tests for the fault-injection harness itself (repro.robust.faults).
+
+The harness must be deterministic — same seed, same corruption — or the
+robustness suite would be flaky by construction.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.robust import faults
+from repro.robust.faults import InjectedCrash
+
+
+def test_out_of_range_gids_deterministic():
+    trace = np.arange(100) % 10
+    a = faults.out_of_range_gids(trace, 10, seed=3)
+    b = faults.out_of_range_gids(trace, 10, seed=3)
+    assert np.array_equal(a, b)
+    assert (a >= 10).sum() >= 1
+    # original untouched.
+    assert trace.max() < 10
+
+
+def test_negative_gids():
+    trace = np.arange(50)
+    bad = faults.negative_gids(trace, seed=1)
+    assert (bad < 0).any()
+
+
+def test_float_trace_has_fractional_entry():
+    bad = faults.float_trace(np.arange(10))
+    assert bad.dtype == np.float64
+    assert not np.array_equal(bad, np.floor(bad))
+
+
+def test_empty_trace():
+    assert faults.empty_trace().size == 0
+
+
+def test_non_contiguous_functions():
+    table = faults.non_contiguous_functions([0, 0, 0, 1, 1])
+    assert table != [0, 0, 0, 1, 1]
+    assert table[0] == 0 and 0 in table[2:]
+    with pytest.raises(ValueError):
+        faults.non_contiguous_functions([0, 0, 0])
+
+
+def test_truncate_file(tmp_path):
+    p = tmp_path / "f.bin"
+    p.write_bytes(b"x" * 100)
+    kept = faults.truncate_file(p, keep_fraction=0.3)
+    assert kept == 30
+    assert p.stat().st_size == 30
+
+
+def test_flip_bits_deterministic(tmp_path):
+    p1, p2 = tmp_path / "a", tmp_path / "b"
+    payload = bytes(range(256))
+    p1.write_bytes(payload)
+    p2.write_bytes(payload)
+    off1 = faults.flip_bits(p1, seed=5)
+    off2 = faults.flip_bits(p2, seed=5)
+    assert off1 == off2
+    assert p1.read_bytes() == p2.read_bytes()
+    assert p1.read_bytes() != payload
+
+
+def test_json_surgery(tmp_path):
+    p = tmp_path / "layout.json"
+    p.write_text(json.dumps({"kind": "function", "starts": [0, 8, 16]}))
+    faults.misalign_json_array(p, "starts")
+    assert json.loads(p.read_text())["starts"] == [0, 8]
+    faults.drop_json_key(p, "kind")
+    assert "kind" not in json.loads(p.read_text())
+    with pytest.raises(KeyError):
+        faults.drop_json_key(p, "kind")
+
+
+def test_corrupt_layout_payload_defects():
+    payload = {
+        "kind": "function",
+        "note": "",
+        "order": [0, 1, 2],
+        "starts": [0, 8, 16],
+        "sizes": [8, 8, 8],
+        "added_jumps": 0,
+        "base": 0,
+        "input_order": [0, 1, 2],
+    }
+    assert "kind" not in faults.corrupt_layout_payload(payload, "drop-kind")
+    dup = faults.corrupt_layout_payload(payload, "duplicate-gid")["order"]
+    assert len(dup) == 3 and len(set(dup)) < 3
+    assert len(faults.corrupt_layout_payload(payload, "length-mismatch")["starts"]) == 2
+    assert faults.corrupt_layout_payload(payload, "negative-start")["starts"][0] < 0
+    with pytest.raises(ValueError):
+        faults.corrupt_layout_payload(payload, "no-such-defect")
+    # the input payload is never mutated.
+    assert payload["order"] == [0, 1, 2] and len(payload["starts"]) == 3
+
+
+def test_crash_points_arm_and_disarm():
+    point = "unit-test:point"
+    faults.maybe_crash(point)  # disarmed: no-op
+    with faults.crash_at(point):
+        assert point in faults.armed_crash_points()
+        with pytest.raises(InjectedCrash) as exc:
+            faults.maybe_crash(point, "mid-write")
+        assert exc.value.point == point
+    assert point not in faults.armed_crash_points()
+    faults.maybe_crash(point)
+
+
+def test_injected_crash_is_not_an_exception():
+    """Must sail past `except Exception` like a real SIGKILL."""
+    assert not issubclass(InjectedCrash, Exception)
+    assert issubclass(InjectedCrash, BaseException)

@@ -1,0 +1,74 @@
+"""Unit tests for the JSONL run journal (repro.robust.journal)."""
+
+import json
+
+import pytest
+
+from repro.robust import ArtifactError, RunJournal
+
+
+def test_record_and_read_back(tmp_path):
+    journal = RunJournal(tmp_path / "run.jsonl")
+    journal.record("fig5", "ok", elapsed_s=1.5, attempts=1)
+    journal.record("fig6", "failed", error={"type": "SimulationError", "message": "x"})
+    entries = journal.entries()
+    assert [e.exp_id for e in entries] == ["fig5", "fig6"]
+    assert entries[0].status == "ok"
+    assert entries[1].error["type"] == "SimulationError"
+
+
+def test_completed_uses_latest_status(tmp_path):
+    journal = RunJournal(tmp_path / "run.jsonl")
+    journal.record("fig5", "failed")
+    journal.record("fig5", "ok")
+    journal.record("fig6", "ok")
+    journal.record("fig6", "failed")  # later failure invalidates
+    assert journal.completed() == {"fig5"}
+
+
+def test_missing_journal_is_empty(tmp_path):
+    journal = RunJournal(tmp_path / "absent.jsonl")
+    assert journal.entries() == []
+    assert journal.completed() == set()
+
+
+def test_rejects_bad_status(tmp_path):
+    journal = RunJournal(tmp_path / "run.jsonl")
+    with pytest.raises(ValueError, match="status"):
+        journal.record("fig5", "exploded")
+
+
+def test_torn_final_line_is_dropped(tmp_path):
+    """A crash mid-append leaves a truncated last line; reading must shrug
+    it off, not die."""
+    path = tmp_path / "run.jsonl"
+    journal = RunJournal(path)
+    journal.record("fig5", "ok")
+    journal.record("fig6", "ok")
+    with path.open("a") as fh:
+        fh.write('{"exp_id": "fig7", "sta')  # torn mid-crash
+    entries = journal.entries()
+    assert [e.exp_id for e in entries] == ["fig5", "fig6"]
+    assert journal.completed() == {"fig5", "fig6"}
+
+
+def test_garbled_interior_line_is_a_real_corruption(tmp_path):
+    path = tmp_path / "run.jsonl"
+    journal = RunJournal(path)
+    journal.record("fig5", "ok")
+    with path.open("a") as fh:
+        fh.write("NOT JSON\n")
+    journal.record("fig6", "ok")
+    with pytest.raises(ArtifactError) as exc:
+        journal.entries()
+    assert exc.value.path == str(path)
+    assert "line 2" in str(exc.value)
+
+
+def test_lines_are_valid_json_objects(tmp_path):
+    path = tmp_path / "run.jsonl"
+    RunJournal(path).record("table1", "skipped", attempts=0)
+    raw = json.loads(path.read_text().strip())
+    assert raw["exp_id"] == "table1"
+    assert raw["status"] == "skipped"
+    assert raw["error"] is None

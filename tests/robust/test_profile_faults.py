@@ -1,0 +1,162 @@
+"""Profile-ingestion fault injection: every malformed external profile
+surfaces as ProfileError naming the defect — never a KeyError, an int()
+ValueError, or a numpy error."""
+
+import numpy as np
+import pytest
+
+from repro.robust import ProfileError
+from repro.robust import faults
+from repro.workloads.external import from_profile, load_profile_csv
+
+
+def sample_profile():
+    block_bytes = [16, 32, 8, 64, 24]
+    func_of_block = [0, 0, 0, 1, 1]
+    names = ["main", "helper"]
+    rng = np.random.default_rng(0)
+    trace = rng.choice([0, 1, 3, 4], size=500, p=[0.4, 0.3, 0.2, 0.1])
+    return trace, block_bytes, func_of_block, names
+
+
+GOOD_BLOCKS = (
+    "block_id,function,bytes\n"
+    "0,main,40\n"
+    "1,main,24\n"
+    "2,util,64\n"
+)
+
+
+def write_csvs(tmp_path, blocks=GOOD_BLOCKS, trace="0\n1\n2\n0\n"):
+    blocks_path = tmp_path / "blocks.csv"
+    blocks_path.write_text(blocks)
+    trace_path = tmp_path / "trace.txt"
+    trace_path.write_text(trace)
+    return blocks_path, trace_path
+
+
+# -- from_profile ------------------------------------------------------------
+
+def test_float_trace_rejected_not_truncated():
+    trace, sizes, fob, names = sample_profile()
+    with pytest.raises(ProfileError, match="non-integer dtype"):
+        from_profile("x", faults.float_trace(trace), sizes, fob, names)
+
+
+def test_out_of_range_trace_rejected():
+    trace, sizes, fob, names = sample_profile()
+    bad = faults.out_of_range_gids(trace, len(sizes), seed=2)
+    with pytest.raises(ProfileError, match="unknown block"):
+        from_profile("x", bad, sizes, fob, names)
+
+
+def test_negative_trace_rejected():
+    trace, sizes, fob, names = sample_profile()
+    with pytest.raises(ProfileError, match="unknown block"):
+        from_profile("x", faults.negative_gids(trace, seed=2), sizes, fob, names)
+
+
+def test_non_contiguous_functions_rejected():
+    trace, sizes, fob, names = sample_profile()
+    bad = faults.non_contiguous_functions(fob)
+    with pytest.raises(ProfileError) as exc:
+        from_profile("x", trace, sizes, bad, names)
+    assert exc.value.stage == "ingest"
+    assert exc.value.program == "x"
+
+
+def test_errors_carry_machine_readable_context():
+    trace, sizes, fob, names = sample_profile()
+    with pytest.raises(ProfileError) as exc:
+        from_profile("myapp", faults.float_trace(trace), sizes, fob, names)
+    d = exc.value.to_dict()
+    assert d["type"] == "ProfileError"
+    assert d["program"] == "myapp"
+    assert "float64" in d["defect"]
+
+
+def test_empty_trace_still_allowed_in_from_profile():
+    """from_profile keeps accepting empty arrays (programmatic callers may
+    assemble bundles incrementally); only the CSV loader treats an empty
+    profile as a defect."""
+    _, sizes, fob, names = sample_profile()
+    _, bundle = from_profile("x", faults.empty_trace(), sizes, fob, names)
+    assert bundle.n_dynamic_blocks == 0
+
+
+# -- load_profile_csv --------------------------------------------------------
+
+def test_missing_column_named(tmp_path):
+    blocks, trace = write_csvs(
+        tmp_path, blocks="block_id,function,size\n0,main,40\n"
+    )
+    with pytest.raises(ProfileError, match="missing column.*bytes"):
+        load_profile_csv("x", blocks, trace)
+
+
+def test_renamed_columns_all_named(tmp_path):
+    blocks, trace = write_csvs(tmp_path, blocks="id,fn,sz\n0,main,40\n")
+    with pytest.raises(ProfileError) as exc:
+        load_profile_csv("x", blocks, trace)
+    message = str(exc.value)
+    for col in ("block_id", "function", "bytes"):
+        assert col in message
+
+
+def test_non_integer_bytes(tmp_path):
+    blocks, trace = write_csvs(
+        tmp_path, blocks="block_id,function,bytes\n0,main,forty\n"
+    )
+    with pytest.raises(ProfileError, match="line 2.*not an integer"):
+        load_profile_csv("x", blocks, trace)
+
+
+@pytest.mark.parametrize("value", ["0", "-8"])
+def test_non_positive_bytes(tmp_path, value):
+    blocks, trace = write_csvs(
+        tmp_path, blocks=f"block_id,function,bytes\n0,main,{value}\n"
+    )
+    with pytest.raises(ProfileError, match="must be positive"):
+        load_profile_csv("x", blocks, trace)
+
+
+def test_non_integer_block_id(tmp_path):
+    blocks, trace = write_csvs(
+        tmp_path, blocks="block_id,function,bytes\nzero,main,40\n"
+    )
+    with pytest.raises(ProfileError, match="block_id.*not an integer"):
+        load_profile_csv("x", blocks, trace)
+
+
+def test_non_integer_trace_line(tmp_path):
+    blocks, trace = write_csvs(tmp_path, trace="0\n1\n2.5\n")
+    with pytest.raises(ProfileError, match="line 3.*not an integer"):
+        load_profile_csv("x", blocks, trace)
+
+
+def test_empty_trace_file(tmp_path):
+    blocks, trace = write_csvs(tmp_path, trace="\n\n")
+    with pytest.raises(ProfileError, match="empty profile"):
+        load_profile_csv("x", blocks, trace)
+
+
+def test_missing_files_are_typed(tmp_path):
+    blocks, trace = write_csvs(tmp_path)
+    with pytest.raises(ProfileError, match="unreadable"):
+        load_profile_csv("x", tmp_path / "nope.csv", trace)
+    with pytest.raises(ProfileError, match="unreadable"):
+        load_profile_csv("x", blocks, tmp_path / "nope.txt")
+
+
+def test_error_names_the_offending_path(tmp_path):
+    blocks, trace = write_csvs(tmp_path, trace="0\nbad\n")
+    with pytest.raises(ProfileError) as exc:
+        load_profile_csv("x", blocks, trace)
+    assert exc.value.path == str(trace)
+
+
+def test_good_csv_still_loads(tmp_path):
+    blocks, trace = write_csvs(tmp_path)
+    module, bundle = load_profile_csv("x", blocks, trace)
+    assert module.n_blocks == 3
+    assert bundle.bb_trace.tolist() == [0, 1, 2, 0]

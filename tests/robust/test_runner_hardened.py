@@ -1,0 +1,158 @@
+"""The hardened experiment runner: isolation, --keep-going, --resume,
+retries, and the fault-injection drill — the acceptance scenario of the
+robustness work."""
+
+import io
+
+import pytest
+
+from repro.experiments import Lab
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    UnknownExperimentError,
+    main,
+    run_suite,
+)
+from repro.robust import ReproError, RunJournal, SimulationError
+
+FAST = "ablation-optimal-gap"  # self-contained, cheapest experiment
+FAST2 = "ablation-pruning"
+
+
+@pytest.fixture
+def lab():
+    return Lab(scale=0.05, noise_sigma=0.0)
+
+
+def test_run_suite_isolates_injected_failure(lab, tmp_path):
+    journal = RunJournal(tmp_path / "run.jsonl")
+    outcomes = run_suite(
+        lab,
+        [FAST, FAST2],
+        keep_going=True,
+        journal=journal,
+        inject_fault=FAST,
+        out=io.StringIO(),
+    )
+    by_id = {o.exp_id: o for o in outcomes}
+    assert by_id[FAST].status == "failed"
+    assert isinstance(by_id[FAST].error, SimulationError)
+    assert by_id[FAST].error.to_dict()["defect"] == "injected fault"
+    assert by_id[FAST2].status == "ok"
+    assert by_id[FAST2].result is not None
+    statuses = {e.exp_id: e.status for e in journal.entries()}
+    assert statuses == {FAST: "failed", FAST2: "ok"}
+
+
+def test_run_suite_stops_at_first_failure_without_keep_going(lab, tmp_path):
+    outcomes = run_suite(
+        lab,
+        [FAST, FAST2],
+        keep_going=False,
+        journal=RunJournal(tmp_path / "run.jsonl"),
+        inject_fault=FAST,
+        out=io.StringIO(),
+    )
+    assert [o.exp_id for o in outcomes] == [FAST]
+    assert outcomes[0].status == "failed"
+
+
+def test_resume_skips_completed_experiments(lab, tmp_path):
+    journal = RunJournal(tmp_path / "run.jsonl")
+    first = run_suite(
+        lab, [FAST, FAST2], keep_going=True, journal=journal,
+        inject_fault=FAST2, out=io.StringIO(),
+    )
+    assert {o.exp_id: o.status for o in first} == {FAST: "ok", FAST2: "failed"}
+
+    second = run_suite(
+        lab, [FAST, FAST2], keep_going=True, journal=journal, resume=True,
+        out=io.StringIO(),
+    )
+    by_id = {o.exp_id: o for o in second}
+    assert by_id[FAST].status == "skipped"
+    assert by_id[FAST].attempts == 0  # never re-ran
+    assert by_id[FAST2].status == "ok"  # failed last time, re-ran now
+    assert journal.completed() == {FAST, FAST2}
+
+
+def test_retries_rerun_failed_experiments(lab, monkeypatch):
+    calls = {"n": 0}
+    real_driver = EXPERIMENTS[FAST]
+
+    def flaky(_lab):
+        calls["n"] += 1
+        if calls["n"] < 3:
+            raise RuntimeError("seed-sensitive flake")
+        return real_driver(_lab)
+
+    monkeypatch.setitem(EXPERIMENTS, FAST, flaky)
+    outcomes = run_suite(lab, [FAST], retries=2, out=io.StringIO())
+    assert outcomes[0].status == "ok"
+    assert outcomes[0].attempts == 3
+
+
+def test_foreign_exceptions_are_typed(lab, monkeypatch):
+    monkeypatch.setitem(
+        EXPERIMENTS, FAST, lambda _lab: (_ for _ in ()).throw(KeyError("boom"))
+    )
+    outcomes = run_suite(lab, [FAST], keep_going=True, out=io.StringIO())
+    err = outcomes[0].error
+    assert isinstance(err, ReproError)
+    assert err.to_dict()["defect"] == "KeyError"
+
+
+def test_run_suite_rejects_unknown_id_upfront(lab):
+    with pytest.raises(UnknownExperimentError):
+        run_suite(lab, [FAST, "fig99"], out=io.StringIO())
+
+
+# -- CLI acceptance scenario -------------------------------------------------
+
+def test_cli_keep_going_then_resume(tmp_path, capsys):
+    """The acceptance criterion end to end: a suite with one forced
+    failure completes under --keep-going, summarizes, exits nonzero; the
+    follow-up --resume run skips what the journal shows complete."""
+    journal_path = tmp_path / "journal.jsonl"
+    argv = [
+        "--scale", "0.05",
+        "--only", FAST, FAST2,
+        "--keep-going",
+        "--journal", str(journal_path),
+        "--inject-fault", FAST2,
+    ]
+    rc = main(argv)
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "suite: 1 ok, 1 failed, 0 skipped" in out
+    assert f"FAILED {FAST2}" in out
+    assert "injected fault" in out
+
+    rc2 = main([
+        "--scale", "0.05",
+        "--only", FAST, FAST2,
+        "--keep-going", "--resume",
+        "--journal", str(journal_path),
+    ])
+    out2 = capsys.readouterr().out
+    assert rc2 == 0
+    assert f"{FAST}: skipped (journal: already complete)" in out2
+    assert "suite: 1 ok, 0 failed, 1 skipped" in out2
+
+    # the journal recorded all three attempts.
+    entries = RunJournal(journal_path).entries()
+    assert [(e.exp_id, e.status) for e in entries] == [
+        (FAST, "ok"), (FAST2, "failed"), (FAST2, "ok"),
+    ]
+
+
+def test_cli_inject_fault_validated(capsys):
+    rc = main(["--inject-fault", "fig99", "--only", FAST])
+    assert rc == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_cli_negative_retries_rejected(capsys):
+    rc = main(["--retries", "-1", "--only", FAST])
+    assert rc == 2
+    assert "--retries" in capsys.readouterr().err
