@@ -1,0 +1,57 @@
+"""Benchmarks for the performance layer (repro.perf): memo cache and
+cell fan-out overheads.
+
+These quantify the machinery itself, not the experiments: a memo hit
+must be far cheaper than the simulation it replaces, and the parallel
+cell path must produce identical stats (timed here at jobs=1 so the
+number reflects dispatch overhead, not core count).
+"""
+
+import numpy as np
+
+from conftest import BENCH_SCALE
+
+from repro.cache import PAPER_L1I, simulate
+from repro.experiments import Lab
+from repro.perf import SimMemo, memo_key
+
+_RNG = np.random.default_rng(2014)
+_LINES = _RNG.integers(0, 700, int(200_000 * max(BENCH_SCALE, 0.05)))
+
+
+def bench_simulate_cold(benchmark):
+    stats = benchmark(simulate, _LINES, PAPER_L1I)
+    assert stats.accesses == len(_LINES)
+
+
+def bench_memo_hit(benchmark):
+    """Replaying a memoized cell; the headline saving of --memo-dir."""
+    memo = SimMemo()
+    cold = memo.simulate(_LINES, PAPER_L1I)
+    hit = benchmark(memo.simulate, _LINES, PAPER_L1I)
+    assert hit == cold
+    assert memo.hits >= 1
+
+
+def bench_memo_key(benchmark):
+    """Key hashing is the fixed cost a memo miss adds to a simulation."""
+    key = benchmark(memo_key, _LINES, PAPER_L1I)
+    assert len(key) == 64
+
+
+def bench_precompute_solo_serial(benchmark):
+    """The dedup + batch path at jobs=1: overhead over lazy solo_miss."""
+    cells = [
+        (name, "baseline", channel)
+        for name in ("syn-gcc", "syn-mcf", "syn-sjeng")
+        for channel in ("hw", "sim")
+    ]
+
+    def run():
+        lab = Lab(scale=min(BENCH_SCALE, 0.1))
+        lab.precompute_solo(cells, jobs=1)
+        return lab
+
+    lab = benchmark.pedantic(run, rounds=1, iterations=1)
+    reference = Lab(scale=min(BENCH_SCALE, 0.1))
+    assert lab.solo_miss(*cells[0]) == reference.solo_miss(*cells[0])

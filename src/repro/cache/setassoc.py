@@ -93,7 +93,12 @@ def simulate(
             if prefetch:
                 nxt = line + 1
                 ns = sets[nxt & mask]
-                if nxt not in ns:
+                # A tagged prefetch must never evict the demand line that
+                # triggered it.  That is only possible when L and L+1 map
+                # to the same set (n_sets == 1) and L sits in the victim
+                # way (assoc == 1) — degenerate geometry, but silently
+                # re-missing the demand line corrupted miss counts there.
+                if nxt not in ns and not (len(ns) >= assoc and ns[-1] == line):
                     n_prefetch += 1
                     prefetched.add(nxt)
                     ns.insert(0, nxt)
@@ -122,7 +127,13 @@ def warm_cache(lines: np.ndarray, cfg: CacheConfig, *, prefetch: bool = False) -
 
 
 def simulate_policy(
-    lines: np.ndarray, cfg: CacheConfig, policy: str = "lru", seed: int = 0
+    lines: np.ndarray,
+    cfg: CacheConfig,
+    policy: str = "lru",
+    seed: int = 0,
+    *,
+    prefetch: bool = False,
+    state: CacheState | None = None,
 ) -> CacheStats:
     """Simulate under an alternative replacement policy.
 
@@ -130,7 +141,22 @@ def simulate_policy(
     the tuned LRU loop); used by the replacement-policy ablation.  With
     ``policy="lru"`` the miss counts match :func:`simulate` exactly, which
     the test suite verifies.
+
+    ``prefetch`` and ``state`` exist for signature compatibility with
+    :func:`simulate` but are **not implemented** for the polymorphic
+    policy sets; passing either raises :class:`ValueError` instead of
+    silently simulating something else.
     """
+    if prefetch:
+        raise ValueError(
+            "simulate_policy does not support the next-line prefetcher; "
+            "use simulate() for prefetch-enabled runs"
+        )
+    if state is not None:
+        raise ValueError(
+            "simulate_policy does not support warm-start state; "
+            "use simulate() for warm-start runs"
+        )
     from .policies import make_policy
 
     sets = [make_policy(policy, cfg.assoc, seed + i) for i in range(cfg.n_sets)]

@@ -89,7 +89,12 @@ def simulate_shared(
                     if prefetch:
                         nxt = line + 1
                         ns = sets[nxt & mask]
-                        if nxt not in ns:
+                        # Never let the prefetch evict its own demand
+                        # line (single-set, single-way geometry); same
+                        # guard as the solo simulator.
+                        if nxt not in ns and not (
+                            len(ns) >= assoc and ns[-1] == line
+                        ):
                             st.prefetches += 1
                             prefetched.add(nxt)
                             ns.insert(0, nxt)

@@ -95,9 +95,20 @@ class Driver:
         optimizer_config: Optional[OptimizerConfig] = None,
         cache: CacheConfig = PAPER_L1I,
         optimizers: Optional[Sequence[str]] = None,
+        *,
+        jobs: int = 1,
+        memo=None,
     ):
+        """``jobs`` fans the per-layout evaluation simulations out across
+        worker processes; ``memo`` (a :class:`repro.perf.memo.SimMemo`)
+        replays identical simulations from the content-addressed cache.
+        Both only trade wall-clock time — never results."""
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
         self.optimizer_config = optimizer_config or OptimizerConfig(cache=cache)
         self.cache = cache
+        self.jobs = jobs
+        self.memo = memo
         self.optimizer_names = list(optimizers or OPTIMIZERS)
         for name in self.optimizer_names:
             if name not in OPTIMIZERS and name not in COMPARATORS:
@@ -105,6 +116,40 @@ class Driver:
 
     def _optimizer(self, name: str):
         return OPTIMIZERS.get(name) or COMPARATORS[name]
+
+    def _evaluate(self, streams: list):
+        """Simulate the layouts' fetch streams (memoized, possibly parallel).
+
+        The per-layout cells are independent, so with ``jobs > 1`` they
+        fan out across a process pool; memo hits are resolved first and
+        fresh results are stored back, all yielding stats bit-identical
+        to serial un-memoized simulation.
+        """
+        if self.memo is None and self.jobs == 1:
+            return [simulate(stream, self.cache) for stream in streams]
+
+        from ..perf.memo import memo_key
+        from ..perf.parallel import simulate_cells
+
+        results: list = [None] * len(streams)
+        pending: list[tuple[int, str]] = []
+        tasks = []
+        for i, stream in enumerate(streams):
+            if self.memo is not None:
+                key = memo_key(stream, self.cache, prefetch=False)
+                cached = self.memo.get(key)
+                if cached is not None:
+                    results[i] = cached
+                    continue
+            else:
+                key = ""
+            pending.append((i, key))
+            tasks.append((stream, self.cache, False))
+        for (i, key), stats in zip(pending, simulate_cells(tasks, jobs=self.jobs)):
+            if self.memo is not None:
+                self.memo.put(key, stats)
+            results[i] = stats
+        return results
 
     def build(
         self,
@@ -172,12 +217,16 @@ class Driver:
                 "evaluate-instrument", program=program, reraise=ProfileError
             ):
                 ref = collect_trace(module, ref_input)
+            streams = {}
             for name, layout in layouts.items():
                 with error_context("evaluate", program=program, layout=name):
-                    stream = fetch_lines(
+                    streams[name] = fetch_lines(
                         ref.bb_trace, layout.address_map, self.cache.line_bytes
                     )
-                    stats = simulate(stream, self.cache)
+            with error_context("evaluate", program=program):
+                for name, stats in zip(
+                    streams, self._evaluate(list(streams.values()))
+                ):
                     result.miss_ratios[name] = stats.misses / ref.instr_count
             timings["evaluate"] = time.perf_counter() - start
 

@@ -22,6 +22,8 @@ def run(lab: Lab) -> ExperimentResult:
     rows = []
     summary: dict[str, float] = {}
     n_nontrivial = 0
+    # 29 independent solo cells; fan them out when the lab has jobs.
+    lab.precompute_solo([(name, BASELINE, "hw") for name in ALL_PROGRAMS])
     for name in ALL_PROGRAMS:
         solo = lab.solo_miss(name, BASELINE, channel="hw").ratio
         c1 = lab.corun_miss((name, BASELINE), (probe1, BASELINE))[0].ratio

@@ -23,6 +23,16 @@ AFFINITY_OPTIMIZERS = ("function-affinity", "bb-affinity")
 def run(lab: Lab) -> ExperimentResult:
     rows = []
     summary: dict[str, float] = {}
+    # Solo cells for the baseline and both affinity layouts are
+    # independent (program, layout) simulations; fan them out.
+    lab.precompute_solo(
+        [
+            (name, layout, "hw")
+            for name in STUDY_PROGRAMS
+            for layout in (BASELINE, *AFFINITY_OPTIMIZERS)
+            if lab.supports(name, layout)
+        ]
+    )
     for name in STUDY_PROGRAMS:
         base_cost = lab.solo_cost(name, BASELINE)
         base_miss = lab.solo_miss(name, BASELINE, channel="hw").ratio

@@ -21,6 +21,8 @@ def run(lab: Lab) -> ExperimentResult:
     probe1, probe2 = PROBE_PROGRAMS
     rows = []
     summary: dict[str, float] = {}
+    # The solo cells are independent; fan them out when the lab has jobs.
+    lab.precompute_solo([(name, BASELINE, "hw") for name in STUDY_PROGRAMS])
     for name in STUDY_PROGRAMS:
         prepared = lab.program(name)
         layout = lab.layout(name, BASELINE)

@@ -23,8 +23,10 @@ the full experiment logic at a fraction of the cost.
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
@@ -37,7 +39,7 @@ from ..engine.fetch import fetch_lines
 from ..engine.instrument import TraceBundle, collect_trace
 from ..ir.module import Module
 from ..ir.transforms import LayoutResult, baseline_layout
-from ..machine.counters import measure_corun, measure_solo
+from ..machine.counters import measure_corun, measure_solo, reading_from_stats
 from ..machine.smt import CoRunTiming, corun_pair
 from ..machine.timing import ThreadCost, TimingParams, thread_cost
 from ..robust.errors import ProfileError, error_context
@@ -103,6 +105,14 @@ class Lab:
     quantum: SMT fetch interleaving granularity, in line accesses.
     noise_sigma: hardware-counter noise (0 disables).
     timing: CPI model constants.
+    jobs: worker processes for :meth:`precompute_solo` cell fan-out
+        (1 = fully serial; never changes results, only wall-clock time).
+    memo: optional :class:`repro.perf.memo.SimMemo` replaying identical
+        solo simulations instead of re-running them.
+
+    The lab doubles as the telemetry source: :attr:`timings` accumulates
+    per-stage wall-clock seconds (monotonic clock) and :attr:`counters`
+    tracks simulated line accesses, feeding ``BENCH_perf.json``.
     """
 
     def __init__(
@@ -113,21 +123,63 @@ class Lab:
         quantum: int = 8,
         noise_sigma: float = 0.01,
         timing: TimingParams = TimingParams(),
+        jobs: int = 1,
+        memo=None,
     ):
         if not 0.0 < scale <= 1.0:
             raise ValueError("scale must be in (0, 1]")
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
         self.cache_cfg = cache_cfg
         self.scale = scale
         self.optimizer_config = optimizer_config or OptimizerConfig(cache=cache_cfg)
         self.quantum = quantum
         self.noise_sigma = noise_sigma
         self.timing = timing
+        self.jobs = jobs
+        self.memo = memo
+
+        #: per-stage wall seconds: prepare / optimize / fetch / simulate.
+        self.timings: dict[str, float] = {}
+        #: throughput counters: nominal line accesses simulated + seconds.
+        self.counters: dict[str, float] = {"sim_accesses": 0, "sim_seconds": 0.0}
 
         self._programs: dict[str, PreparedProgram] = {}
         self._layouts: dict[tuple[str, str], LayoutResult] = {}
         self._lines: dict[tuple[str, str], np.ndarray] = {}
         self._solo: dict[tuple[str, str, str], MissRatios] = {}
         self._corun: dict[tuple, tuple[MissRatios, MissRatios]] = {}
+
+    # -- telemetry -----------------------------------------------------------
+
+    @contextmanager
+    def _stage(self, name: str, accesses: int = 0) -> Iterator[None]:
+        """Accumulate the block's monotonic wall time under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.timings[name] = self.timings.get(name, 0.0) + elapsed
+            if accesses:
+                self.counters["sim_accesses"] += accesses
+                self.counters["sim_seconds"] += elapsed
+
+    def spawn_config(self) -> dict:
+        """Picklable constructor kwargs reproducing this lab's behavior.
+
+        Used to build identical labs inside worker processes; memoized
+        artefacts and telemetry deliberately do not travel (the ``memo``
+        is re-attached from its directory by the worker initializer).
+        """
+        return {
+            "cache_cfg": self.cache_cfg,
+            "scale": self.scale,
+            "optimizer_config": self.optimizer_config,
+            "quantum": self.quantum,
+            "noise_sigma": self.noise_sigma,
+            "timing": self.timing,
+        }
 
     # -- program preparation -------------------------------------------------
 
@@ -140,7 +192,9 @@ class Lab:
         """
         prepared = self._programs.get(name)
         if prepared is None:
-            with error_context("prepare", program=name, reraise=ProfileError):
+            with self._stage("prepare"), error_context(
+                "prepare", program=name, reraise=ProfileError
+            ):
                 prog, module = build_suite_program(name)
                 spec = prog.spec
                 ref_blocks = max(10_000, int(spec.ref_blocks * self.scale))
@@ -167,7 +221,9 @@ class Lab:
         result = self._layouts.get(key)
         if result is None:
             prepared = self.program(name)
-            with error_context("optimize", program=name, layout=layout_name):
+            with self._stage("optimize"), error_context(
+                "optimize", program=name, layout=layout_name
+            ):
                 if layout_name == BASELINE:
                     result = baseline_layout(prepared.module)
                 else:
@@ -191,7 +247,9 @@ class Lab:
         if stream is None:
             prepared = self.program(name)
             amap = self.layout(name, layout_name).address_map
-            with error_context("fetch", program=name, layout=layout_name):
+            with self._stage("fetch"), error_context(
+                "fetch", program=name, layout=layout_name
+            ):
                 stream = fetch_lines(
                     prepared.ref_bundle.bb_trace, amap, self.cache_cfg.line_bytes
                 ).astype(np.int32)
@@ -209,9 +267,12 @@ class Lab:
         if result is None:
             prepared = self.program(name)
             stream = self.lines(name, layout_name)
-            with error_context("simulate", program=name, layout=layout_name):
+            sim = simulate if self.memo is None else self.memo.simulate
+            with self._stage("simulate", accesses=len(stream)), error_context(
+                "simulate", program=name, layout=layout_name
+            ):
                 if channel == "sim":
-                    stats = simulate(stream, self.cache_cfg, prefetch=False)
+                    stats = sim(stream, self.cache_cfg, prefetch=False)
                     result = MissRatios(stats.misses, prepared.instr_count)
                 else:
                     reading = measure_solo(
@@ -220,10 +281,84 @@ class Lab:
                         self.cache_cfg,
                         noise_sigma=self.noise_sigma,
                         measurement_id=f"{name}/{layout_name}",
+                        memo=self.memo,
                     )
                     result = MissRatios(reading.icache_misses, reading.instructions)
             self._solo[key] = result
         return result
+
+    def precompute_solo(
+        self,
+        cells: Sequence[tuple[str, str, str]],
+        *,
+        jobs: Optional[int] = None,
+    ) -> None:
+        """Fill the solo-measurement memo for many cells at once.
+
+        Each cell is ``(program, layout, channel)``.  Streams are built
+        serially (they are memoized and cheap relative to simulation);
+        the independent cache simulations then fan out across ``jobs``
+        worker processes (default: the lab's ``jobs``).  Results are
+        **bit-identical** to calling :meth:`solo_miss` cell by cell —
+        the noise seeding and memo keys are shared with the serial path
+        — so this is purely a wall-clock optimization.
+        """
+        jobs = self.jobs if jobs is None else jobs
+        for _, _, channel in cells:
+            if channel not in ("sim", "hw"):
+                raise ValueError(f"unknown channel {channel!r}")
+        todo = [
+            (name, layout_name, channel)
+            for name, layout_name, channel in dict.fromkeys(tuple(c) for c in cells)
+            if (name, layout_name, channel) not in self._solo
+        ]
+        if jobs <= 1 or len(todo) <= 1:
+            for name, layout_name, channel in todo:
+                self.solo_miss(name, layout_name, channel)
+            return
+
+        from ..perf.memo import memo_key
+        from ..perf.parallel import simulate_cells
+
+        tasks: list[tuple[np.ndarray, CacheConfig, bool]] = []
+        pending: list[tuple[tuple[str, str, str], str]] = []
+        for cell in todo:
+            name, layout_name, channel = cell
+            stream = self.lines(name, layout_name)
+            prefetch = channel == "hw"
+            key = memo_key(stream, self.cache_cfg, prefetch=prefetch)
+            cached = self.memo.get(key) if self.memo is not None else None
+            if cached is not None:
+                self._finish_solo_cell(cell, cached)
+            else:
+                tasks.append((stream, self.cache_cfg, prefetch))
+                pending.append((cell, key))
+
+        with self._stage(
+            "simulate", accesses=sum(len(t[0]) for t in tasks)
+        ), error_context("simulate", program="precompute-solo"):
+            results = simulate_cells(tasks, jobs=jobs)
+        for (cell, key), stats in zip(pending, results):
+            if self.memo is not None:
+                self.memo.put(key, stats)
+            self._finish_solo_cell(cell, stats)
+
+    def _finish_solo_cell(self, cell: tuple[str, str, str], stats: CacheStats) -> None:
+        """Convert raw cell stats into the memoized MissRatios entry."""
+        name, layout_name, channel = cell
+        prepared = self.program(name)
+        if channel == "sim":
+            result = MissRatios(stats.misses, prepared.instr_count)
+        else:
+            reading = reading_from_stats(
+                stats,
+                prepared.instr_count,
+                self.cache_cfg,
+                noise_sigma=self.noise_sigma,
+                measurement_id=f"{name}/{layout_name}",
+            )
+            result = MissRatios(reading.icache_misses, reading.instructions)
+        self._solo[cell] = result
 
     def corun_miss(
         self,
@@ -251,7 +386,9 @@ class Lab:
 
         pa, pb = self.program(a[0]), self.program(b[0])
         sa, sb = self.lines(*a), self.lines(*b) + THREAD_STRIDE
-        with error_context("simulate", program=f"{a[0]}|{b[0]}", layout=f"{a[1]}|{b[1]}"):
+        with self._stage("simulate", accesses=len(sa) + len(sb)), error_context(
+            "simulate", program=f"{a[0]}|{b[0]}", layout=f"{a[1]}|{b[1]}"
+        ):
             if channel == "sim":
                 stats = simulate_shared(
                     [sa, sb], self.cache_cfg, quantum=self.quantum, prefetch=False

@@ -19,7 +19,12 @@ The runner is built for long, messy batch runs:
   mainly useful for the seed-sensitive ablations;
 * ``--inject-fault ID`` is a fault-injection drill: it forces that
   experiment to fail so operators (and the test suite) can verify the
-  keep-going/journal/resume machinery end to end.
+  keep-going/journal/resume machinery end to end;
+* ``--jobs N`` fans experiments out across N worker processes with
+  outcomes, journal, and output identical to the serial run (modulo
+  timing fields); ``--memo-dir`` adds a persistent content-addressed
+  simulation memo cache; ``--bench-out`` writes a ``BENCH_perf.json``
+  telemetry report (see :mod:`repro.perf` and docs/performance.md).
 """
 
 from __future__ import annotations
@@ -27,7 +32,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Optional, TextIO
 
@@ -57,6 +62,7 @@ __all__ = [
     "EXPERIMENTS",
     "ExperimentOutcome",
     "UnknownExperimentError",
+    "attempt_experiment",
     "run_experiment",
     "run_all",
     "run_suite",
@@ -128,10 +134,13 @@ class ExperimentOutcome:
     exp_id: str
     #: "ok", "failed", or "skipped" (journal said already complete).
     status: str
+    #: monotonic-clock duration of all attempts (never wall-clock jumps).
     elapsed_s: float = 0.0
     attempts: int = 0
     result: Optional[ExperimentResult] = None
     error: Optional[ReproError] = None
+    #: per-stage wall seconds this experiment added to the lab's totals.
+    timings: dict = field(default_factory=dict)
 
 
 def _as_repro_error(exp_id: str, err: Exception) -> ReproError:
@@ -148,6 +157,89 @@ def _as_repro_error(exp_id: str, err: Exception) -> ReproError:
     return wrapped
 
 
+def attempt_experiment(
+    lab: Lab,
+    exp_id: str,
+    *,
+    retries: int = 0,
+    inject_fault: Optional[str] = None,
+) -> tuple[ExperimentOutcome, list[str]]:
+    """Run one experiment's full attempt loop in isolation.
+
+    The single source of truth for per-experiment semantics — the serial
+    suite loop and the ``--jobs`` worker processes both call this, which
+    is what makes parallel outcomes provably identical to serial ones.
+    Durations use the monotonic clock (``time.perf_counter``), never
+    wall-clock ``time.time`` — an NTP step mid-experiment must not warp
+    ``elapsed_s``.  Returns the outcome plus the retry notes to print.
+    """
+    outcome = ExperimentOutcome(exp_id, "failed")
+    notes: list[str] = []
+    timings_before = dict(lab.timings)
+    start = time.perf_counter()
+    for attempt in range(1, retries + 2):
+        outcome.attempts = attempt
+        try:
+            if inject_fault == exp_id:
+                raise SimulationError(
+                    f"injected fault in experiment {exp_id!r} (drill)",
+                    stage="experiment",
+                    defect="injected fault",
+                )
+            outcome.result = run_experiment(exp_id, lab)
+            outcome.status = "ok"
+            outcome.error = None
+            break
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as err:
+            outcome.error = _as_repro_error(exp_id, err)
+            if attempt <= retries:
+                notes.append(
+                    f"!! {exp_id}: attempt {attempt} failed "
+                    f"({outcome.error}); retrying"
+                )
+    outcome.elapsed_s = time.perf_counter() - start
+    outcome.timings = {
+        stage: total - timings_before.get(stage, 0.0)
+        for stage, total in lab.timings.items()
+        if total - timings_before.get(stage, 0.0) > 0.0
+    }
+    return outcome, notes
+
+
+def _emit_outcome(
+    outcome: ExperimentOutcome,
+    notes: list[str],
+    *,
+    journal: Optional[RunJournal],
+    error_dict: Optional[dict],
+    out: TextIO,
+) -> None:
+    """Journal and print one finished experiment (serial and parallel)."""
+    for note in notes:
+        print(note, file=out)
+    if journal is not None:
+        journal.record(
+            outcome.exp_id,
+            outcome.status,
+            elapsed_s=outcome.elapsed_s,
+            attempts=outcome.attempts,
+            error=error_dict,
+            timings=outcome.timings or None,
+        )
+    if outcome.status == "ok":
+        print(outcome.result.to_text(), file=out)
+        print(f"  [{outcome.elapsed_s:.1f}s]", file=out)
+    else:
+        print(f"== {outcome.exp_id}: FAILED ==", file=out)
+        print(f"  {outcome.error}", file=out)
+        print(
+            f"  [{outcome.elapsed_s:.1f}s, {outcome.attempts} attempt(s)]", file=out
+        )
+    print(file=out)
+
+
 def run_suite(
     lab: Lab,
     ids: list[str],
@@ -158,6 +250,8 @@ def run_suite(
     retries: int = 0,
     inject_fault: Optional[str] = None,
     out: Optional[TextIO] = None,
+    jobs: int = 1,
+    telemetry=None,
 ) -> list[ExperimentOutcome]:
     """Run ``ids`` with per-experiment isolation.
 
@@ -170,68 +264,157 @@ def run_suite(
     latest entry marks ``ok``.  ``retries`` grants each failing
     experiment that many extra attempts.  ``inject_fault`` forces the
     named experiment to fail (a drill for the failure machinery).
+
+    ``jobs > 1`` fans the experiments out across worker processes (one
+    private :class:`Lab` per worker) while preserving every serial
+    guarantee: isolation, typed errors, journal entries, and output in
+    the exact serial order — results and report text are identical
+    modulo timing fields.  ``telemetry`` (a
+    :class:`repro.perf.telemetry.Telemetry`) collects per-stage wall
+    time and throughput counters from whichever path ran.
     """
     out = out or sys.stdout
     unknown = [i for i in ids if i not in EXPERIMENTS]
     if unknown:
         raise UnknownExperimentError(unknown[0])
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
 
     already_done = journal.completed() if (journal and resume) else set()
+    wall_start = time.perf_counter()
+    if jobs == 1:
+        outcomes = _run_suite_serial(
+            lab,
+            ids,
+            already_done,
+            keep_going=keep_going,
+            journal=journal,
+            retries=retries,
+            inject_fault=inject_fault,
+            out=out,
+            telemetry=telemetry,
+        )
+        if telemetry is not None:
+            telemetry.merge_stages(lab.timings)
+            telemetry.merge_counters(lab.counters)
+            if lab.memo is not None:
+                telemetry.merge_memo(lab.memo.counters())
+    else:
+        outcomes = _run_suite_parallel(
+            lab,
+            ids,
+            already_done,
+            keep_going=keep_going,
+            journal=journal,
+            retries=retries,
+            inject_fault=inject_fault,
+            out=out,
+            jobs=jobs,
+            telemetry=telemetry,
+        )
+    if telemetry is not None:
+        telemetry.wall_s += time.perf_counter() - wall_start
+        for o in outcomes:
+            telemetry.record_experiment(o.exp_id, o.status, o.elapsed_s, o.attempts)
+    return outcomes
+
+
+def _skip_outcome(exp_id: str, out: TextIO) -> ExperimentOutcome:
+    print(f"== {exp_id}: skipped (journal: already complete) ==", file=out)
+    print(file=out)
+    return ExperimentOutcome(exp_id, "skipped")
+
+
+def _run_suite_serial(
+    lab: Lab,
+    ids: list[str],
+    already_done: set[str],
+    *,
+    keep_going: bool,
+    journal: Optional[RunJournal],
+    retries: int,
+    inject_fault: Optional[str],
+    out: TextIO,
+    telemetry,
+) -> list[ExperimentOutcome]:
     outcomes: list[ExperimentOutcome] = []
     for exp_id in ids:
         if exp_id in already_done:
-            outcomes.append(ExperimentOutcome(exp_id, "skipped"))
-            print(f"== {exp_id}: skipped (journal: already complete) ==", file=out)
-            print(file=out)
+            outcomes.append(_skip_outcome(exp_id, out))
             continue
-
-        outcome = ExperimentOutcome(exp_id, "failed")
-        start = time.time()
-        for attempt in range(1, retries + 2):
-            outcome.attempts = attempt
-            try:
-                if inject_fault == exp_id:
-                    raise SimulationError(
-                        f"injected fault in experiment {exp_id!r} (drill)",
-                        stage="experiment",
-                        defect="injected fault",
-                    )
-                outcome.result = run_experiment(exp_id, lab)
-                outcome.status = "ok"
-                outcome.error = None
-                break
-            except (KeyboardInterrupt, SystemExit):
-                raise
-            except Exception as err:
-                outcome.error = _as_repro_error(exp_id, err)
-                if attempt <= retries:
-                    print(
-                        f"!! {exp_id}: attempt {attempt} failed "
-                        f"({outcome.error}); retrying",
-                        file=out,
-                    )
-        outcome.elapsed_s = time.time() - start
-
-        if journal is not None:
-            journal.record(
-                exp_id,
-                outcome.status,
-                elapsed_s=outcome.elapsed_s,
-                attempts=outcome.attempts,
-                error=outcome.error.to_dict() if outcome.error else None,
-            )
-        if outcome.status == "ok":
-            print(outcome.result.to_text(), file=out)
-            print(f"  [{outcome.elapsed_s:.1f}s]", file=out)
-        else:
-            print(f"== {exp_id}: FAILED ==", file=out)
-            print(f"  {outcome.error}", file=out)
-            print(f"  [{outcome.elapsed_s:.1f}s, {outcome.attempts} attempt(s)]", file=out)
-        print(file=out)
+        outcome, notes = attempt_experiment(
+            lab, exp_id, retries=retries, inject_fault=inject_fault
+        )
+        _emit_outcome(
+            outcome,
+            notes,
+            journal=journal,
+            error_dict=outcome.error.to_dict() if outcome.error else None,
+            out=out,
+        )
         outcomes.append(outcome)
-
         if outcome.status == "failed" and not keep_going:
             break
+    return outcomes
+
+
+def _run_suite_parallel(
+    lab: Lab,
+    ids: list[str],
+    already_done: set[str],
+    *,
+    keep_going: bool,
+    journal: Optional[RunJournal],
+    retries: int,
+    inject_fault: Optional[str],
+    out: TextIO,
+    jobs: int,
+    telemetry,
+) -> list[ExperimentOutcome]:
+    from ..perf.parallel import ExperimentPool, rebuild_error
+
+    memo_dir = None
+    if lab.memo is not None and lab.memo.cache_dir is not None:
+        memo_dir = str(lab.memo.cache_dir)
+
+    outcomes: list[ExperimentOutcome] = []
+    with ExperimentPool(jobs, lab.spawn_config(), memo_dir=memo_dir) as pool:
+        futures = {
+            exp_id: pool.submit(exp_id, retries=retries, inject_fault=inject_fault)
+            for exp_id in ids
+            if exp_id not in already_done
+        }
+        # Consume strictly in submission order: output, journal entries,
+        # and early-abort behavior match the serial run line for line.
+        for exp_id in ids:
+            if exp_id in already_done:
+                outcomes.append(_skip_outcome(exp_id, out))
+                continue
+            payload = futures[exp_id].result()
+            error_payload = payload["error"]
+            outcome = ExperimentOutcome(
+                exp_id=payload["exp_id"],
+                status=payload["status"],
+                elapsed_s=payload["elapsed_s"],
+                attempts=payload["attempts"],
+                result=payload["result"],
+                error=rebuild_error(error_payload) if error_payload else None,
+                timings=payload["timings"],
+            )
+            _emit_outcome(
+                outcome,
+                payload["notes"],
+                journal=journal,
+                error_dict=error_payload["dict"] if error_payload else None,
+                out=out,
+            )
+            if telemetry is not None:
+                telemetry.merge_stages(payload["timings"])
+                telemetry.merge_counters(payload["counters"])
+                telemetry.merge_memo(payload["memo"])
+            outcomes.append(outcome)
+            if outcome.status == "failed" and not keep_going:
+                break
     return outcomes
 
 
@@ -302,6 +485,27 @@ def main(argv: list[str] | None = None) -> int:
         metavar="ID",
         help="fault-injection drill: force this experiment to fail",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the suite (1 = serial; results are "
+        "identical at any N, modulo timing fields)",
+    )
+    parser.add_argument(
+        "--memo-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for the content-addressed simulation memo cache "
+        "(persisted across runs; see docs/performance.md)",
+    )
+    parser.add_argument(
+        "--bench-out",
+        default=None,
+        metavar="PATH",
+        help="write a BENCH_perf.json timing/telemetry report here",
+    )
     args = parser.parse_args(argv)
 
     ids = args.only if args.only is not None else list(EXPERIMENTS)
@@ -316,6 +520,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.retries < 0:
         print("error: --retries must be >= 0", file=sys.stderr)
         return 2
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
     if args.inject_fault is not None and args.inject_fault not in EXPERIMENTS:
         print(
             f"error: --inject-fault names unknown experiment "
@@ -328,7 +535,24 @@ def main(argv: list[str] | None = None) -> int:
     if args.journal is not None or args.keep_going or args.resume:
         journal = RunJournal(Path(args.journal or DEFAULT_JOURNAL))
 
-    lab = Lab(scale=args.scale)
+    memo = None
+    if args.memo_dir is not None:
+        from ..perf.memo import SimMemo
+
+        memo = SimMemo(args.memo_dir)
+
+    telemetry = None
+    if args.bench_out is not None:
+        from ..perf.telemetry import Telemetry
+
+        telemetry = Telemetry(jobs=args.jobs, scale=args.scale)
+
+    # With several experiments, parallelize across them; with exactly
+    # one, spend the workers inside the pipeline (simulation cells)
+    # instead — never both at once (no nested pools).
+    suite_jobs = args.jobs if len(ids) > 1 else 1
+    cell_jobs = args.jobs if len(ids) == 1 else 1
+    lab = Lab(scale=args.scale, jobs=cell_jobs, memo=memo)
     outcomes = run_suite(
         lab,
         ids,
@@ -337,10 +561,14 @@ def main(argv: list[str] | None = None) -> int:
         resume=args.resume,
         retries=args.retries,
         inject_fault=args.inject_fault,
+        jobs=suite_jobs,
+        telemetry=telemetry,
     )
     _summarize(outcomes, sys.stdout)
     if journal is not None:
         print(f"journal: {journal.path}")
+    if telemetry is not None:
+        print(f"bench: {telemetry.write(args.bench_out)}")
     return 1 if any(o.status == "failed" for o in outcomes) else 0
 
 

@@ -27,7 +27,7 @@ from ..cache.config import CacheConfig
 from ..cache.setassoc import simulate
 from ..cache.shared import simulate_shared
 
-__all__ = ["CounterReading", "measure_solo", "measure_corun"]
+__all__ = ["CounterReading", "measure_solo", "measure_corun", "reading_from_stats"]
 
 
 @dataclass(frozen=True)
@@ -58,6 +58,25 @@ def _noise_factor(noise_sigma: float, *key_parts: object) -> float:
     return float(np.exp(draw))
 
 
+def reading_from_stats(
+    stats,
+    instructions: int,
+    cfg: CacheConfig,
+    *,
+    noise_sigma: float = 0.01,
+    measurement_id: str = "",
+) -> CounterReading:
+    """Turn raw prefetch-simulation stats into a noisy counter reading.
+
+    Split out of :func:`measure_solo` so callers that obtained the stats
+    elsewhere — a memo-cache hit, a worker process — apply the *same*
+    seeded noise and get bit-identical readings.
+    """
+    factor = _noise_factor(noise_sigma, "solo", measurement_id, instructions, cfg)
+    misses = int(round(stats.misses * factor))
+    return CounterReading(instructions=instructions, icache_misses=misses)
+
+
 def measure_solo(
     lines: np.ndarray,
     instructions: int,
@@ -65,12 +84,22 @@ def measure_solo(
     *,
     noise_sigma: float = 0.01,
     measurement_id: str = "",
+    memo=None,
 ) -> CounterReading:
-    """Hardware-channel solo measurement: prefetch on, noisy counters."""
-    stats = simulate(lines, cfg, prefetch=True)
-    factor = _noise_factor(noise_sigma, "solo", measurement_id, instructions, cfg)
-    misses = int(round(stats.misses * factor))
-    return CounterReading(instructions=instructions, icache_misses=misses)
+    """Hardware-channel solo measurement: prefetch on, noisy counters.
+
+    ``memo`` (a :class:`repro.perf.memo.SimMemo`) replays an identical
+    prior simulation instead of re-running the LRU loop.
+    """
+    sim = simulate if memo is None else memo.simulate
+    stats = sim(lines, cfg, prefetch=True)
+    return reading_from_stats(
+        stats,
+        instructions,
+        cfg,
+        noise_sigma=noise_sigma,
+        measurement_id=measurement_id,
+    )
 
 
 def measure_corun(

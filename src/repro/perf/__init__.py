@@ -1,0 +1,38 @@
+"""Performance subsystem: parallel execution, memoization, telemetry.
+
+The evaluation matrix (programs x layouts x cache configs x co-run
+pairs) is embarrassingly parallel and heavily redundant; this package
+makes it fast without changing a single result:
+
+- :mod:`repro.perf.parallel` — process-pool fan-out at two levels:
+  whole experiments (``python -m repro.experiments --jobs N``) and
+  independent simulation cells inside a pipeline
+  (:func:`~repro.perf.parallel.simulate_cells`);
+- :mod:`repro.perf.memo` — a content-addressed, disk-persistent memo
+  cache for cache simulations (:class:`~repro.perf.memo.SimMemo`),
+  keyed by hash of (line stream, geometry, prefetch flag, warm state);
+- :mod:`repro.perf.telemetry` — per-stage wall time, simulator
+  throughput, and memo hit rates aggregated into ``BENCH_perf.json``
+  (:class:`~repro.perf.telemetry.Telemetry`), plus the journal-parity
+  oracle used by the CI benchmark smoke job
+  (``python -m repro.perf compare-journals``).
+
+Determinism is the contract: every knob here trades wall-clock time,
+never results — enforced by ``tests/perf/``.
+"""
+
+from .memo import SimMemo, memo_key, state_fingerprint
+from .parallel import ExperimentPool, rebuild_error, simulate_cells
+from .telemetry import BENCH_SCHEMA, Telemetry, compare_journal_outcomes
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "ExperimentPool",
+    "SimMemo",
+    "Telemetry",
+    "compare_journal_outcomes",
+    "memo_key",
+    "rebuild_error",
+    "simulate_cells",
+    "state_fingerprint",
+]

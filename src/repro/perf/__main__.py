@@ -1,0 +1,84 @@
+"""``python -m repro.perf`` — perf tooling CLI.
+
+Subcommands:
+
+``compare-journals A B``
+    Assert two run journals describe the same suite outcomes, ignoring
+    timing fields (``elapsed_s``, ``finished_at``, ``timings``).  Exit 0
+    on parity, 1 with a difference listing otherwise.  This is the
+    parity gate of the CI benchmark smoke job: a ``--jobs N`` run must
+    journal exactly what the serial run journals.
+
+``show-bench PATH``
+    Pretty-print the headline numbers of a ``BENCH_perf.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .telemetry import BENCH_SCHEMA, compare_journal_outcomes
+
+
+def _load_journal(path: str) -> list[dict]:
+    from ..robust.journal import RunJournal
+
+    return [json.loads(e.to_json()) for e in RunJournal(path).entries()]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.perf", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    cmp_p = sub.add_parser(
+        "compare-journals", help="assert two run journals agree modulo timings"
+    )
+    cmp_p.add_argument("journal_a")
+    cmp_p.add_argument("journal_b")
+
+    show_p = sub.add_parser("show-bench", help="summarize a BENCH_perf.json")
+    show_p.add_argument("bench_path")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "compare-journals":
+        diffs = compare_journal_outcomes(
+            _load_journal(args.journal_a), _load_journal(args.journal_b)
+        )
+        if diffs:
+            print(f"journals differ ({args.journal_a} vs {args.journal_b}):")
+            for d in diffs:
+                print(f"  {d}")
+            return 1
+        print("journals agree (modulo timing fields)")
+        return 0
+
+    if args.command == "show-bench":
+        with open(args.bench_path) as fh:
+            bench = json.load(fh)
+        if bench.get("schema") != BENCH_SCHEMA:
+            print(f"error: not a {BENCH_SCHEMA} report", file=sys.stderr)
+            return 2
+        sim = bench.get("simulator", {})
+        memo = bench.get("memo") or {}
+        print(f"jobs={bench['jobs']} scale={bench['scale']} wall={bench['wall_s']}s")
+        print(
+            f"simulator: {sim.get('accesses', 0)} accesses in "
+            f"{sim.get('seconds', 0)}s ({sim.get('accesses_per_s', 0)}/s)"
+        )
+        if memo:
+            print(
+                f"memo: {memo.get('hits', 0)} hits / {memo.get('misses', 0)} misses "
+                f"(hit rate {memo.get('hit_rate', 0.0)})"
+            )
+        for stage, seconds in sorted(bench.get("stages", {}).items()):
+            print(f"  {stage}: {seconds}s")
+        return 0
+
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,217 @@
+"""Content-addressed memoization of cache simulations.
+
+The evaluation matrix re-simulates identical (line stream, cache
+geometry, prefetch flag) triples across experiments — the baseline
+stream of each study program alone is simulated by the intro table,
+Table I, Fig. 4, Fig. 5, and every co-run baseline.  :class:`SimMemo`
+keys each solo simulation by a content hash of its inputs and replays
+the stored :class:`~repro.cache.stats.CacheStats` instead of re-running
+the LRU loop.
+
+Keying rules
+------------
+
+The key is the SHA-256 of, in order:
+
+* a schema tag (bumped whenever the simulator's semantics change, so
+  stale caches can never leak across versions);
+* the cache geometry (``size_bytes``/``assoc``/``line_bytes``);
+* the prefetch flag;
+* the warm-state fingerprint — ``cold`` for a fresh cache, otherwise a
+  digest of the exact set contents and pending prefetch tags;
+* the raw bytes of the line stream (canonicalized to little-endian
+  ``int64``).
+
+Two calls share a key iff :func:`repro.cache.setassoc.simulate` would
+return identical stats for them.
+
+Warm-state **mutating** calls (``state=`` given) are *keyed* but never
+*replayed*: a memo hit cannot reproduce the in-place state mutation the
+caller asked for, so those calls pass through to the simulator and are
+counted in :attr:`SimMemo.bypasses`.
+
+Persistence is one JSON file per key under ``cache_dir``, written with
+the crash-safe :func:`repro.robust.atomic.atomic_write_text` protocol —
+a killed run leaves complete entries or none.  Unreadable or
+schema-mismatched entries are treated as misses and dropped, never
+raised: a cache must degrade to recomputation, not to failure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from ..cache.config import CacheConfig
+from ..cache.setassoc import CacheState, simulate
+from ..cache.stats import CacheStats
+from ..robust.atomic import atomic_write_text
+
+__all__ = ["SimMemo", "memo_key", "state_fingerprint"]
+
+#: bumped whenever simulate()'s semantics change; invalidates old caches.
+SCHEMA = "repro.perf.memo.v2"
+
+#: stats fields persisted per entry, in schema order.
+_STATS_FIELDS = ("accesses", "misses", "prefetches", "prefetch_hits")
+
+
+def state_fingerprint(state: Optional[CacheState]) -> str:
+    """Digest of a warm cache state (``"cold"`` for a fresh cache)."""
+    if state is None:
+        return "cold"
+    h = hashlib.sha256()
+    for s in state.sets:
+        h.update(np.asarray(s, dtype="<i8").tobytes())
+        h.update(b"/")
+    h.update(np.asarray(sorted(state.prefetched), dtype="<i8").tobytes())
+    return h.hexdigest()
+
+
+def memo_key(
+    lines: np.ndarray,
+    cfg: CacheConfig,
+    *,
+    prefetch: bool = False,
+    state: Optional[CacheState] = None,
+) -> str:
+    """Content hash identifying one simulation's full input."""
+    arr = np.ascontiguousarray(np.asarray(lines), dtype="<i8")
+    h = hashlib.sha256()
+    h.update(
+        f"{SCHEMA}|{cfg.size_bytes}/{cfg.assoc}/{cfg.line_bytes}"
+        f"|pf={int(prefetch)}|st={state_fingerprint(state)}|".encode()
+    )
+    h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+class SimMemo:
+    """Memo cache for :func:`repro.cache.setassoc.simulate` results.
+
+    Parameters
+    ----------
+    cache_dir:
+        optional directory for persistent entries.  ``None`` keeps the
+        memo purely in-memory (one process lifetime).
+
+    Counters: ``hits`` / ``misses`` split lookups; ``bypasses`` counts
+    warm-state mutating calls that skipped the memo entirely.
+    """
+
+    def __init__(self, cache_dir: Optional[str | Path] = None):
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._mem: dict[str, CacheStats] = {}
+        self.hits = 0
+        self.misses = 0
+        self.bypasses = 0
+
+    # -- storage -----------------------------------------------------------
+
+    def _entry_path(self, key: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / f"{key}.json"
+
+    def get(self, key: str) -> Optional[CacheStats]:
+        """Stored stats for ``key``, counting the lookup as hit or miss."""
+        stats = self._peek(key)
+        if stats is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return stats
+
+    def _peek(self, key: str) -> Optional[CacheStats]:
+        stats = self._mem.get(key)
+        if stats is not None:
+            return _copy(stats)
+        if self.cache_dir is None:
+            return None
+        path = self._entry_path(key)
+        try:
+            raw = json.loads(path.read_text())
+            if raw.get("schema") != SCHEMA:
+                raise ValueError(f"schema {raw.get('schema')!r}")
+            stats = CacheStats(**{f: int(raw[f]) for f in _STATS_FIELDS})
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, TypeError, KeyError):
+            # Corrupt or stale entry: a cache degrades to recomputation.
+            path.unlink(missing_ok=True)
+            return None
+        self._mem[key] = stats
+        return _copy(stats)
+
+    def put(self, key: str, stats: CacheStats) -> None:
+        """Store ``stats`` under ``key`` (in memory, and on disk if enabled)."""
+        self._mem[key] = _copy(stats)
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            payload = {"schema": SCHEMA}
+            payload.update({f: getattr(stats, f) for f in _STATS_FIELDS})
+            atomic_write_text(self._entry_path(key), json.dumps(payload, sort_keys=True))
+
+    def invalidate(self, key: str) -> bool:
+        """Drop ``key`` from memory and disk; True if anything was removed."""
+        removed = self._mem.pop(key, None) is not None
+        if self.cache_dir is not None:
+            path = self._entry_path(key)
+            if path.exists():
+                path.unlink()
+                removed = True
+        return removed
+
+    # -- the memoizing simulator ------------------------------------------
+
+    def simulate(
+        self,
+        lines: np.ndarray,
+        cfg: CacheConfig,
+        *,
+        prefetch: bool = False,
+        state: Optional[CacheState] = None,
+    ) -> CacheStats:
+        """Drop-in for :func:`repro.cache.setassoc.simulate`, memoized.
+
+        Warm-state calls mutate ``state`` in place, which a replay cannot
+        reproduce — they bypass the memo (counted in ``bypasses``).
+        """
+        if state is not None:
+            self.bypasses += 1
+            return simulate(lines, cfg, prefetch=prefetch, state=state)
+        key = memo_key(lines, cfg, prefetch=prefetch)
+        stats = self.get(key)
+        if stats is None:
+            stats = simulate(lines, cfg, prefetch=prefetch)
+            self.put(key, stats)
+        return stats
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over keyed lookups (bypasses excluded); 0.0 when unused."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def counters(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "bypasses": self.bypasses,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+def _copy(stats: CacheStats) -> CacheStats:
+    """Callers may mutate returned stats; never alias the stored entry."""
+    return CacheStats(
+        accesses=stats.accesses,
+        misses=stats.misses,
+        prefetches=stats.prefetches,
+        prefetch_hits=stats.prefetch_hits,
+    )

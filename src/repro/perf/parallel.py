@@ -1,0 +1,208 @@
+"""Process-pool execution of experiments and simulation cells.
+
+Two fan-out layers, matching the structure of the evaluation:
+
+* **experiment level** — :class:`ExperimentPool` runs whole experiment
+  drivers in worker processes.  Each worker builds its own
+  :class:`~repro.experiments.pipeline.Lab` from the parent lab's
+  configuration (labs hold megabytes of memoized traces and are not
+  shareable), executes the same per-experiment attempt loop as the
+  serial runner, and ships back a picklable payload: the
+  :class:`~repro.experiments.report.ExperimentResult`, the typed error
+  as a dict, retry notes, and the lab's stage timings/counters.  The
+  parent consumes payloads **in submission order**, so output, journal,
+  and outcomes are identical to a serial run (modulo wall-clock fields).
+
+* **cell level** — :func:`simulate_cells` fans independent
+  (line stream, cache config, prefetch) simulation cells across a pool;
+  :meth:`Lab.precompute_solo <repro.experiments.pipeline.Lab.precompute_solo>`
+  and the :class:`~repro.compiler.driver.Driver` evaluation stage use it
+  for intra-experiment parallelism.
+
+Every simulation here is deterministic (seeded noise, content-addressed
+inputs), so distributing work across processes cannot change any result
+— the parity tests in ``tests/perf/`` and the CI benchmark smoke job
+enforce exactly that.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Any, Optional
+
+import numpy as np
+
+from ..cache.config import CacheConfig
+from ..cache.stats import CacheStats
+from ..robust.errors import (
+    ArtifactError,
+    ProfileError,
+    ReproError,
+    SimulationError,
+)
+
+__all__ = ["ExperimentPool", "rebuild_error", "simulate_cells"]
+
+#: the per-process Lab of an experiment worker (set by the initializer).
+_WORKER_LAB = None
+
+
+def _mp_context():
+    """Prefer fork (fast, POSIX) and fall back to spawn portably."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+# -- experiment-level fan-out -------------------------------------------------
+
+def _init_experiment_worker(lab_config: dict, memo_dir: Optional[str]) -> None:
+    from ..experiments.pipeline import Lab
+    from .memo import SimMemo
+
+    global _WORKER_LAB
+    lab_config = dict(lab_config)
+    lab_config["jobs"] = 1  # no nested pools inside a worker
+    if memo_dir is not None:
+        lab_config["memo"] = SimMemo(memo_dir)
+    _WORKER_LAB = Lab(**lab_config)
+
+
+def _experiment_task(exp_id: str, retries: int, inject_fault: Optional[str]) -> dict:
+    """Run one experiment in the worker; return a picklable payload."""
+    from ..experiments.runner import attempt_experiment
+
+    lab = _WORKER_LAB
+    assert lab is not None, "worker pool used without initializer"
+    # A worker lab lives across tasks; ship per-task *deltas* so the
+    # parent can sum payloads without double counting.
+    counters_before = dict(lab.counters)
+    memo_before = lab.memo.counters() if lab.memo is not None else None
+    outcome, notes = attempt_experiment(
+        lab, exp_id, retries=retries, inject_fault=inject_fault
+    )
+    error = outcome.error
+    memo_delta = None
+    if lab.memo is not None:
+        after = lab.memo.counters()
+        memo_delta = {
+            k: after[k] - memo_before[k] for k in ("hits", "misses", "bypasses")
+        }
+    return {
+        "exp_id": outcome.exp_id,
+        "status": outcome.status,
+        "elapsed_s": outcome.elapsed_s,
+        "attempts": outcome.attempts,
+        "result": outcome.result,
+        "error": None
+        if error is None
+        else {
+            "type": type(error).__name__,
+            "dict": error.to_dict(),
+            "rendered": str(error),
+        },
+        "notes": notes,
+        "timings": outcome.timings,
+        "counters": {
+            k: lab.counters[k] - counters_before.get(k, 0) for k in lab.counters
+        },
+        "memo": memo_delta,
+    }
+
+
+_ERROR_TYPES: dict[str, type] = {
+    cls.__name__: cls
+    for cls in (ReproError, ProfileError, SimulationError, ArtifactError)
+}
+
+
+def rebuild_error(payload: dict) -> ReproError:
+    """Reconstruct a worker's typed error in the parent process.
+
+    The subclass and machine-readable context survive; the original
+    ``cause`` exception does not cross the process boundary, so its
+    rendered form is preserved verbatim via the exception message.
+    """
+    cls = _ERROR_TYPES.get(payload.get("type", ""), SimulationError)
+    raw = dict(payload.get("dict") or {})
+    raw.pop("type", None)
+    message = raw.pop("message", "experiment failed")
+    cause_repr = raw.pop("cause", None)
+    err = cls(message, **raw)
+    if cause_repr is not None:
+        err.context.setdefault("cause", cause_repr)
+    # Preserve the worker-side rendering exactly (parity with serial output).
+    err.args = (payload.get("rendered", str(err)),)
+    return err
+
+
+class ExperimentPool:
+    """A pool of experiment workers, each owning a private Lab."""
+
+    def __init__(
+        self,
+        jobs: int,
+        lab_config: dict,
+        *,
+        memo_dir: Optional[str] = None,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self._executor = ProcessPoolExecutor(
+            max_workers=jobs,
+            mp_context=_mp_context(),
+            initializer=_init_experiment_worker,
+            initargs=(lab_config, memo_dir),
+        )
+
+    def submit(
+        self, exp_id: str, *, retries: int = 0, inject_fault: Optional[str] = None
+    ) -> Future:
+        return self._executor.submit(_experiment_task, exp_id, retries, inject_fault)
+
+    def shutdown(self, *, cancel: bool = False) -> None:
+        self._executor.shutdown(wait=not cancel, cancel_futures=cancel)
+
+    def __enter__(self) -> "ExperimentPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        # Queued-but-unstarted work is always abandoned on exit: either
+        # every future was consumed (cancel is a no-op) or the suite
+        # aborted early and the leftovers must not burn CPU.
+        self.shutdown(cancel=True)
+
+
+# -- cell-level fan-out -------------------------------------------------------
+
+def _simulate_cell(cell: tuple) -> tuple[int, int, int, int]:
+    from ..cache.setassoc import simulate
+
+    lines, cfg, prefetch = cell
+    stats = simulate(lines, cfg, prefetch=prefetch)
+    return (stats.accesses, stats.misses, stats.prefetches, stats.prefetch_hits)
+
+
+def simulate_cells(
+    cells: list[tuple[np.ndarray, CacheConfig, bool]],
+    *,
+    jobs: int = 1,
+) -> list[CacheStats]:
+    """Simulate independent (lines, cfg, prefetch) cells, possibly in parallel.
+
+    Results are positionally aligned with ``cells`` and bit-identical to
+    serial :func:`repro.cache.setassoc.simulate` calls — the cells share
+    no state, so execution order cannot matter.  With ``jobs <= 1`` (or a
+    single cell) no pool is spawned.
+    """
+    if jobs <= 1 or len(cells) <= 1:
+        raw = [_simulate_cell(c) for c in cells]
+    else:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(cells)), mp_context=_mp_context()
+        ) as pool:
+            raw = list(pool.map(_simulate_cell, cells))
+    return [
+        CacheStats(accesses=a, misses=m, prefetches=p, prefetch_hits=h)
+        for (a, m, p, h) in raw
+    ]

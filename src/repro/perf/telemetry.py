@@ -1,0 +1,121 @@
+"""Timing telemetry for the experiment pipeline: ``BENCH_perf.json``.
+
+:class:`Telemetry` aggregates the per-stage wall-clock seconds that
+:class:`~repro.compiler.driver.Driver` and
+:class:`~repro.experiments.pipeline.Lab` already collect, adds simulator
+throughput (line accesses per second) and memo-cache counters, and
+renders one machine-readable benchmark report.  The schema
+(:data:`BENCH_SCHEMA`) is documented in ``docs/performance.md`` and
+consumed by the CI benchmark smoke job.
+
+All durations come from the monotonic clock (``time.perf_counter``);
+only the single ``generated_at`` stamp is epoch time.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Optional
+
+from ..robust.atomic import atomic_write_text
+
+__all__ = ["BENCH_SCHEMA", "Telemetry", "compare_journal_outcomes"]
+
+#: schema tag of BENCH_perf.json; bump on breaking layout changes.
+BENCH_SCHEMA = "repro.perf/bench.v1"
+
+#: journal-entry fields that legitimately differ between two runs of the
+#: same suite (wall-clock measurements); everything else must match.
+TIMING_FIELDS = ("elapsed_s", "finished_at", "timings")
+
+
+class Telemetry:
+    """Aggregated timing/throughput counters for one suite run."""
+
+    def __init__(self, *, jobs: int = 1, scale: float = 1.0):
+        self.jobs = jobs
+        self.scale = scale
+        #: per-stage wall seconds, summed across experiments and workers.
+        self.stages: dict[str, float] = {}
+        #: per-experiment outcome summaries, in completion order.
+        self.experiments: dict[str, dict[str, Any]] = {}
+        self.sim_accesses = 0
+        self.sim_seconds = 0.0
+        self.memo: dict[str, float] = {}
+        self.wall_s = 0.0
+
+    # -- accumulation ------------------------------------------------------
+
+    def merge_stages(self, timings: dict[str, float]) -> None:
+        for name, seconds in timings.items():
+            self.stages[name] = self.stages.get(name, 0.0) + float(seconds)
+
+    def merge_counters(self, counters: dict[str, float]) -> None:
+        self.sim_accesses += int(counters.get("sim_accesses", 0))
+        self.sim_seconds += float(counters.get("sim_seconds", 0.0))
+
+    def merge_memo(self, counters: Optional[dict[str, float]]) -> None:
+        if not counters:
+            return
+        for field in ("hits", "misses", "bypasses"):
+            self.memo[field] = self.memo.get(field, 0) + int(counters.get(field, 0))
+        keyed = self.memo.get("hits", 0) + self.memo.get("misses", 0)
+        self.memo["hit_rate"] = round(self.memo["hits"] / keyed, 4) if keyed else 0.0
+
+    def record_experiment(
+        self, exp_id: str, status: str, elapsed_s: float, attempts: int
+    ) -> None:
+        self.experiments[exp_id] = {
+            "status": status,
+            "elapsed_s": round(elapsed_s, 3),
+            "attempts": attempts,
+        }
+
+    # -- rendering ---------------------------------------------------------
+
+    @property
+    def accesses_per_second(self) -> float:
+        return self.sim_accesses / self.sim_seconds if self.sim_seconds > 0 else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": BENCH_SCHEMA,
+            "generated_at": time.time(),
+            "jobs": self.jobs,
+            "scale": self.scale,
+            "wall_s": round(self.wall_s, 3),
+            "experiments": self.experiments,
+            "stages": {k: round(v, 4) for k, v in sorted(self.stages.items())},
+            "simulator": {
+                "accesses": self.sim_accesses,
+                "seconds": round(self.sim_seconds, 4),
+                "accesses_per_s": round(self.accesses_per_second, 1),
+            },
+            "memo": self.memo or None,
+        }
+
+    def write(self, path: str | Path) -> Path:
+        """Atomically write the report; returns the path."""
+        path = Path(path)
+        atomic_write_text(path, json.dumps(self.to_dict(), indent=2, sort_keys=True))
+        return path
+
+
+def compare_journal_outcomes(a: list[dict], b: list[dict]) -> list[str]:
+    """Differences between two run journals, ignoring timing fields.
+
+    Parity oracle for parallel-vs-serial runs: the entries must agree in
+    count, order, and every non-timing field.  Returns human-readable
+    difference descriptions (empty = parity holds).
+    """
+    diffs: list[str] = []
+    if len(a) != len(b):
+        diffs.append(f"entry count differs: {len(a)} vs {len(b)}")
+    for i, (ea, eb) in enumerate(zip(a, b)):
+        ka = {k: v for k, v in ea.items() if k not in TIMING_FIELDS}
+        kb = {k: v for k, v in eb.items() if k not in TIMING_FIELDS}
+        if ka != kb:
+            diffs.append(f"entry {i} differs: {ka!r} vs {kb!r}")
+    return diffs

@@ -41,19 +41,21 @@ class JournalEntry:
     finished_at: float = 0.0
     #: machine-readable error (ReproError.to_dict()) for failed entries.
     error: Optional[dict] = None
+    #: per-stage wall seconds for this experiment (telemetry; optional).
+    timings: Optional[dict] = None
 
     def to_json(self) -> str:
-        return json.dumps(
-            {
-                "exp_id": self.exp_id,
-                "status": self.status,
-                "elapsed_s": round(self.elapsed_s, 3),
-                "attempts": self.attempts,
-                "finished_at": self.finished_at,
-                "error": self.error,
-            },
-            sort_keys=True,
-        )
+        payload = {
+            "exp_id": self.exp_id,
+            "status": self.status,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "attempts": self.attempts,
+            "finished_at": self.finished_at,
+            "error": self.error,
+        }
+        if self.timings is not None:
+            payload["timings"] = {k: round(v, 4) for k, v in self.timings.items()}
+        return json.dumps(payload, sort_keys=True)
 
 
 class RunJournal:
@@ -70,8 +72,14 @@ class RunJournal:
         elapsed_s: float = 0.0,
         attempts: int = 1,
         error: Optional[dict] = None,
+        timings: Optional[dict] = None,
     ) -> JournalEntry:
-        """Append one entry, flushed and fsynced before returning."""
+        """Append one entry, flushed and fsynced before returning.
+
+        ``elapsed_s`` and ``timings`` are monotonic-clock durations;
+        ``finished_at`` is deliberately epoch time (a human-readable
+        completion stamp, not used for arithmetic).
+        """
         if status not in STATUSES:
             raise ValueError(f"status must be one of {STATUSES}, got {status!r}")
         entry = JournalEntry(
@@ -81,6 +89,7 @@ class RunJournal:
             attempts=attempts,
             finished_at=time.time(),
             error=error,
+            timings=timings,
         )
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self.path.open("a") as fh:
@@ -113,6 +122,7 @@ class RunJournal:
                     attempts=int(raw.get("attempts", 1)),
                     finished_at=float(raw.get("finished_at", 0.0)),
                     error=raw.get("error"),
+                    timings=raw.get("timings"),
                 )
             except (json.JSONDecodeError, KeyError, TypeError, ValueError) as err:
                 if lineno == len(lines):

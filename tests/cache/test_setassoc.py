@@ -5,7 +5,15 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cache import CacheConfig, CacheState, PAPER_L1I, simulate, warm_cache
+from repro.cache import (
+    CacheConfig,
+    CacheState,
+    PAPER_L1I,
+    simulate,
+    simulate_policy,
+    simulate_shared,
+    warm_cache,
+)
 from repro.locality import COLD, reuse_distances
 
 
@@ -49,6 +57,69 @@ def test_prefetch_helps_sequential_stream():
     assert pref.misses < plain.misses
     assert pref.prefetches > 0
     assert pref.prefetch_hits > 0
+
+
+class TestDegeneratePrefetchGeometry:
+    """PR 3 bugfix pin: a tagged prefetch must never evict its own trigger.
+
+    With n_sets == 1 and assoc == 1 the prefetch target L+1 maps to the
+    demand line L's own (only) set and L occupies the only (LRU) way, so
+    the old code evicted L immediately after fetching it — every re-access
+    missed.  The prefetch is suppressed in exactly that geometry.
+    """
+
+    ONE_SET_DIRECT = CacheConfig(size_bytes=64, assoc=1, line_bytes=64)
+
+    def test_trigger_line_survives_its_own_prefetch(self):
+        st_ = simulate(np.array([0, 0]), self.ONE_SET_DIRECT, prefetch=True)
+        assert st_.misses == 1  # second access must hit
+        assert st_.prefetches == 0  # the self-evicting prefetch is dropped
+
+    def test_two_way_single_set_still_prefetches(self):
+        cfg = CacheConfig(size_bytes=128, assoc=2, line_bytes=64)  # 1 set, 2-way
+        st_ = simulate(np.array([0, 0]), cfg, prefetch=True)
+        assert st_.misses == 1
+        assert st_.prefetches == 1  # line 1 fits in the other way
+
+    def test_multi_set_geometry_unchanged(self):
+        """The guard cannot fire when the target maps to a different set:
+        direct-mapped multi-set prefetching still works as before."""
+        lines = np.tile(np.arange(40), 3)
+        cfg = CacheConfig(size_bytes=16 * 64, assoc=1, line_bytes=64)  # 16 sets
+        pref = simulate(lines, cfg, prefetch=True)
+        plain = simulate(lines, cfg)
+        assert pref.prefetches > 0
+        assert pref.prefetch_hits > 0
+        assert pref.misses < plain.misses
+
+    def test_shared_simulator_has_the_same_guard(self):
+        [st_] = simulate_shared(
+            [np.array([0, 0])], self.ONE_SET_DIRECT, prefetch=True
+        )
+        assert st_.misses == 1
+        assert st_.prefetches == 0
+
+
+class TestSimulatePolicyUnsupportedOptions:
+    """PR 3 bugfix pin: simulate_policy used to silently ignore prefetch
+    and warm-start state; both now raise instead of simulating the wrong
+    thing."""
+
+    def test_lru_policy_still_matches_simulate(self):
+        rng = np.random.default_rng(11)
+        lines = rng.integers(0, 48, 1500)
+        assert simulate_policy(lines, PAPER_L1I).misses == simulate(
+            lines, PAPER_L1I
+        ).misses
+
+    def test_prefetch_rejected(self):
+        with pytest.raises(ValueError, match="prefetch"):
+            simulate_policy(np.array([0, 1]), PAPER_L1I, prefetch=True)
+
+    def test_warm_state_rejected(self):
+        state = CacheState(PAPER_L1I)
+        with pytest.raises(ValueError, match="state"):
+            simulate_policy(np.array([0, 1]), PAPER_L1I, state=state)
 
 
 def test_warm_start_state():

@@ -1,0 +1,133 @@
+"""The content-addressed simulation memo cache (repro.perf.memo).
+
+The contract under test: a memo hit returns CacheStats identical to a
+fresh simulation; keys are sensitive to every simulation input; disk
+entries survive process turnover, tolerate corruption, and can be
+invalidated.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cache import CacheConfig, PAPER_L1I, simulate, warm_cache
+from repro.perf import SimMemo, memo_key, state_fingerprint
+
+
+@pytest.fixture
+def lines():
+    rng = np.random.default_rng(42)
+    return rng.integers(0, 700, 5000).astype(np.int32)
+
+
+class TestMemoKey:
+    def test_deterministic(self, lines):
+        assert memo_key(lines, PAPER_L1I) == memo_key(lines.copy(), PAPER_L1I)
+
+    def test_dtype_canonicalized(self, lines):
+        """The same logical stream keys identically regardless of dtype."""
+        assert memo_key(lines, PAPER_L1I) == memo_key(
+            lines.astype(np.int64), PAPER_L1I
+        )
+
+    def test_sensitive_to_stream(self, lines):
+        other = lines.copy()
+        other[17] += 1
+        assert memo_key(lines, PAPER_L1I) != memo_key(other, PAPER_L1I)
+
+    def test_sensitive_to_geometry_and_prefetch(self, lines):
+        small = CacheConfig(size_bytes=16 * 1024, assoc=4, line_bytes=64)
+        keys = {
+            memo_key(lines, PAPER_L1I),
+            memo_key(lines, small),
+            memo_key(lines, PAPER_L1I, prefetch=True),
+        }
+        assert len(keys) == 3
+
+    def test_sensitive_to_warm_state(self, lines):
+        warm = warm_cache(np.arange(64), PAPER_L1I)
+        assert memo_key(lines, PAPER_L1I) != memo_key(lines, PAPER_L1I, state=warm)
+        assert state_fingerprint(None) == "cold"
+        assert state_fingerprint(warm) != state_fingerprint(None)
+
+
+class TestSimMemo:
+    def test_hit_returns_identical_stats(self, lines):
+        memo = SimMemo()
+        fresh = simulate(lines, PAPER_L1I, prefetch=True)
+        first = memo.simulate(lines, PAPER_L1I, prefetch=True)
+        hit = memo.simulate(lines, PAPER_L1I, prefetch=True)
+        assert first == fresh
+        assert hit == fresh
+        assert (memo.hits, memo.misses) == (1, 1)
+        assert memo.hit_rate == 0.5
+
+    def test_hit_result_is_not_aliased(self, lines):
+        memo = SimMemo()
+        a = memo.simulate(lines, PAPER_L1I)
+        a.misses = -1  # caller mutates its copy
+        assert memo.simulate(lines, PAPER_L1I).misses != -1
+
+    def test_warm_state_calls_bypass_and_still_mutate(self, lines):
+        """A replay cannot reproduce the in-place mutation, so warm-state
+        calls must reach the real simulator every time."""
+        memo = SimMemo()
+        ref = warm_cache(lines, PAPER_L1I)
+        state = warm_cache(np.array([], dtype=np.int64), PAPER_L1I)
+        stats = memo.simulate(lines, PAPER_L1I, state=state)
+        assert memo.bypasses == 1
+        assert (memo.hits, memo.misses) == (0, 0)
+        assert state.resident_lines() == ref.resident_lines()
+        assert stats == simulate(lines, PAPER_L1I)
+
+    def test_disk_persistence_across_instances(self, tmp_path, lines):
+        fresh = simulate(lines, PAPER_L1I)
+        SimMemo(tmp_path).simulate(lines, PAPER_L1I)
+        reread = SimMemo(tmp_path)
+        assert reread.simulate(lines, PAPER_L1I) == fresh
+        assert (reread.hits, reread.misses) == (1, 0)
+
+    def test_invalidate_key(self, tmp_path, lines):
+        memo = SimMemo(tmp_path)
+        key = memo_key(lines, PAPER_L1I)
+        memo.simulate(lines, PAPER_L1I)
+        assert memo.invalidate(key)
+        assert not memo.invalidate(key)  # already gone
+        assert not list(tmp_path.glob(f"{key}*"))
+        memo.simulate(lines, PAPER_L1I)
+        assert memo.misses == 2  # recomputed after invalidation
+
+    def test_corrupt_entry_degrades_to_recomputation(self, tmp_path, lines):
+        memo = SimMemo(tmp_path)
+        key = memo_key(lines, PAPER_L1I)
+        fresh = memo.simulate(lines, PAPER_L1I)
+        (tmp_path / f"{key}.json").write_text("{ truncated")
+        reread = SimMemo(tmp_path)
+        assert reread.simulate(lines, PAPER_L1I) == fresh
+        assert reread.misses == 1  # corrupt file never served
+
+    def test_stale_schema_entry_dropped(self, tmp_path, lines):
+        memo = SimMemo(tmp_path)
+        key = memo_key(lines, PAPER_L1I)
+        memo.simulate(lines, PAPER_L1I)
+        path = tmp_path / f"{key}.json"
+        raw = json.loads(path.read_text())
+        raw["schema"] = "repro.perf.memo.v0"
+        path.write_text(json.dumps(raw))
+        reread = SimMemo(tmp_path)
+        reread.simulate(lines, PAPER_L1I)
+        assert reread.misses == 1
+        # the stale file was replaced with a current-schema entry.
+        assert json.loads(path.read_text())["schema"] != "repro.perf.memo.v0"
+
+    def test_in_memory_only_mode(self, lines):
+        memo = SimMemo()
+        memo.simulate(lines, PAPER_L1I)
+        memo.simulate(lines, PAPER_L1I)
+        assert memo.counters() == {
+            "hits": 1,
+            "misses": 1,
+            "bypasses": 0,
+            "hit_rate": 0.5,
+        }

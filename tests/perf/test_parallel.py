@@ -1,0 +1,152 @@
+"""Parallel execution parity (repro.perf.parallel + runner --jobs).
+
+The acceptance contract: a ``--jobs N`` suite run produces byte-identical
+outcomes, journal entries, and report text to the serial run, modulo
+timing fields — including under injected failures, retries, and resume.
+"""
+
+import io
+import re
+
+import numpy as np
+import pytest
+
+from repro.cache import PAPER_L1I, simulate
+from repro.experiments import Lab
+from repro.experiments.runner import run_suite
+from repro.perf import compare_journal_outcomes, rebuild_error, simulate_cells
+from repro.robust import ProfileError, RunJournal, SimulationError
+
+FAST = "ablation-optimal-gap"
+FAST2 = "ablation-pruning"
+IDS = [FAST, FAST2]
+
+
+def _strip_timings(text: str) -> str:
+    return re.sub(r"\[\d+\.\d+s(, \d+ attempt\(s\))?\]", "[T]", text)
+
+
+def _run(tmp_path, tag, *, jobs, **kwargs):
+    lab = Lab(scale=0.05, noise_sigma=0.0)
+    journal = RunJournal(tmp_path / f"{tag}.jsonl")
+    out = io.StringIO()
+    outcomes = run_suite(
+        lab, IDS, journal=journal, out=out, jobs=jobs, keep_going=True, **kwargs
+    )
+    return outcomes, journal, out.getvalue()
+
+
+class TestSuiteParity:
+    def test_parallel_matches_serial(self, tmp_path):
+        serial, js, text_s = _run(tmp_path, "serial", jobs=1)
+        parallel, jp, text_p = _run(tmp_path, "parallel", jobs=2)
+        assert _strip_timings(text_s) == _strip_timings(text_p)
+        assert [o.status for o in serial] == [o.status for o in parallel]
+        assert [o.result.to_text() for o in serial] == [
+            o.result.to_text() for o in parallel
+        ]
+        assert compare_journal_outcomes(
+            [vars(e) for e in js.entries()], [vars(e) for e in jp.entries()]
+        ) == []
+
+    def test_parallel_failure_parity(self, tmp_path):
+        serial, js, text_s = _run(tmp_path, "serial", jobs=1, inject_fault=FAST)
+        parallel, jp, text_p = _run(tmp_path, "par", jobs=2, inject_fault=FAST)
+        assert _strip_timings(text_s) == _strip_timings(text_p)
+        assert isinstance(parallel[0].error, SimulationError)
+        assert str(parallel[0].error) == str(serial[0].error)
+        assert js.entries()[0].error == jp.entries()[0].error
+
+    def test_parallel_stops_at_first_failure_without_keep_going(self, tmp_path):
+        lab = Lab(scale=0.05, noise_sigma=0.0)
+        outcomes = run_suite(
+            lab, IDS, inject_fault=FAST, out=io.StringIO(), jobs=2
+        )
+        assert [o.exp_id for o in outcomes] == [FAST]
+        assert outcomes[0].status == "failed"
+
+    def test_parallel_resume_skips_completed(self, tmp_path):
+        lab = Lab(scale=0.05, noise_sigma=0.0)
+        journal = RunJournal(tmp_path / "resume.jsonl")
+        run_suite(
+            lab, IDS, journal=journal, keep_going=True,
+            inject_fault=FAST2, out=io.StringIO(), jobs=2,
+        )
+        second = run_suite(
+            lab, IDS, journal=journal, keep_going=True, resume=True,
+            out=io.StringIO(), jobs=2,
+        )
+        by_id = {o.exp_id: o for o in second}
+        assert by_id[FAST].status == "skipped"
+        assert by_id[FAST2].status == "ok"
+        assert journal.completed() == {FAST, FAST2}
+
+    def test_jobs_validated(self):
+        with pytest.raises(ValueError, match="jobs"):
+            run_suite(Lab(scale=0.05), [FAST], jobs=0, out=io.StringIO())
+
+
+class TestPrecomputeSolo:
+    """Cell-level fan-out inside the Lab (satellite cross-check)."""
+
+    CELLS = [
+        ("syn-gcc", "baseline", "hw"),
+        ("syn-gcc", "baseline", "sim"),
+        ("syn-mcf", "baseline", "hw"),
+        ("syn-mcf", "baseline", "sim"),
+    ]
+
+    def test_parallel_cells_match_serial_solo_miss(self):
+        fanned = Lab(scale=0.05, jobs=2)
+        fanned.precompute_solo(self.CELLS)
+        serial = Lab(scale=0.05)
+        for name, layout, channel in self.CELLS:
+            assert fanned.solo_miss(name, layout, channel) == serial.solo_miss(
+                name, layout, channel
+            ), (name, layout, channel)
+
+    def test_serial_precompute_equals_lazy(self):
+        eager = Lab(scale=0.05)
+        eager.precompute_solo(self.CELLS, jobs=1)
+        lazy = Lab(scale=0.05)
+        for cell in self.CELLS:
+            assert eager.solo_miss(*cell) == lazy.solo_miss(*cell)
+
+    def test_rejects_unknown_channel(self):
+        with pytest.raises(ValueError, match="unknown channel"):
+            Lab(scale=0.05).precompute_solo([("syn-gcc", "baseline", "spectre")])
+
+
+class TestSimulateCells:
+    def test_results_identical_to_serial(self):
+        rng = np.random.default_rng(3)
+        cells = [
+            (rng.integers(0, 600, 4000), PAPER_L1I, bool(i % 2)) for i in range(5)
+        ]
+        parallel = simulate_cells(cells, jobs=2)
+        serial = [simulate(lines, cfg, prefetch=pf) for lines, cfg, pf in cells]
+        assert parallel == serial
+
+    def test_empty(self):
+        assert simulate_cells([], jobs=2) == []
+
+
+class TestRebuildError:
+    def test_subclass_context_and_rendering_survive(self):
+        original = ProfileError(
+            "bad trace", stage="prepare", program="syn-gcc", defect="float dtype"
+        )
+        payload = {
+            "type": "ProfileError",
+            "dict": original.to_dict(),
+            "rendered": str(original),
+        }
+        rebuilt = rebuild_error(payload)
+        assert isinstance(rebuilt, ProfileError)
+        assert str(rebuilt) == str(original)
+        assert rebuilt.stage == "prepare"
+        assert rebuilt.program == "syn-gcc"
+
+    def test_unknown_type_falls_back_to_simulation_error(self):
+        rebuilt = rebuild_error({"type": "Exotic", "dict": {"message": "x"}})
+        assert isinstance(rebuilt, SimulationError)

@@ -1,0 +1,193 @@
+"""Telemetry / BENCH_perf.json (repro.perf.telemetry) and the perf CLI."""
+
+import io
+import json
+
+import pytest
+
+from repro.experiments import Lab
+from repro.experiments.runner import main as runner_main
+from repro.experiments.runner import run_suite
+from repro.perf import BENCH_SCHEMA, Telemetry, compare_journal_outcomes
+from repro.perf.__main__ import main as perf_main
+
+
+class TestTelemetry:
+    def test_merging_and_schema(self):
+        t = Telemetry(jobs=2, scale=0.1)
+        t.merge_stages({"simulate": 1.0, "optimize": 0.5})
+        t.merge_stages({"simulate": 0.25})
+        t.merge_counters({"sim_accesses": 1000, "sim_seconds": 0.5})
+        t.merge_counters({"sim_accesses": 500, "sim_seconds": 0.25})
+        t.merge_memo({"hits": 3, "misses": 1, "bypasses": 2})
+        t.record_experiment("fig4", "ok", 1.234, 1)
+        t.wall_s = 2.0
+        d = t.to_dict()
+        assert d["schema"] == BENCH_SCHEMA
+        assert d["jobs"] == 2 and d["scale"] == 0.1
+        assert d["stages"] == {"simulate": 1.25, "optimize": 0.5}
+        assert d["simulator"] == {
+            "accesses": 1500,
+            "seconds": 0.75,
+            "accesses_per_s": 2000.0,
+        }
+        assert d["memo"]["hit_rate"] == 0.75
+        assert d["experiments"]["fig4"] == {
+            "status": "ok",
+            "elapsed_s": 1.234,
+            "attempts": 1,
+        }
+
+    def test_memo_merge_accumulates_across_workers(self):
+        t = Telemetry()
+        t.merge_memo({"hits": 1, "misses": 1})
+        t.merge_memo({"hits": 3, "misses": 0})
+        assert t.memo["hits"] == 4
+        assert t.memo["hit_rate"] == 0.8
+        t.merge_memo(None)  # workers without a memo ship None
+        assert t.memo["hits"] == 4
+
+    def test_empty_telemetry_renders(self):
+        d = Telemetry().to_dict()
+        assert d["memo"] is None
+        assert d["simulator"]["accesses_per_s"] == 0.0
+
+    def test_write_is_valid_json(self, tmp_path):
+        path = Telemetry().write(tmp_path / "BENCH_perf.json")
+        assert json.loads(path.read_text())["schema"] == BENCH_SCHEMA
+
+    def test_run_suite_populates_telemetry(self):
+        lab = Lab(scale=0.05, noise_sigma=0.0)
+        t = Telemetry(jobs=1, scale=0.05)
+        run_suite(lab, ["ablation-pruning"], out=io.StringIO(), telemetry=t)
+        assert t.experiments["ablation-pruning"]["status"] == "ok"
+        assert t.wall_s > 0
+        assert t.sim_accesses > 0
+        assert t.sim_seconds > 0
+        assert "simulate" in t.stages
+
+
+class TestCompareJournalOutcomes:
+    A = {"exp_id": "fig4", "status": "ok", "elapsed_s": 1.0, "error": None}
+
+    def test_timing_fields_ignored(self):
+        b = dict(self.A, elapsed_s=99.0, finished_at=1.0, timings={"x": 1})
+        assert compare_journal_outcomes([self.A], [b]) == []
+
+    def test_outcome_fields_compared(self):
+        b = dict(self.A, status="failed")
+        diffs = compare_journal_outcomes([self.A], [b])
+        assert len(diffs) == 1 and "entry 0" in diffs[0]
+
+    def test_count_mismatch(self):
+        assert "entry count differs" in compare_journal_outcomes([self.A], [])[0]
+
+
+class TestPerfCli:
+    def _write_journal(self, tmp_path, name, fault=None):
+        path = tmp_path / name
+        code = runner_main(
+            [
+                "--only", "ablation-pruning", "ablation-optimal-gap",
+                "--scale", "0.05", "--keep-going",
+                "--journal", str(path),
+            ]
+            + (["--inject-fault", fault] if fault else [])
+        )
+        return path, code
+
+    def test_compare_journals_agree(self, tmp_path, capsys):
+        a, _ = self._write_journal(tmp_path, "a.jsonl")
+        b, _ = self._write_journal(tmp_path, "b.jsonl")
+        assert perf_main(["compare-journals", str(a), str(b)]) == 0
+        assert "journals agree" in capsys.readouterr().out
+
+    def test_compare_journals_differ(self, tmp_path, capsys):
+        a, _ = self._write_journal(tmp_path, "a.jsonl")
+        b, code = self._write_journal(tmp_path, "b.jsonl", fault="ablation-pruning")
+        assert code == 1  # the faulted run exits nonzero
+        assert perf_main(["compare-journals", str(a), str(b)]) == 1
+        assert "journals differ" in capsys.readouterr().out
+
+    def test_bench_out_written_by_runner(self, tmp_path, capsys):
+        bench = tmp_path / "BENCH_perf.json"
+        code = runner_main(
+            [
+                "--only", "ablation-pruning",
+                "--scale", "0.05",
+                "--memo-dir", str(tmp_path / "memo"),
+                "--bench-out", str(bench),
+            ]
+        )
+        assert code == 0
+        assert f"bench: {bench}" in capsys.readouterr().out
+        report = json.loads(bench.read_text())
+        assert report["schema"] == BENCH_SCHEMA
+        assert report["experiments"]["ablation-pruning"]["status"] == "ok"
+        assert report["simulator"]["accesses"] > 0
+        assert report["memo"]["misses"] > 0
+        assert perf_main(["show-bench", str(bench)]) == 0
+        assert "simulator:" in capsys.readouterr().out
+
+    def test_show_bench_rejects_foreign_schema(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"schema": "something.else"}))
+        assert perf_main(["show-bench", str(path)]) == 2
+
+    def test_runner_rejects_bad_jobs(self, capsys):
+        assert runner_main(["--jobs", "0", "--only", "fig4"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+
+class TestMonotonicElapsed:
+    """Satellite bugfix: elapsed_s must survive wall-clock jumps.
+
+    ``run_suite`` used to compute elapsed_s from ``time.time()``; an NTP
+    step (or DST adjustment) mid-experiment warped the reported duration.
+    All durations now come from ``time.perf_counter``.
+    """
+
+    def test_wall_clock_jump_does_not_warp_elapsed(self, monkeypatch):
+        import repro.experiments.runner as runner_mod
+
+        real_time = runner_mod.time.time
+        calls = iter(range(1, 10_000))
+
+        class JumpyTime:
+            """time module facade: every time() call jumps the wall clock
+            another hour forward; perf_counter stays real."""
+
+            perf_counter = staticmethod(runner_mod.time.perf_counter)
+
+            @staticmethod
+            def time():
+                return real_time() + 3600.0 * next(calls)
+
+        monkeypatch.setattr(runner_mod, "time", JumpyTime)
+        lab = Lab(scale=0.05, noise_sigma=0.0)
+        outcomes = run_suite(lab, ["ablation-pruning"], out=io.StringIO())
+        assert outcomes[0].status == "ok"
+        # a wall-clock implementation would report >= 3600 here.
+        assert 0.0 <= outcomes[0].elapsed_s < 300.0
+
+    def test_journal_finished_at_is_epoch(self, tmp_path):
+        import time
+
+        from repro.robust import RunJournal
+
+        journal = RunJournal(tmp_path / "j.jsonl")
+        before = time.time()
+        run_suite(
+            Lab(scale=0.05, noise_sigma=0.0),
+            ["ablation-pruning"],
+            journal=journal,
+            out=io.StringIO(),
+        )
+        entry = journal.entries()[0]
+        assert before - 1 <= entry.finished_at <= time.time() + 1
+
+
+@pytest.mark.parametrize("bad", [0, -3])
+def test_telemetry_tolerates_any_jobs_value(bad):
+    # Telemetry is a passive aggregator; validation lives in run_suite/CLI.
+    assert Telemetry(jobs=bad).to_dict()["jobs"] == bad
