@@ -11,12 +11,15 @@ import numpy as np
 
 from conftest import BENCH_SCALE
 
-from repro.cache import PAPER_L1I, simulate
+from repro.cache import PAPER_L1I, CacheConfig, simulate, stack_distance_histogram
 from repro.experiments import Lab
 from repro.perf import SimMemo, memo_key
 
 _RNG = np.random.default_rng(2014)
 _LINES = _RNG.integers(0, 700, int(200_000 * max(BENCH_SCALE, 0.05)))
+
+#: the paper's L1I geometry family: 128 sets at every associativity.
+_SWEEP_ASSOCS = (1, 2, 4, 8, 16)
 
 
 def bench_simulate_cold(benchmark):
@@ -37,6 +40,41 @@ def bench_memo_key(benchmark):
     """Key hashing is the fixed cost a memo miss adds to a simulation."""
     key = benchmark(memo_key, _LINES, PAPER_L1I)
     assert len(key) == 64
+
+
+def bench_kernel_pass(benchmark):
+    """One stack-distance pass (MTF): answers every associativity at once."""
+    hist = benchmark(stack_distance_histogram, _LINES, PAPER_L1I.n_sets)
+    assert hist.accesses == len(_LINES)
+    assert hist.stats(PAPER_L1I.assoc) == simulate(_LINES, PAPER_L1I)
+
+
+def bench_kernel_pass_bit(benchmark):
+    """The Fenwick-tree reference construction (O(n log n), slower in
+    CPython than MTF — kept to document the gap)."""
+    hist = benchmark(stack_distance_histogram, _LINES, PAPER_L1I.n_sets, method="bit")
+    assert hist == stack_distance_histogram(_LINES, PAPER_L1I.n_sets)
+
+
+def bench_scalar_assoc_sweep(benchmark):
+    """The path the kernel replaces: one scalar LRU run per associativity.
+
+    Compare against ``bench_kernel_pass`` — the ratio is the sweep
+    speedup that ``python -m repro.perf kernel-bench`` gates in CI.
+    """
+
+    def sweep():
+        return {
+            a: simulate(
+                _LINES,
+                CacheConfig(size_bytes=128 * a * 64, assoc=a, line_bytes=64),
+            ).misses
+            for a in _SWEEP_ASSOCS
+        }
+
+    scalar = benchmark(sweep)
+    hist = stack_distance_histogram(_LINES, 128)
+    assert scalar == {a: hist.misses(a) for a in _SWEEP_ASSOCS}
 
 
 def bench_precompute_solo_serial(benchmark):

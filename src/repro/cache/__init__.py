@@ -1,6 +1,13 @@
-"""Cache simulators: solo set-associative LRU, shared SMT co-run, prefetch."""
+"""Cache simulators: solo set-associative LRU, shared SMT co-run, prefetch,
+and the exact stack-distance kernel answering all associativities at once."""
 
 from .config import PAPER_L1I, CacheConfig
+from .fastsim import (
+    DistanceHistogram,
+    simulate_fast,
+    stack_distance_histogram,
+    sweep_stats,
+)
 from .hierarchy import (
     PAPER_HIERARCHY,
     HierarchyConfig,
@@ -10,10 +17,11 @@ from .hierarchy import (
 )
 from .policies import POLICIES, FIFOSet, LRUSet, RandomSet, TreePLRUSet, make_policy
 from .setassoc import CacheState, simulate, simulate_policy, warm_cache
-from .shared import simulate_shared
+from .shared import SharedCacheStats, simulate_shared
 from .stats import CacheStats
 
 __all__ = [
+    "DistanceHistogram",
     "FIFOSet",
     "HierarchyConfig",
     "HierarchyStats",
@@ -25,12 +33,16 @@ __all__ = [
     "CacheState",
     "CacheStats",
     "RandomSet",
+    "SharedCacheStats",
     "TreePLRUSet",
     "make_policy",
     "simulate",
+    "simulate_fast",
     "simulate_hierarchy",
     "simulate_hierarchy_shared",
     "simulate_policy",
     "simulate_shared",
+    "stack_distance_histogram",
+    "sweep_stats",
     "warm_cache",
 ]

@@ -15,16 +15,46 @@ once every thread has completed at least one full pass of its stream.
 
 Per-thread stats cover all accesses the thread actually issued (including
 wrapped passes), so miss ratios remain well-defined for both threads.
+
+Prefetch attribution: the shared next-line prefetcher is one hardware
+resource, so a line prefetched on thread A's miss can be consumed by
+thread B.  The politeness accounting must not conflate those: per-thread
+``prefetches`` counts lines the thread *issued*, and consumed hits are
+split into ``prefetch_hits_self`` (the consuming thread also issued the
+prefetch — self-help) and ``prefetch_hits_cross`` (a peer issued it —
+peer-help received).  ``prefetch_hits`` remains the consumer-side total,
+``self + cross``.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
 from .config import CacheConfig
 from .stats import CacheStats
 
-__all__ = ["simulate_shared"]
+__all__ = ["SharedCacheStats", "simulate_shared"]
+
+
+@dataclass
+class SharedCacheStats(CacheStats):
+    """One thread's view of a shared-cache co-run.
+
+    Extends :class:`CacheStats` with the issuer-aware prefetch split:
+    ``prefetches`` counts prefetches this thread *issued* (its demand
+    misses triggered them); ``prefetch_hits`` counts prefetched lines
+    this thread *consumed*, split into ``prefetch_hits_self`` (it issued
+    the prefetch itself) and ``prefetch_hits_cross`` (a co-running peer
+    issued it).  Invariant: ``prefetch_hits == prefetch_hits_self +
+    prefetch_hits_cross``, pinned by the test suite.
+    """
+
+    #: consumed prefetched lines this thread also issued (self-help).
+    prefetch_hits_self: int = 0
+    #: consumed prefetched lines a peer thread issued (peer-help received).
+    prefetch_hits_cross: int = 0
 
 
 def simulate_shared(
@@ -34,13 +64,15 @@ def simulate_shared(
     quantum: int = 8,
     wrap: bool = True,
     prefetch: bool = False,
-) -> list[CacheStats]:
+) -> list[SharedCacheStats]:
     """Co-run ``streams`` in one shared cache; returns per-thread stats.
 
     ``quantum`` is the number of consecutive line accesses a thread issues
     before yielding (SMT fetch granularity).  With ``prefetch`` the shared
     next-line prefetcher runs for all threads (as on real SMT cores, where
-    the L1I prefetcher is a shared resource).
+    the L1I prefetcher is a shared resource); each pending prefetched line
+    remembers its issuing thread so consumption is attributed self vs.
+    cross (see :class:`SharedCacheStats`).
     """
     n_threads = len(streams)
     if n_threads == 0:
@@ -52,13 +84,14 @@ def simulate_shared(
         s.tolist() if isinstance(s, np.ndarray) else list(s) for s in streams
     ]
     lengths = [len(s) for s in lists]
-    stats = [CacheStats() for _ in range(n_threads)]
+    stats = [SharedCacheStats() for _ in range(n_threads)]
     # Threads with empty streams are complete from the start.
     done = [n == 0 for n in lengths]
     cursors = [0] * n_threads
 
     sets: list[list[int]] = [[] for _ in range(cfg.n_sets)]
-    prefetched: set[int] = set()
+    #: pending prefetched line -> thread that issued the prefetch.
+    prefetched: dict[int, int] = {}
     mask = cfg.n_sets - 1
     assoc = cfg.assoc
 
@@ -85,7 +118,7 @@ def simulate_shared(
                     misses += 1
                     s.insert(0, line)
                     if len(s) > assoc:
-                        prefetched.discard(s.pop())
+                        prefetched.pop(s.pop(), None)
                     if prefetch:
                         nxt = line + 1
                         ns = sets[nxt & mask]
@@ -96,16 +129,20 @@ def simulate_shared(
                             len(ns) >= assoc and ns[-1] == line
                         ):
                             st.prefetches += 1
-                            prefetched.add(nxt)
+                            prefetched[nxt] = t
                             ns.insert(0, nxt)
                             if len(ns) > assoc:
-                                prefetched.discard(ns.pop())
+                                prefetched.pop(ns.pop(), None)
                     continue
                 if i:
                     s.insert(0, s.pop(i))
                 if prefetch and line in prefetched:
-                    prefetched.discard(line)
+                    issuer = prefetched.pop(line)
                     st.prefetch_hits += 1
+                    if issuer == t:
+                        st.prefetch_hits_self += 1
+                    else:
+                        st.prefetch_hits_cross += 1
             st.accesses += accesses
             st.misses += misses
             progressed = progressed or accesses > 0

@@ -23,6 +23,7 @@ from itertools import permutations
 import numpy as np
 
 from ..cache.config import CacheConfig
+from ..cache.fastsim import simulate_fast
 from ..cache.setassoc import simulate
 from ..core.goals import relative_reduction
 from ..core.layout import Granularity
@@ -56,7 +57,12 @@ def _solo_reduction(lab: Lab, name: str, layout_result, channel: str = "sim") ->
         layout_result.address_map,
         lab.cache_cfg.line_bytes,
     )
-    stats = simulate(stream, lab.cache_cfg, prefetch=(channel == "hw"))
+    if channel == "hw":
+        stats = simulate(stream, lab.cache_cfg, prefetch=True)
+    elif lab.use_kernel:
+        stats = simulate_fast(stream, lab.cache_cfg)
+    else:
+        stats = simulate(stream, lab.cache_cfg, prefetch=False)
     mr = stats.misses / prepared.instr_count
     return relative_reduction(base, mr)
 
@@ -199,10 +205,12 @@ def run_optimal_gap(lab: Lab | None = None) -> ExperimentResult:
     cache = CacheConfig(size_bytes=128, assoc=1, line_bytes=16)
     spec = InputSpec("ref", seed=11, max_blocks=4_000)
     bundle = collect_trace(module, spec)
+    # 720+ cold prefetch-free simulations: the kernel's home turf.
+    sim = simulate_fast if lab is None or lab.use_kernel else simulate
 
     def misses(layout) -> int:
         stream = fetch_lines(bundle.bb_trace, layout.address_map, cache.line_bytes)
-        return simulate(stream, cache).misses
+        return sim(stream, cache).misses
 
     # All candidates live in the same stub-charged address space, so the
     # comparison isolates pure ordering (baseline_layout would be 4 bytes
@@ -271,6 +279,7 @@ def run_seed_robustness(lab: Lab | None = None, n_seeds: int = 8) -> ExperimentR
 
     cache = lab.cache_cfg if lab is not None else OptimizerConfig().cache
     scale = lab.scale if lab is not None else 1.0
+    sim = simulate_fast if lab is None or lab.use_kernel else simulate
     reductions: dict[str, list[float]] = {name: [] for name in OPTIMIZERS}
     for seed in range(100, 100 + n_seeds):
         spec = WorkloadSpec(
@@ -294,12 +303,12 @@ def run_seed_robustness(lab: Lab | None = None, n_seeds: int = 8) -> ExperimentR
         base_lines = fetch_lines(
             ref.bb_trace, baseline_layout(module).address_map, cache.line_bytes
         )
-        base_mr = simulate(base_lines, cache).misses / ref.instr_count
+        base_mr = sim(base_lines, cache).misses / ref.instr_count
         cfg = OptimizerConfig(cache=cache)
         for name, optimizer in OPTIMIZERS.items():
             layout = optimizer(module, test, cfg)
             lines = fetch_lines(ref.bb_trace, layout.address_map, cache.line_bytes)
-            mr = simulate(lines, cache).misses / ref.instr_count
+            mr = sim(lines, cache).misses / ref.instr_count
             reductions[name].append(relative_reduction(base_mr, mr))
 
     rows = []

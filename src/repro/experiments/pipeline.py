@@ -17,6 +17,14 @@ Two measurement channels, as in the paper (Sec. III-A):
   (:mod:`repro.machine.counters`, the PAPI channel).  Timing always uses
   this channel, because the paper times real runs.
 
+The ``sim`` channel is exactly the stack-distance kernel's domain (cold
+cache, no prefetch, true LRU), so by default the lab routes it through
+:mod:`repro.cache.fastsim`: one histogram per (program, layout, n_sets)
+answers every associativity, which collapses geometry sweeps.  The
+scalar simulator remains the oracle (``use_kernel=False``, also the
+runner's ``--no-fastsim``) and the only path for the ``hw`` channel and
+co-runs.
+
 ``scale`` shrinks every program's test/ref trace budgets; benchmarks run
 the full experiment logic at a fraction of the cost.
 """
@@ -31,6 +39,7 @@ from typing import Iterator, Optional, Sequence
 import numpy as np
 
 from ..cache.config import PAPER_L1I, CacheConfig
+from ..cache.fastsim import DistanceHistogram, stack_distance_histogram
 from ..cache.setassoc import simulate
 from ..cache.shared import simulate_shared
 from ..cache.stats import CacheStats
@@ -109,6 +118,9 @@ class Lab:
         (1 = fully serial; never changes results, only wall-clock time).
     memo: optional :class:`repro.perf.memo.SimMemo` replaying identical
         solo simulations instead of re-running them.
+    use_kernel: route sim-channel solo cells through the stack-distance
+        kernel (parity-gated bit-identical to the scalar simulator;
+        False forces the scalar oracle everywhere).
 
     The lab doubles as the telemetry source: :attr:`timings` accumulates
     per-stage wall-clock seconds (monotonic clock) and :attr:`counters`
@@ -125,6 +137,7 @@ class Lab:
         timing: TimingParams = TimingParams(),
         jobs: int = 1,
         memo=None,
+        use_kernel: bool = True,
     ):
         if not 0.0 < scale <= 1.0:
             raise ValueError("scale must be in (0, 1]")
@@ -138,23 +151,41 @@ class Lab:
         self.timing = timing
         self.jobs = jobs
         self.memo = memo
+        self.use_kernel = use_kernel
 
         #: per-stage wall seconds: prepare / optimize / fetch / simulate.
         self.timings: dict[str, float] = {}
-        #: throughput counters: nominal line accesses simulated + seconds.
-        self.counters: dict[str, float] = {"sim_accesses": 0, "sim_seconds": 0.0}
+        #: throughput counters: nominal line accesses simulated + seconds,
+        #: split scalar (sim_*) vs. stack-distance kernel (kernel_*);
+        #: kernel_passes counts histogram computations, kernel_cells the
+        #: measurement cells those histograms answered.
+        self.counters: dict[str, float] = {
+            "sim_accesses": 0,
+            "sim_seconds": 0.0,
+            "kernel_accesses": 0,
+            "kernel_seconds": 0.0,
+            "kernel_passes": 0,
+            "kernel_cells": 0,
+        }
 
         self._programs: dict[str, PreparedProgram] = {}
         self._layouts: dict[tuple[str, str], LayoutResult] = {}
         self._lines: dict[tuple[str, str], np.ndarray] = {}
+        self._hists: dict[tuple[str, str, int], "DistanceHistogram"] = {}
         self._solo: dict[tuple[str, str, str], MissRatios] = {}
         self._corun: dict[tuple, tuple[MissRatios, MissRatios]] = {}
 
     # -- telemetry -----------------------------------------------------------
 
     @contextmanager
-    def _stage(self, name: str, accesses: int = 0) -> Iterator[None]:
-        """Accumulate the block's monotonic wall time under ``name``."""
+    def _stage(
+        self, name: str, accesses: int = 0, *, kernel: bool = False
+    ) -> Iterator[None]:
+        """Accumulate the block's monotonic wall time under ``name``.
+
+        ``accesses`` feed the scalar throughput counters, or the
+        ``kernel_*`` pair when the block ran the stack-distance kernel.
+        """
         start = time.perf_counter()
         try:
             yield
@@ -162,8 +193,9 @@ class Lab:
             elapsed = time.perf_counter() - start
             self.timings[name] = self.timings.get(name, 0.0) + elapsed
             if accesses:
-                self.counters["sim_accesses"] += accesses
-                self.counters["sim_seconds"] += elapsed
+                prefix = "kernel" if kernel else "sim"
+                self.counters[f"{prefix}_accesses"] += accesses
+                self.counters[f"{prefix}_seconds"] += elapsed
 
     def spawn_config(self) -> dict:
         """Picklable constructor kwargs reproducing this lab's behavior.
@@ -179,6 +211,7 @@ class Lab:
             "quantum": self.quantum,
             "noise_sigma": self.noise_sigma,
             "timing": self.timing,
+            "use_kernel": self.use_kernel,
         }
 
     # -- program preparation -------------------------------------------------
@@ -258,6 +291,37 @@ class Lab:
 
     # -- measurements ----------------------------------------------------------
 
+    def histogram(
+        self, name: str, layout_name: str, n_sets: Optional[int] = None
+    ) -> DistanceHistogram:
+        """Stack-distance histogram of a program's fetch stream (memoized).
+
+        One histogram answers the exact cold, prefetch-free LRU miss
+        count for *every* associativity at ``n_sets`` (default: the
+        lab's geometry) — the sim channel of :meth:`solo_miss` and the
+        capacity sweep both read from here.  Distances depend only on
+        the stream and ``n_sets``, so the entry is shared across
+        ``size_bytes``/``assoc`` variations of the family.
+        """
+        n_sets = self.cache_cfg.n_sets if n_sets is None else int(n_sets)
+        key = (name, layout_name, n_sets)
+        hist = self._hists.get(key)
+        if hist is None:
+            stream = self.lines(name, layout_name)
+            with self._stage(
+                "simulate", accesses=len(stream), kernel=True
+            ), error_context("simulate", program=name, layout=layout_name):
+                if self.memo is not None:
+                    misses_before = self.memo.misses
+                    hist = self.memo.histogram(stream, n_sets)
+                    if self.memo.misses > misses_before:
+                        self.counters["kernel_passes"] += 1
+                else:
+                    hist = stack_distance_histogram(stream, n_sets)
+                    self.counters["kernel_passes"] += 1
+            self._hists[key] = hist
+        return hist
+
     def solo_miss(self, name: str, layout_name: str, channel: str = "hw") -> MissRatios:
         """Solo miss measurement through the given channel ('hw' or 'sim')."""
         if channel not in ("sim", "hw"):
@@ -266,6 +330,15 @@ class Lab:
         result = self._solo.get(key)
         if result is None:
             prepared = self.program(name)
+            if channel == "sim" and self.use_kernel:
+                # The kernel's exact domain: cold cache, no prefetch.
+                hist = self.histogram(name, layout_name)
+                self.counters["kernel_cells"] += 1
+                result = MissRatios(
+                    hist.misses(self.cache_cfg.assoc), prepared.instr_count
+                )
+                self._solo[key] = result
+                return result
             stream = self.lines(name, layout_name)
             sim = simulate if self.memo is None else self.memo.simulate
             with self._stage("simulate", accesses=len(stream)), error_context(
@@ -317,14 +390,31 @@ class Lab:
                 self.solo_miss(name, layout_name, channel)
             return
 
-        from ..perf.memo import memo_key
-        from ..perf.parallel import simulate_cells
+        from ..perf.memo import histogram_key, memo_key
+        from ..perf.parallel import histogram_cells, simulate_cells
 
+        n_sets = self.cache_cfg.n_sets
+        kernel_tasks: list[tuple[np.ndarray, int]] = []
+        kernel_pending: list[tuple[tuple[str, str, str], str]] = []
         tasks: list[tuple[np.ndarray, CacheConfig, bool]] = []
         pending: list[tuple[tuple[str, str, str], str]] = []
         for cell in todo:
             name, layout_name, channel = cell
             stream = self.lines(name, layout_name)
+            if channel == "sim" and self.use_kernel:
+                hkey = histogram_key(stream, n_sets)
+                hist = self._hists.get((name, layout_name, n_sets))
+                if hist is None and self.memo is not None:
+                    hist = self.memo.get_histogram(hkey)
+                    if hist is not None:
+                        self._hists[(name, layout_name, n_sets)] = hist
+                if hist is not None:
+                    self.counters["kernel_cells"] += 1
+                    self._finish_solo_cell(cell, hist.stats(self.cache_cfg.assoc))
+                else:
+                    kernel_tasks.append((stream, n_sets))
+                    kernel_pending.append((cell, hkey))
+                continue
             prefetch = channel == "hw"
             key = memo_key(stream, self.cache_cfg, prefetch=prefetch)
             cached = self.memo.get(key) if self.memo is not None else None
@@ -333,6 +423,22 @@ class Lab:
             else:
                 tasks.append((stream, self.cache_cfg, prefetch))
                 pending.append((cell, key))
+
+        if kernel_tasks:
+            with self._stage(
+                "simulate",
+                accesses=sum(len(t[0]) for t in kernel_tasks),
+                kernel=True,
+            ), error_context("simulate", program="precompute-solo"):
+                hists = histogram_cells(kernel_tasks, jobs=jobs)
+                self.counters["kernel_passes"] += len(kernel_tasks)
+            for (cell, hkey), hist in zip(kernel_pending, hists):
+                if self.memo is not None:
+                    self.memo.put_histogram(hkey, hist)
+                name, layout_name, _ = cell
+                self._hists[(name, layout_name, n_sets)] = hist
+                self.counters["kernel_cells"] += 1
+                self._finish_solo_cell(cell, hist.stats(self.cache_cfg.assoc))
 
         with self._stage(
             "simulate", accesses=sum(len(t[0]) for t in tasks)

@@ -506,6 +506,13 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="write a BENCH_perf.json timing/telemetry report here",
     )
+    parser.add_argument(
+        "--no-fastsim",
+        action="store_true",
+        help="force the scalar LRU simulator for sim-channel cells instead "
+        "of the stack-distance kernel (the kernel is parity-gated "
+        "bit-identical; this flag exists for oracle comparison)",
+    )
     args = parser.parse_args(argv)
 
     ids = args.only if args.only is not None else list(EXPERIMENTS)
@@ -552,7 +559,9 @@ def main(argv: list[str] | None = None) -> int:
     # instead — never both at once (no nested pools).
     suite_jobs = args.jobs if len(ids) > 1 else 1
     cell_jobs = args.jobs if len(ids) == 1 else 1
-    lab = Lab(scale=args.scale, jobs=cell_jobs, memo=memo)
+    lab = Lab(
+        scale=args.scale, jobs=cell_jobs, memo=memo, use_kernel=not args.no_fastsim
+    )
     outcomes = run_suite(
         lab,
         ids,

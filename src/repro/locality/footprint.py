@@ -48,19 +48,37 @@ class FootprintCurve:
     m: int
 
     def __call__(self, w: int | np.ndarray) -> float | np.ndarray:
-        """Footprint at window length ``w`` (clamped to ``[0, n]``)."""
+        """Footprint at window length ``w`` (clamped to ``[0, n]``).
+
+        Any scalar input — Python ``int``, a NumPy integer scalar, or a
+        0-d ndarray — yields a Python ``float``; array inputs yield an
+        ndarray.  ``np.ndim(w) == 0`` is the discriminator: unlike
+        ``np.isscalar`` (False for 0-d arrays, and version-dependent
+        for NumPy scalar types) it treats every scalar kind alike.
+        """
         w_clamped = np.clip(w, 0, self.n)
         result = self.fp[w_clamped]
-        return float(result) if np.isscalar(w) else result
+        return float(result) if np.ndim(w) == 0 else result
 
     def fill_time(self, c: float) -> int:
         """Smallest window length whose footprint reaches ``c``.
 
         Returns ``n + 1`` when the program's total footprint never reaches
         ``c`` (the program fits in the cache with room to spare).
+
+        Boundary: ``fp[n] == m`` exactly, but callers often hold ``c``
+        as a float that drifted a hair above ``m`` (unit conversions,
+        summed curves).  A capacity within relative/absolute 1e-9 of
+        ``m`` is snapped to ``m``, so ``fill_time(m + 1e-9) ==
+        fill_time(float(m))`` — without the snap the strict ``c > m``
+        comparison would flip the answer from a valid window to
+        ``n + 1``.  Capacities meaningfully above ``m`` (beyond the
+        tolerance) still return ``n + 1``.
         """
         if c > self.m:
-            return self.n + 1
+            if not np.isclose(c, self.m, rtol=1e-9, atol=1e-9):
+                return self.n + 1
+            c = float(self.m)
         return int(np.searchsorted(self.fp, c, side="left"))
 
     def growth(self, w: int) -> float:

@@ -55,6 +55,11 @@ def shared_fill_time(curves: Sequence[FootprintCurve], capacity: float) -> int:
     All programs are assumed to progress at the same rate (symmetric SMT
     fetch), matching the paper's formulation.  Returns ``max_n + 1`` when
     the combined footprint never reaches capacity (no contention).
+
+    The capacity boundary follows :meth:`FootprintCurve.fill_time`: a
+    capacity within 1e-9 (relative or absolute) of the combined total
+    footprint ``sum_i m_i`` is snapped to it, so float drift in the sum
+    cannot flip the answer between a valid window and ``max_n + 1``.
     """
     if not curves:
         raise ValueError("need at least one footprint curve")
@@ -62,8 +67,10 @@ def shared_fill_time(curves: Sequence[FootprintCurve], capacity: float) -> int:
         raise ValueError("capacity must be positive")
     max_n = max(c.n for c in curves)
     total_m = sum(c.m for c in curves)
-    if total_m < capacity:
-        return max_n + 1
+    if capacity > total_m:
+        if not np.isclose(capacity, total_m, rtol=1e-9, atol=1e-9):
+            return max_n + 1
+        capacity = float(total_m)
     lo, hi = 0, max_n
     while lo < hi:
         mid = (lo + hi) // 2

@@ -10,7 +10,11 @@ The paper measures miss ratios through two channels and reports both:
 This module is the hardware channel: it simulates with the next-line
 prefetcher enabled and perturbs the result with small, seeded,
 measurement-style noise (run-to-run variation of counter readings).  The
-clean channel is plain :func:`repro.cache.setassoc.simulate`.
+clean channel is plain :func:`repro.cache.setassoc.simulate` — or,
+everywhere the experiments route it, the stack-distance kernel
+(:mod:`repro.cache.fastsim`), whose domain is exactly that clean cold
+prefetch-free cache.  The hardware channel can never use the kernel:
+prefetching changes set contents in ways reuse distances do not capture.
 
 Miss *ratios* here follow hardware convention: misses divided by retired
 instructions (PAPI ``ICA_MISS / TOT_INS``), not by line accesses.
@@ -32,10 +36,20 @@ __all__ = ["CounterReading", "measure_solo", "measure_corun", "reading_from_stat
 
 @dataclass(frozen=True)
 class CounterReading:
-    """One hardware-counter measurement."""
+    """One hardware-counter measurement.
+
+    Co-run readings also carry the prefetch-help split from
+    :class:`repro.cache.shared.SharedCacheStats` (per-pass scaled, no
+    noise — these are diagnostic attributions, not noisy counters):
+    ``prefetch_help_self`` counts consumed prefetches this thread issued
+    itself, ``prefetch_help_cross`` those a co-running peer issued.
+    Solo readings leave both at zero.
+    """
 
     instructions: int
     icache_misses: int
+    prefetch_help_self: float = 0.0
+    prefetch_help_cross: float = 0.0
 
     @property
     def miss_ratio(self) -> float:
@@ -130,6 +144,8 @@ def measure_corun(
             CounterReading(
                 instructions=instr,
                 icache_misses=int(round(misses_per_pass * factor)),
+                prefetch_help_self=st.prefetch_hits_self * scale,
+                prefetch_help_cross=st.prefetch_hits_cross * scale,
             )
         )
     return readings

@@ -11,6 +11,9 @@ makes it fast without changing a single result:
 - :mod:`repro.perf.memo` — a content-addressed, disk-persistent memo
   cache for cache simulations (:class:`~repro.perf.memo.SimMemo`),
   keyed by hash of (line stream, geometry, prefetch flag, warm state);
+  stack-distance histograms get their own coarser keys
+  (:func:`~repro.perf.memo.histogram_key`: stream + ``n_sets`` only),
+  so one entry answers a whole associativity family;
 - :mod:`repro.perf.telemetry` — per-stage wall time, simulator
   throughput, and memo hit rates aggregated into ``BENCH_perf.json``
   (:class:`~repro.perf.telemetry.Telemetry`), plus the journal-parity
@@ -21,8 +24,8 @@ Determinism is the contract: every knob here trades wall-clock time,
 never results — enforced by ``tests/perf/``.
 """
 
-from .memo import SimMemo, memo_key, state_fingerprint
-from .parallel import ExperimentPool, rebuild_error, simulate_cells
+from .memo import SimMemo, histogram_key, memo_key, state_fingerprint
+from .parallel import ExperimentPool, histogram_cells, rebuild_error, simulate_cells
 from .telemetry import BENCH_SCHEMA, Telemetry, compare_journal_outcomes
 
 __all__ = [
@@ -31,6 +34,8 @@ __all__ = [
     "SimMemo",
     "Telemetry",
     "compare_journal_outcomes",
+    "histogram_cells",
+    "histogram_key",
     "memo_key",
     "rebuild_error",
     "simulate_cells",

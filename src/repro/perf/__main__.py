@@ -11,6 +11,15 @@ Subcommands:
 
 ``show-bench PATH``
     Pretty-print the headline numbers of a ``BENCH_perf.json``.
+
+``kernel-bench``
+    Parity gate + speedup measurement for the stack-distance kernel
+    (:mod:`repro.cache.fastsim`): builds a real fetch stream, runs the
+    scalar simulator once per associativity of a geometry family, runs
+    the kernel once, asserts the miss counts are **bit-identical** (exit
+    1 on any divergence), and reports the measured speedup.  With
+    ``--bench PATH`` the numbers are merged into an existing
+    ``BENCH_perf.json`` (or a fresh report) under ``kernel_bench``.
 """
 
 from __future__ import annotations
@@ -18,6 +27,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 
 from .telemetry import BENCH_SCHEMA, compare_journal_outcomes
 
@@ -26,6 +36,84 @@ def _load_journal(path: str) -> list[dict]:
     from ..robust.journal import RunJournal
 
     return [json.loads(e.to_json()) for e in RunJournal(path).entries()]
+
+
+def _run_kernel_bench(args) -> int:
+    import numpy as np
+
+    from ..cache.config import CacheConfig
+    from ..cache.fastsim import stack_distance_histogram
+    from ..cache.setassoc import simulate
+    from ..experiments.pipeline import BASELINE, Lab
+    from ..robust.atomic import atomic_write_text
+
+    assocs = [int(a) for a in args.assocs.split(",")]
+    lab = Lab(scale=args.scale)
+    stream = lab.lines(args.program, BASELINE)
+    n_sets = args.n_sets
+
+    # Scalar reference: one full LRU pass per associativity.
+    scalar_misses: dict[int, int] = {}
+    t0 = time.perf_counter()
+    for assoc in assocs:
+        cfg = CacheConfig(
+            size_bytes=n_sets * assoc * 64, assoc=assoc, line_bytes=64
+        )
+        scalar_misses[assoc] = simulate(stream, cfg).misses
+    scalar_s = time.perf_counter() - t0
+
+    # Kernel: one pass answers the whole family.
+    t0 = time.perf_counter()
+    hist = stack_distance_histogram(np.asarray(stream), n_sets)
+    kernel_misses = {assoc: hist.misses(assoc) for assoc in assocs}
+    kernel_s = time.perf_counter() - t0
+
+    mismatches = [
+        f"assoc={a}: scalar {scalar_misses[a]} != kernel {kernel_misses[a]}"
+        for a in assocs
+        if scalar_misses[a] != kernel_misses[a]
+    ]
+    if mismatches:
+        print("kernel parity FAILED:", file=sys.stderr)
+        for m in mismatches:
+            print(f"  {m}", file=sys.stderr)
+        return 1
+
+    speedup = scalar_s / kernel_s if kernel_s > 0 else float("inf")
+    print(
+        f"kernel parity OK: {args.program} ({len(stream)} lines), "
+        f"n_sets={n_sets}, assoc sweep {assocs}"
+    )
+    print(
+        f"scalar {len(assocs)} passes: {scalar_s:.3f}s; kernel 1 pass: "
+        f"{kernel_s:.3f}s; speedup {speedup:.1f}x"
+    )
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        print(
+            f"error: speedup {speedup:.1f}x below required "
+            f"{args.min_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+
+    if args.bench is not None:
+        try:
+            with open(args.bench) as fh:
+                bench = json.load(fh)
+        except (OSError, ValueError):
+            bench = {"schema": BENCH_SCHEMA}
+        bench["kernel_bench"] = {
+            "program": args.program,
+            "stream_lines": int(len(stream)),
+            "n_sets": n_sets,
+            "assocs": assocs,
+            "scalar_seconds": round(scalar_s, 4),
+            "kernel_seconds": round(kernel_s, 4),
+            "speedup": round(speedup, 2),
+        }
+        atomic_write_text(args.bench, json.dumps(bench, indent=2, sort_keys=True))
+        print(f"kernel_bench section written to {args.bench}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -40,6 +128,38 @@ def main(argv: list[str] | None = None) -> int:
 
     show_p = sub.add_parser("show-bench", help="summarize a BENCH_perf.json")
     show_p.add_argument("bench_path")
+
+    kb_p = sub.add_parser(
+        "kernel-bench",
+        help="stack-distance kernel parity gate + assoc-sweep speedup",
+    )
+    kb_p.add_argument("--program", default="syn-gcc", help="suite program")
+    kb_p.add_argument(
+        "--scale", type=float, default=0.5, help="trace-budget multiplier"
+    )
+    kb_p.add_argument(
+        "--n-sets",
+        type=int,
+        default=128,
+        help="geometry family (default: the paper L1I's 128 sets)",
+    )
+    kb_p.add_argument(
+        "--assocs",
+        default="1,2,4,8,16",
+        help="comma-separated associativities for the sweep",
+    )
+    kb_p.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail (exit 1) if the measured speedup falls below this",
+    )
+    kb_p.add_argument(
+        "--bench",
+        default=None,
+        metavar="PATH",
+        help="merge results into this BENCH_perf.json",
+    )
 
     args = parser.parse_args(argv)
 
@@ -62,12 +182,32 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: not a {BENCH_SCHEMA} report", file=sys.stderr)
             return 2
         sim = bench.get("simulator", {})
+        kernel = bench.get("kernel") or {}
+        kernel_bench = bench.get("kernel_bench") or {}
         memo = bench.get("memo") or {}
-        print(f"jobs={bench['jobs']} scale={bench['scale']} wall={bench['wall_s']}s")
+        print(
+            f"jobs={bench.get('jobs', '?')} scale={bench.get('scale', '?')} "
+            f"wall={bench.get('wall_s', '?')}s"
+        )
         print(
             f"simulator: {sim.get('accesses', 0)} accesses in "
             f"{sim.get('seconds', 0)}s ({sim.get('accesses_per_s', 0)}/s)"
         )
+        if kernel.get("accesses"):
+            print(
+                f"kernel: {kernel.get('accesses', 0)} accesses in "
+                f"{kernel.get('seconds', 0)}s ({kernel.get('accesses_per_s', 0)}/s), "
+                f"{kernel.get('passes', 0)} passes answering "
+                f"{kernel.get('cells', 0)} cells "
+                f"({kernel.get('cells_per_pass', 0.0)} cells/pass)"
+            )
+        if kernel_bench:
+            print(
+                f"kernel-bench: {kernel_bench.get('speedup', 0)}x over "
+                f"{len(kernel_bench.get('assocs', []))} scalar passes "
+                f"(n_sets={kernel_bench.get('n_sets', '?')}, "
+                f"program={kernel_bench.get('program', '?')})"
+            )
         if memo:
             print(
                 f"memo: {memo.get('hits', 0)} hits / {memo.get('misses', 0)} misses "
@@ -76,6 +216,9 @@ def main(argv: list[str] | None = None) -> int:
         for stage, seconds in sorted(bench.get("stages", {}).items()):
             print(f"  {stage}: {seconds}s")
         return 0
+
+    if args.command == "kernel-bench":
+        return _run_kernel_bench(args)
 
     return 2  # pragma: no cover
 

@@ -35,6 +35,18 @@ the crash-safe :func:`repro.robust.atomic.atomic_write_text` protocol —
 a killed run leaves complete entries or none.  Unreadable or
 schema-mismatched entries are treated as misses and dropped, never
 raised: a cache must degrade to recomputation, not to failure.
+
+Kernel histograms
+-----------------
+
+The stack-distance kernel (:mod:`repro.cache.fastsim`) makes a coarser
+memo unit worthwhile: its :class:`~repro.cache.fastsim.DistanceHistogram`
+depends only on ``(line stream, n_sets)`` — not on ``line_bytes``,
+``size_bytes``, or ``assoc`` — so one stored histogram answers every
+associativity of a geometry family.  :func:`histogram_key` keys those
+entries under the separate ``KERNEL_SCHEMA`` tag, and
+:meth:`SimMemo.histogram` / :meth:`SimMemo.simulate_fast` memoize the
+histogram itself rather than a single :class:`CacheStats`.
 """
 
 from __future__ import annotations
@@ -47,14 +59,19 @@ from typing import Optional
 import numpy as np
 
 from ..cache.config import CacheConfig
+from ..cache.fastsim import DistanceHistogram, stack_distance_histogram
 from ..cache.setassoc import CacheState, simulate
 from ..cache.stats import CacheStats
 from ..robust.atomic import atomic_write_text
 
-__all__ = ["SimMemo", "memo_key", "state_fingerprint"]
+__all__ = ["SimMemo", "histogram_key", "memo_key", "state_fingerprint"]
 
 #: bumped whenever simulate()'s semantics change; invalidates old caches.
 SCHEMA = "repro.perf.memo.v2"
+
+#: separate tag for stack-distance histogram entries (repro.cache.fastsim);
+#: bumped whenever the kernel's semantics change.
+KERNEL_SCHEMA = "repro.perf.memo.kernel.v1"
 
 #: stats fields persisted per entry, in schema order.
 _STATS_FIELDS = ("accesses", "misses", "prefetches", "prefetch_hits")
@@ -90,6 +107,20 @@ def memo_key(
     return h.hexdigest()
 
 
+def histogram_key(lines: np.ndarray, n_sets: int) -> str:
+    """Content hash identifying one stack-distance histogram's input.
+
+    Deliberately coarser than :func:`memo_key`: the histogram depends
+    only on the stream and ``n_sets``, so every associativity (and any
+    ``line_bytes``) of the family shares one entry.
+    """
+    arr = np.ascontiguousarray(np.asarray(lines), dtype="<i8")
+    h = hashlib.sha256()
+    h.update(f"{KERNEL_SCHEMA}|sets={int(n_sets)}|".encode())
+    h.update(arr.tobytes())
+    return h.hexdigest()
+
+
 class SimMemo:
     """Memo cache for :func:`repro.cache.setassoc.simulate` results.
 
@@ -106,6 +137,7 @@ class SimMemo:
     def __init__(self, cache_dir: Optional[str | Path] = None):
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self._mem: dict[str, CacheStats] = {}
+        self._mem_hist: dict[str, DistanceHistogram] = {}
         self.hits = 0
         self.misses = 0
         self.bypasses = 0
@@ -189,6 +221,60 @@ class SimMemo:
             stats = simulate(lines, cfg, prefetch=prefetch)
             self.put(key, stats)
         return stats
+
+    # -- kernel histograms (repro.cache.fastsim) ---------------------------
+
+    def get_histogram(self, key: str) -> Optional[DistanceHistogram]:
+        """Stored histogram for ``key``, counted as a hit or miss."""
+        hist = self._mem_hist.get(key)
+        if hist is None and self.cache_dir is not None:
+            path = self._entry_path(key)
+            try:
+                raw = json.loads(path.read_text())
+                if raw.get("schema") != KERNEL_SCHEMA:
+                    raise ValueError(f"schema {raw.get('schema')!r}")
+                hist = DistanceHistogram.from_dict(raw)
+            except FileNotFoundError:
+                hist = None
+            except (OSError, ValueError, TypeError, KeyError):
+                path.unlink(missing_ok=True)
+                hist = None
+            if hist is not None:
+                self._mem_hist[key] = hist
+        if hist is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return hist
+
+    def put_histogram(self, key: str, hist: DistanceHistogram) -> None:
+        """Store ``hist`` under ``key`` (in memory, and on disk if enabled)."""
+        self._mem_hist[key] = hist
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            payload = {"schema": KERNEL_SCHEMA}
+            payload.update(hist.to_dict())
+            atomic_write_text(self._entry_path(key), json.dumps(payload, sort_keys=True))
+
+    def histogram(self, lines: np.ndarray, n_sets: int) -> DistanceHistogram:
+        """Memoized :func:`repro.cache.fastsim.stack_distance_histogram`.
+
+        The histogram is immutable in practice (``misses()`` only builds
+        an internal suffix sum), so the stored object is returned
+        directly — no per-call copy.
+        """
+        key = histogram_key(lines, n_sets)
+        hist = self.get_histogram(key)
+        if hist is None:
+            hist = stack_distance_histogram(lines, n_sets)
+            self.put_histogram(key, hist)
+        return hist
+
+    def simulate_fast(self, lines: np.ndarray, cfg: CacheConfig) -> CacheStats:
+        """Memoized :func:`repro.cache.fastsim.simulate_fast` (cold, no
+        prefetch); one histogram entry serves every ``assoc`` of this
+        ``n_sets``."""
+        return self.histogram(lines, cfg.n_sets).stats(cfg.assoc)
 
     # -- introspection -----------------------------------------------------
 

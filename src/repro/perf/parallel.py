@@ -17,7 +17,10 @@ Two fan-out layers, matching the structure of the evaluation:
   (line stream, cache config, prefetch) simulation cells across a pool;
   :meth:`Lab.precompute_solo <repro.experiments.pipeline.Lab.precompute_solo>`
   and the :class:`~repro.compiler.driver.Driver` evaluation stage use it
-  for intra-experiment parallelism.
+  for intra-experiment parallelism.  :func:`histogram_cells` is the
+  kernel-path counterpart: independent (line stream, n_sets) cells, each
+  producing a :class:`~repro.cache.fastsim.DistanceHistogram` that
+  answers every associativity of the geometry family at once.
 
 Every simulation here is deterministic (seeded noise, content-addressed
 inputs), so distributing work across processes cannot change any result
@@ -34,6 +37,7 @@ from typing import Any, Optional
 import numpy as np
 
 from ..cache.config import CacheConfig
+from ..cache.fastsim import DistanceHistogram
 from ..cache.stats import CacheStats
 from ..robust.errors import (
     ArtifactError,
@@ -42,7 +46,7 @@ from ..robust.errors import (
     SimulationError,
 )
 
-__all__ = ["ExperimentPool", "rebuild_error", "simulate_cells"]
+__all__ = ["ExperimentPool", "histogram_cells", "rebuild_error", "simulate_cells"]
 
 #: the per-process Lab of an experiment worker (set by the initializer).
 _WORKER_LAB = None
@@ -206,3 +210,33 @@ def simulate_cells(
         CacheStats(accesses=a, misses=m, prefetches=p, prefetch_hits=h)
         for (a, m, p, h) in raw
     ]
+
+
+def _histogram_cell(cell: tuple) -> dict:
+    from ..cache.fastsim import stack_distance_histogram
+
+    lines, n_sets = cell
+    return stack_distance_histogram(lines, n_sets).to_dict()
+
+
+def histogram_cells(
+    cells: list[tuple[np.ndarray, int]],
+    *,
+    jobs: int = 1,
+) -> list[DistanceHistogram]:
+    """Compute independent (lines, n_sets) stack-distance histograms.
+
+    The kernel-path analogue of :func:`simulate_cells`: results are
+    positionally aligned with ``cells`` and identical to serial
+    :func:`repro.cache.fastsim.stack_distance_histogram` calls.
+    Histograms cross the process boundary as their dict form (plain ints,
+    cheap relative to the streams already being pickled outward).
+    """
+    if jobs <= 1 or len(cells) <= 1:
+        raw = [_histogram_cell(c) for c in cells]
+    else:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(cells)), mp_context=_mp_context()
+        ) as pool:
+            raw = list(pool.map(_histogram_cell, cells))
+    return [DistanceHistogram.from_dict(r) for r in raw]

@@ -24,7 +24,9 @@ from ..robust.atomic import atomic_write_text
 __all__ = ["BENCH_SCHEMA", "Telemetry", "compare_journal_outcomes"]
 
 #: schema tag of BENCH_perf.json; bump on breaking layout changes.
-BENCH_SCHEMA = "repro.perf/bench.v1"
+#: v2: adds the "kernel" section (stack-distance kernel throughput) next
+#: to the scalar "simulator" section.
+BENCH_SCHEMA = "repro.perf/bench.v2"
 
 #: journal-entry fields that legitimately differ between two runs of the
 #: same suite (wall-clock measurements); everything else must match.
@@ -43,6 +45,10 @@ class Telemetry:
         self.experiments: dict[str, dict[str, Any]] = {}
         self.sim_accesses = 0
         self.sim_seconds = 0.0
+        self.kernel_accesses = 0
+        self.kernel_seconds = 0.0
+        self.kernel_passes = 0
+        self.kernel_cells = 0
         self.memo: dict[str, float] = {}
         self.wall_s = 0.0
 
@@ -55,6 +61,10 @@ class Telemetry:
     def merge_counters(self, counters: dict[str, float]) -> None:
         self.sim_accesses += int(counters.get("sim_accesses", 0))
         self.sim_seconds += float(counters.get("sim_seconds", 0.0))
+        self.kernel_accesses += int(counters.get("kernel_accesses", 0))
+        self.kernel_seconds += float(counters.get("kernel_seconds", 0.0))
+        self.kernel_passes += int(counters.get("kernel_passes", 0))
+        self.kernel_cells += int(counters.get("kernel_cells", 0))
 
     def merge_memo(self, counters: Optional[dict[str, float]]) -> None:
         if not counters:
@@ -79,6 +89,12 @@ class Telemetry:
     def accesses_per_second(self) -> float:
         return self.sim_accesses / self.sim_seconds if self.sim_seconds > 0 else 0.0
 
+    @property
+    def kernel_accesses_per_second(self) -> float:
+        if self.kernel_seconds <= 0:
+            return 0.0
+        return self.kernel_accesses / self.kernel_seconds
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "schema": BENCH_SCHEMA,
@@ -92,6 +108,18 @@ class Telemetry:
                 "accesses": self.sim_accesses,
                 "seconds": round(self.sim_seconds, 4),
                 "accesses_per_s": round(self.accesses_per_second, 1),
+            },
+            "kernel": {
+                "accesses": self.kernel_accesses,
+                "seconds": round(self.kernel_seconds, 4),
+                "accesses_per_s": round(self.kernel_accesses_per_second, 1),
+                "passes": self.kernel_passes,
+                "cells": self.kernel_cells,
+                "cells_per_pass": round(
+                    self.kernel_cells / self.kernel_passes, 2
+                )
+                if self.kernel_passes
+                else 0.0,
             },
             "memo": self.memo or None,
         }

@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.cache import CacheConfig, PAPER_L1I, simulate, simulate_shared
+from repro.cache import (
+    CacheConfig,
+    PAPER_L1I,
+    SharedCacheStats,
+    simulate,
+    simulate_shared,
+)
 
 
 def test_single_thread_equals_solo():
@@ -90,3 +96,46 @@ def test_shared_prefetch_counts():
     b = np.tile(np.arange(1000, 1512), 4)
     stats = simulate_shared([a, b], PAPER_L1I, prefetch=True)
     assert stats[0].prefetches > 0 or stats[1].prefetches > 0
+
+
+def test_cross_thread_prefetch_attributed_to_issuer():
+    """Only thread 0 misses (even lines), so only thread 0 issues
+    prefetches — of the odd lines thread 1 then consumes.  The
+    accounting must attribute those hits as *cross* help on thread 1,
+    not conflate them with self-help; pre-fix, the per-line issuer was
+    not tracked at all.
+    """
+    cfg = CacheConfig(size_bytes=64 * 4 * 64, assoc=4, line_bytes=64)
+    t0 = np.arange(0, 400, 2)  # even lines: all cold misses
+    t1 = np.arange(1, 400, 2)  # odd lines: exactly the prefetched ones
+    stats = simulate_shared([t0, t1], cfg, prefetch=True)
+
+    # Thread 1 never missed, so it never issued a single prefetch...
+    assert stats[1].misses == 0
+    assert stats[1].prefetches == 0
+    # ...yet it consumed prefetched lines — all of them peer-issued.
+    assert stats[1].prefetch_hits > 0
+    assert stats[1].prefetch_hits_cross == stats[1].prefetch_hits
+    assert stats[1].prefetch_hits_self == 0
+    # Thread 0's own stream never touches a prefetched (odd) line.
+    assert stats[0].prefetch_hits == 0
+
+
+def test_prefetch_hit_split_invariant():
+    """prefetch_hits == self + cross on every thread, for arbitrary
+    contending streams."""
+    rng = np.random.default_rng(12)
+    a = rng.integers(0, 900, 4000)
+    b = rng.integers(400, 1300, 4000)
+    for st in simulate_shared([a, b], PAPER_L1I, prefetch=True):
+        assert isinstance(st, SharedCacheStats)
+        assert st.prefetch_hits == st.prefetch_hits_self + st.prefetch_hits_cross
+
+
+def test_self_prefetch_still_counted_as_self():
+    """A solo thread consuming its own prefetches reports only self-help."""
+    lines = np.tile(np.arange(0, 256), 4)
+    st = simulate_shared([lines], PAPER_L1I, prefetch=True)[0]
+    assert st.prefetch_hits > 0
+    assert st.prefetch_hits_self == st.prefetch_hits
+    assert st.prefetch_hits_cross == 0

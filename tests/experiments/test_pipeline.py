@@ -95,3 +95,56 @@ def test_timing_pieces(lab):
     timing = lab.corun_timing(("syn-mcf", BASELINE), ("syn-sjeng", BASELINE))
     assert timing.makespan <= timing.solo_cycles[0] + timing.solo_cycles[1]
     assert timing.corun_slowdown(0) >= 1.0
+
+
+class TestKernelRouting:
+    """The sim channel rides the stack-distance kernel by default and
+    must be bit-identical to the scalar oracle (use_kernel=False)."""
+
+    CELLS = [
+        (name, layout, channel)
+        for name in ("syn-mcf", "syn-sjeng")
+        for layout in (BASELINE, "function-affinity")
+        for channel in ("sim", "hw")
+    ]
+
+    def test_solo_miss_parity_with_scalar_oracle(self):
+        fast = Lab(scale=SCALE, noise_sigma=0.0)
+        oracle = Lab(scale=SCALE, noise_sigma=0.0, use_kernel=False)
+        for cell in self.CELLS:
+            assert fast.solo_miss(*cell) == oracle.solo_miss(*cell), cell
+        assert fast.counters["kernel_cells"] > 0
+        assert fast.counters["kernel_passes"] > 0
+        assert oracle.counters["kernel_cells"] == 0
+
+    def test_precompute_solo_kernel_fanout_parity(self):
+        from repro.perf import SimMemo
+
+        batched = Lab(scale=SCALE, noise_sigma=0.0, memo=SimMemo())
+        batched.precompute_solo(self.CELLS, jobs=2)
+        lazy = Lab(scale=SCALE, noise_sigma=0.0, use_kernel=False)
+        for cell in self.CELLS:
+            assert batched.solo_miss(*cell) == lazy.solo_miss(*cell), cell
+        # The second precompute replays histograms from the memo.
+        again = Lab(scale=SCALE, noise_sigma=0.0, memo=batched.memo)
+        again.precompute_solo(self.CELLS, jobs=2)
+        assert again.counters["kernel_passes"] == 0
+        assert again.counters["kernel_cells"] > 0
+
+    def test_histogram_shared_across_assoc_family(self):
+        lab = Lab(scale=SCALE, noise_sigma=0.0)
+        h4 = lab.histogram("syn-mcf", BASELINE)
+        assert lab.histogram("syn-mcf", BASELINE) is h4
+        assert lab.counters["kernel_passes"] == 1
+        # One histogram answers other associativities of the family.
+        assert h4.misses(1) >= h4.misses(8)
+
+    def test_spawn_config_carries_use_kernel(self):
+        assert Lab(scale=SCALE).spawn_config()["use_kernel"] is True
+        assert Lab(scale=SCALE, use_kernel=False).spawn_config()["use_kernel"] is False
+
+    def test_hw_channel_never_uses_kernel(self):
+        lab = Lab(scale=SCALE, noise_sigma=0.0)
+        lab.solo_miss("syn-mcf", BASELINE, channel="hw")
+        assert lab.counters["kernel_cells"] == 0
+        assert lab.counters["sim_accesses"] > 0

@@ -75,3 +75,34 @@ def test_empty_trace():
     assert c.n == 0
     assert c.m == 0
     assert c(0) == 0.0
+
+
+def test_numpy_scalar_input_returns_float():
+    """The old ``np.isscalar`` check leaked 0-d ndarrays for NumPy
+    scalar inputs it does not recognize (``np.isscalar(np.array(3))``
+    is False, and NumPy integer scalars are version-dependent); the
+    ``np.ndim(w) == 0`` discriminator must return a plain float for
+    every scalar kind."""
+    c = footprint_curve(np.array([1, 2, 3, 1, 2, 3]))
+    for w in (3, np.int64(3), np.int32(3), np.array(3)):
+        value = c(w)
+        assert type(value) is float, type(value)
+        assert value == pytest.approx(float(c.fp[3]))
+    # Array inputs still vectorize.
+    arr = c(np.array([1, 2, 3]))
+    assert isinstance(arr, np.ndarray) and arr.shape == (3,)
+
+
+def test_fill_time_capacity_boundary_tolerance():
+    """fp[n] == m exactly, but float capacities drift: a hair above m
+    must behave like m itself (pre-fix, the strict c > m comparison
+    returned n + 1 for fill_time(m + 1e-9) while fill_time(float(m))
+    found a valid window)."""
+    c = footprint_curve(np.array([1, 2, 3, 1, 2, 3, 1, 2, 3]))
+    at_m = c.fill_time(float(c.m))
+    assert at_m <= c.n
+    assert c.fill_time(c.m + 1e-9) == at_m
+    assert c.fill_time(c.m * (1 + 1e-12)) == at_m
+    # Meaningfully above m is still "never fills".
+    assert c.fill_time(c.m * 1.01) == c.n + 1
+    assert c.fill_time(c.m + 1.0) == c.n + 1

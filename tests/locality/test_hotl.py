@@ -75,3 +75,17 @@ def test_shared_validation():
         shared_fill_time([], 4)
     with pytest.raises(ValueError):
         shared_fill_time([a], 0)
+
+
+def test_shared_fill_time_capacity_boundary_tolerance():
+    """shared_fill_time follows FootprintCurve.fill_time's boundary: a
+    capacity within 1e-9 of the combined total footprint behaves like
+    the total itself rather than flipping to max_n + 1."""
+    a = footprint_curve(cyclic_trace(6, 20))
+    b = footprint_curve(cyclic_trace(6, 20))
+    total_m = a.m + b.m
+    at_total = shared_fill_time([a, b], float(total_m))
+    assert at_total <= max(a.n, b.n)
+    assert shared_fill_time([a, b], total_m + 1e-9) == at_total
+    # Meaningfully above the total stays "no contention".
+    assert shared_fill_time([a, b], total_m * 1.01) == max(a.n, b.n) + 1

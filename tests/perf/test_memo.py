@@ -131,3 +131,73 @@ class TestSimMemo:
             "bypasses": 0,
             "hit_rate": 0.5,
         }
+
+
+class TestHistogramMemo:
+    """Kernel histograms: coarser keys (stream + n_sets only), same
+    degrade-to-recompute storage discipline."""
+
+    def test_key_ignores_assoc_and_line_bytes(self, lines):
+        from repro.perf import histogram_key
+
+        key = histogram_key(lines, PAPER_L1I.n_sets)
+        assert key == histogram_key(lines.astype(np.int64), PAPER_L1I.n_sets)
+        assert key != histogram_key(lines, 64)
+        other = lines.copy()
+        other[3] += 1
+        assert key != histogram_key(other, PAPER_L1I.n_sets)
+        # Distinct from the CacheStats key space for the same stream.
+        assert key != memo_key(lines, PAPER_L1I)
+
+    def test_histogram_hit_and_simulate_fast(self, lines):
+        from repro.cache import stack_distance_histogram
+
+        memo = SimMemo()
+        fresh = stack_distance_histogram(lines, PAPER_L1I.n_sets)
+        assert memo.histogram(lines, PAPER_L1I.n_sets) == fresh
+        assert memo.histogram(lines, PAPER_L1I.n_sets) == fresh
+        assert (memo.hits, memo.misses) == (1, 1)
+        # One histogram entry answers every associativity of the family.
+        for assoc in (1, 2, 4, 8):
+            cfg = CacheConfig(
+                size_bytes=PAPER_L1I.n_sets * assoc * 64,
+                assoc=assoc,
+                line_bytes=64,
+            )
+            assert memo.simulate_fast(lines, cfg) == simulate(lines, cfg)
+        assert memo.misses == 1  # no further kernel passes were needed
+
+    def test_histogram_disk_persistence(self, tmp_path, lines):
+        from repro.cache import stack_distance_histogram
+
+        fresh = stack_distance_histogram(lines, 128)
+        SimMemo(tmp_path).histogram(lines, 128)
+        reread = SimMemo(tmp_path)
+        assert reread.histogram(lines, 128) == fresh
+        assert (reread.hits, reread.misses) == (1, 0)
+
+    def test_corrupt_histogram_entry_recomputed(self, tmp_path, lines):
+        from repro.perf import histogram_key
+
+        memo = SimMemo(tmp_path)
+        key = histogram_key(lines, 128)
+        fresh = memo.histogram(lines, 128)
+        (tmp_path / f"{key}.json").write_text("{ nope")
+        reread = SimMemo(tmp_path)
+        assert reread.histogram(lines, 128) == fresh
+        assert reread.misses == 1
+
+    def test_stale_kernel_schema_dropped(self, tmp_path, lines):
+        from repro.perf import histogram_key
+
+        memo = SimMemo(tmp_path)
+        key = histogram_key(lines, 128)
+        memo.histogram(lines, 128)
+        path = tmp_path / f"{key}.json"
+        raw = json.loads(path.read_text())
+        raw["schema"] = "repro.perf.memo.kernel.v0"
+        path.write_text(json.dumps(raw))
+        reread = SimMemo(tmp_path)
+        reread.histogram(lines, 128)
+        assert reread.misses == 1
+        assert json.loads(path.read_text())["schema"] != "repro.perf.memo.kernel.v0"

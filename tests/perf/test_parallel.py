@@ -14,7 +14,12 @@ import pytest
 from repro.cache import PAPER_L1I, simulate
 from repro.experiments import Lab
 from repro.experiments.runner import run_suite
-from repro.perf import compare_journal_outcomes, rebuild_error, simulate_cells
+from repro.perf import (
+    compare_journal_outcomes,
+    histogram_cells,
+    rebuild_error,
+    simulate_cells,
+)
 from repro.robust import ProfileError, RunJournal, SimulationError
 
 FAST = "ablation-optimal-gap"
@@ -129,6 +134,26 @@ class TestSimulateCells:
 
     def test_empty(self):
         assert simulate_cells([], jobs=2) == []
+
+
+class TestHistogramCells:
+    def test_results_identical_to_serial(self):
+        from repro.cache import stack_distance_histogram
+
+        rng = np.random.default_rng(8)
+        cells = [(rng.integers(0, 600, 4000), 1 << (i % 3 + 5)) for i in range(5)]
+        parallel = histogram_cells(cells, jobs=2)
+        serial = [stack_distance_histogram(lines, n_sets) for lines, n_sets in cells]
+        assert parallel == serial
+        # One histogram per cell answers every associativity.
+        from repro.cache import CacheConfig
+
+        lines, n_sets = cells[0]
+        cfg = CacheConfig(size_bytes=n_sets * 4 * 64, assoc=4, line_bytes=64)
+        assert parallel[0].stats(4) == simulate(lines, cfg)
+
+    def test_empty(self):
+        assert histogram_cells([], jobs=2) == []
 
 
 class TestRebuildError:

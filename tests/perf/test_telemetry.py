@@ -57,14 +57,48 @@ class TestTelemetry:
         assert json.loads(path.read_text())["schema"] == BENCH_SCHEMA
 
     def test_run_suite_populates_telemetry(self):
+        # ablation-pruning's measurements are all sim-channel, so with
+        # the default kernel routing the scalar counters stay zero and
+        # the kernel counters carry the work.
         lab = Lab(scale=0.05, noise_sigma=0.0)
         t = Telemetry(jobs=1, scale=0.05)
         run_suite(lab, ["ablation-pruning"], out=io.StringIO(), telemetry=t)
         assert t.experiments["ablation-pruning"]["status"] == "ok"
         assert t.wall_s > 0
+        assert t.kernel_accesses > 0
+        assert t.kernel_seconds > 0
+        assert t.kernel_passes > 0
+        assert t.kernel_cells > 0
+        assert t.sim_accesses == 0
+        assert "simulate" in t.stages
+
+    def test_run_suite_scalar_counters_without_kernel(self):
+        lab = Lab(scale=0.05, noise_sigma=0.0, use_kernel=False)
+        t = Telemetry(jobs=1, scale=0.05)
+        run_suite(lab, ["ablation-pruning"], out=io.StringIO(), telemetry=t)
         assert t.sim_accesses > 0
         assert t.sim_seconds > 0
-        assert "simulate" in t.stages
+        assert t.kernel_accesses == 0
+
+    def test_kernel_counter_merge_and_rendering(self):
+        t = Telemetry()
+        t.merge_counters(
+            {
+                "kernel_accesses": 1000,
+                "kernel_seconds": 0.5,
+                "kernel_passes": 2,
+                "kernel_cells": 10,
+            }
+        )
+        t.merge_counters({"kernel_accesses": 500, "kernel_seconds": 0.25})
+        d = t.to_dict()["kernel"]
+        assert d["accesses"] == 1500
+        assert d["seconds"] == 0.75
+        assert d["accesses_per_s"] == 2000.0
+        assert d["passes"] == 2
+        assert d["cells"] == 10
+        assert d["cells_per_pass"] == 5.0
+        assert Telemetry().to_dict()["kernel"]["cells_per_pass"] == 0.0
 
 
 class TestCompareJournalOutcomes:
@@ -124,15 +158,47 @@ class TestPerfCli:
         report = json.loads(bench.read_text())
         assert report["schema"] == BENCH_SCHEMA
         assert report["experiments"]["ablation-pruning"]["status"] == "ok"
-        assert report["simulator"]["accesses"] > 0
+        assert report["kernel"]["accesses"] > 0
+        assert report["kernel"]["passes"] > 0
         assert report["memo"]["misses"] > 0
         assert perf_main(["show-bench", str(bench)]) == 0
-        assert "simulator:" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "simulator:" in out
+        assert "kernel:" in out
 
     def test_show_bench_rejects_foreign_schema(self, tmp_path):
         path = tmp_path / "other.json"
         path.write_text(json.dumps({"schema": "something.else"}))
         assert perf_main(["show-bench", str(path)]) == 2
+
+    def test_kernel_bench_parity_gate(self, tmp_path, capsys):
+        bench = tmp_path / "BENCH_perf.json"
+        code = perf_main(
+            [
+                "kernel-bench",
+                "--scale", "0.05",
+                "--assocs", "1,2,4",
+                "--bench", str(bench),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "kernel parity OK" in out
+        report = json.loads(bench.read_text())
+        kb = report["kernel_bench"]
+        assert kb["assocs"] == [1, 2, 4]
+        assert kb["n_sets"] == 128
+        assert kb["speedup"] > 0
+        # The section merges into an existing report and survives show-bench.
+        assert perf_main(["show-bench", str(bench)]) == 0
+        assert "kernel-bench:" in capsys.readouterr().out
+
+    def test_kernel_bench_min_speedup_enforced(self, capsys):
+        code = perf_main(
+            ["kernel-bench", "--scale", "0.05", "--min-speedup", "1e9"]
+        )
+        assert code == 1
+        assert "below required" in capsys.readouterr().err
 
     def test_runner_rejects_bad_jobs(self, capsys):
         assert runner_main(["--jobs", "0", "--only", "fig4"]) == 2
