@@ -12,14 +12,28 @@ import numpy as np
 from conftest import BENCH_SCALE
 
 from repro.cache import PAPER_L1I, CacheConfig, simulate, stack_distance_histogram
+from repro.core import (
+    AffinityAnalysis,
+    affinity_coverage,
+    build_trg,
+    build_trg_fast,
+    coverage_from_analysis,
+)
 from repro.experiments import Lab
-from repro.perf import SimMemo, memo_key
+from repro.perf import SimMemo, affinity_key, memo_key
 
 _RNG = np.random.default_rng(2014)
 _LINES = _RNG.integers(0, 700, int(200_000 * max(BENCH_SCALE, 0.05)))
 
 #: the paper's L1I geometry family: 128 sets at every associativity.
 _SWEEP_ASSOCS = (1, 2, 4, 8, 16)
+
+#: a symbol trace for the locality-model analysis benchmarks (Zipf-ish
+#: popularity, like real function traces).
+_SYMS = np.sort(_RNG.integers(0, 200, int(40_000 * max(BENCH_SCALE, 0.05))) ** 2 // 200)
+_SYMS = _RNG.permutation(_SYMS).astype(np.int64)
+_W_MAX = 20
+_TRG_WINDOW = 256
 
 
 def bench_simulate_cold(benchmark):
@@ -75,6 +89,43 @@ def bench_scalar_assoc_sweep(benchmark):
     scalar = benchmark(sweep)
     hist = stack_distance_histogram(_LINES, 128)
     assert scalar == {a: hist.misses(a) for a in _SWEEP_ASSOCS}
+
+
+def bench_affinity_scalar(benchmark):
+    """The path the affinity kernel replaces: the one-pass LRU-stack
+    oracle over the full ``2..w_max`` sweep."""
+    analysis = benchmark(AffinityAnalysis, _SYMS, _W_MAX)
+    assert analysis.w_max == _W_MAX
+
+
+def bench_affinity_kernel(benchmark):
+    """Batched affinity kernel: same sweep, vectorized record/credit
+    join.  Compare against ``bench_affinity_scalar`` — the ratio is the
+    affinity half of ``python -m repro.perf analysis-bench``."""
+    covg = benchmark(affinity_coverage, _SYMS, _W_MAX)
+    assert covg == coverage_from_analysis(AffinityAnalysis(_SYMS, _W_MAX))
+
+
+def bench_trg_scalar(benchmark):
+    """Scalar TRG construction (per-access window walk)."""
+    trg = benchmark(build_trg, _SYMS, window_blocks=_TRG_WINDOW)
+    assert trg.weights
+
+
+def bench_trg_kernel(benchmark):
+    """Vectorized TRG construction; the other half of ``analysis-bench``."""
+    trg = benchmark(build_trg_fast, _SYMS, window_blocks=_TRG_WINDOW)
+    assert trg.weights == build_trg(_SYMS, window_blocks=_TRG_WINDOW).weights
+
+
+def bench_analysis_memo_hit(benchmark):
+    """Replaying a memoized affinity artifact; the saving --memo-dir
+    brings to repeated layout builds."""
+    memo = SimMemo()
+    cold = memo.affinity_coverage(_SYMS, w_max=_W_MAX)
+    hit = benchmark(memo.affinity_coverage, _SYMS, w_max=_W_MAX)
+    assert hit == cold
+    assert memo.has_analysis(affinity_key(_SYMS, w_max=_W_MAX))
 
 
 def bench_precompute_solo_serial(benchmark):

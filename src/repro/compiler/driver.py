@@ -192,8 +192,16 @@ class Driver:
         for name in self.optimizer_names:
             start = time.perf_counter()
             with error_context("optimize", program=program, layout=name):
+                # The four model-driven optimizers accept the analysis
+                # memo (kernel artifacts replay across builds); the
+                # comparator extras may predate that keyword.
+                kwargs = (
+                    {"memo": self.memo}
+                    if self.memo is not None and name in OPTIMIZERS
+                    else {}
+                )
                 layouts[name] = self._optimizer(name)(
-                    module, profile, self.optimizer_config
+                    module, profile, self.optimizer_config, **kwargs
                 )
             timings[f"optimize/{name}"] = time.perf_counter() - start
 

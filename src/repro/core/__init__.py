@@ -2,6 +2,13 @@
 and the defensiveness/politeness goal framework."""
 
 from .affinity import AffinityAnalysis, affine_pairs_naive, window_footprint
+from .fastanalysis import (
+    AffinityCoverage,
+    affinity_coverage,
+    analysis_from_coverage,
+    build_trg_fast,
+    coverage_from_analysis,
+)
 from .goals import GoalScores, relative_reduction, score_goals
 from .hierarchy import AffinityNode, build_hierarchy, hierarchy_levels, layout_order
 from .layout import Granularity, apply_symbol_order
@@ -27,6 +34,7 @@ __all__ = [
     "OPTIMIZERS",
     "TRG",
     "AffinityAnalysis",
+    "AffinityCoverage",
     "AffinityNode",
     "GoalScores",
     "Granularity",
@@ -34,11 +42,15 @@ __all__ = [
     "OptimizerConfig",
     "ReductionResult",
     "affine_pairs_naive",
+    "affinity_coverage",
+    "analysis_from_coverage",
     "apply_symbol_order",
     "bb_affinity",
     "bb_trg",
     "build_hierarchy",
     "build_trg",
+    "build_trg_fast",
+    "coverage_from_analysis",
     "function_affinity",
     "function_trg",
     "hierarchy_levels",

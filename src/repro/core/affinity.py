@@ -55,9 +55,15 @@ __all__ = ["AffinityAnalysis", "affine_pairs_naive", "window_footprint"]
 
 
 def window_footprint(trace: np.ndarray, i: int, j: int) -> int:
-    """``fp<trace[i], trace[j]>`` — distinct symbols in the closed window."""
+    """``fp<trace[i], trace[j]>`` — distinct symbols in the closed window.
+
+    Counted with a set rather than ``np.unique``: the naive oracle calls
+    this per occurrence pair, and an O(n log n) sort per window made the
+    oracle quadratic-with-a-sort on exactly the traces it exists to
+    cross-check.  A hash-set distinct count is O(window).
+    """
     lo, hi = (i, j) if i <= j else (j, i)
-    return int(np.unique(trace[lo : hi + 1]).shape[0])
+    return len(set(trace[lo : hi + 1].tolist()))
 
 
 def affine_pairs_naive(trace: np.ndarray, w: int) -> set[tuple[int, int]]:
@@ -151,6 +157,40 @@ class AffinityAnalysis:
         self._cov: dict[tuple[int, int], np.ndarray] = {}
         self._first_occ: dict[int, int] = {}
         self._analyze(time_horizon)
+
+    @classmethod
+    def from_precomputed(
+        cls,
+        trace: np.ndarray,
+        *,
+        w_max: int,
+        coverage: float = 1.0,
+        n_occ: dict[int, int],
+        first_occ: dict[int, int],
+        cov: dict[tuple[int, int], np.ndarray],
+    ) -> "AffinityAnalysis":
+        """Wrap an externally computed analysis (the vectorized kernel in
+        :mod:`repro.core.fastanalysis`, or a memoized artifact) so every
+        query and hierarchy consumer runs the same code path.
+
+        The inputs must be exactly what ``_analyze`` would have produced
+        for ``trace`` — the kernel parity suite pins that contract.
+        """
+        if w_max < 1:
+            raise ValueError("w_max must be >= 1")
+        if not 0.0 < coverage <= 1.0:
+            raise ValueError("coverage must be in (0, 1]")
+        self = object.__new__(cls)
+        self.w_max = w_max
+        self.coverage = coverage
+        self.trace = trim(np.asarray(trace))
+        self._n_occ = {int(k): int(v) for k, v in n_occ.items()}
+        self._first_occ = {int(k): int(v) for k, v in first_occ.items()}
+        self._cov = {
+            (int(x), int(y)): np.asarray(h, dtype=np.int64)
+            for (x, y), h in cov.items()
+        }
+        return self
 
     # -- analysis ----------------------------------------------------------
 

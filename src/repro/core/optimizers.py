@@ -21,6 +21,7 @@ model, expand the symbol order into a full layout.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -33,6 +34,7 @@ from ..ir.transforms import LayoutResult
 from ..trace.prune import prune_top_k
 from ..trace.trim import trim
 from .affinity import AffinityAnalysis
+from .fastanalysis import affinity_coverage, analysis_from_coverage, build_trg_fast
 from .hierarchy import build_hierarchy, layout_order
 from .layout import Granularity, apply_symbol_order
 from .trg import build_trg, trg_window_blocks, uniform_block_slots
@@ -41,6 +43,7 @@ from .trg_reduce import reduce_trg
 __all__ = [
     "Model",
     "OptimizerConfig",
+    "analysis_cell",
     "optimize",
     "function_affinity",
     "bb_affinity",
@@ -86,6 +89,10 @@ class OptimizerConfig:
     cache: CacheConfig = field(default=PAPER_L1I)
     #: TRG examines a window of ``trg_window_factor * cache size``.
     trg_window_factor: float = 2.0
+    #: route the locality models through the vectorized kernels in
+    #: :mod:`repro.core.fastanalysis` (parity-gated bit-identical to the
+    #: scalar implementations; False forces the scalar oracles).
+    use_fast_analysis: bool = True
 
     def w_values(self) -> range:
         return range(self.w_min, self.w_max + 1)
@@ -119,22 +126,132 @@ def _uniform_size(
     return max(1, int(round(float(np.mean(sizes)))))
 
 
+def _note_analysis(
+    stats: Optional[dict], *, accesses: int, seconds: float, fresh: bool
+) -> None:
+    """Fold one model-analysis consumption into a caller's counter dict.
+
+    ``cells`` counts every analysis an optimizer consumed; the
+    passes/accesses/seconds throughput triple only advances when the
+    analysis was actually (re)computed, and ``memo_hits`` when a memo
+    replayed it.
+    """
+    if stats is None:
+        return
+    stats["analysis_cells"] = stats.get("analysis_cells", 0) + 1
+    if fresh:
+        stats["analysis_passes"] = stats.get("analysis_passes", 0) + 1
+        stats["analysis_accesses"] = stats.get("analysis_accesses", 0) + accesses
+        stats["analysis_seconds"] = stats.get("analysis_seconds", 0.0) + seconds
+    else:
+        stats["analysis_memo_hits"] = stats.get("analysis_memo_hits", 0) + 1
+
+
+def _affinity_analysis(
+    trace: np.ndarray, config: OptimizerConfig, memo, stats: Optional[dict]
+) -> AffinityAnalysis:
+    """The affinity model, through the kernel/memo when enabled."""
+    if not config.use_fast_analysis:
+        return AffinityAnalysis(
+            trace,
+            w_max=config.w_max,
+            coverage=config.coverage,
+            time_horizon=config.affinity_time_horizon,
+        )
+    start = time.perf_counter()
+    if memo is not None:
+        misses_before = memo.misses
+        covg = memo.affinity_coverage(
+            trace, w_max=config.w_max, time_horizon=config.affinity_time_horizon
+        )
+        fresh = memo.misses > misses_before
+    else:
+        covg = affinity_coverage(
+            trace, w_max=config.w_max, time_horizon=config.affinity_time_horizon
+        )
+        fresh = True
+    _note_analysis(
+        stats,
+        accesses=int(trace.shape[0]),
+        seconds=time.perf_counter() - start,
+        fresh=fresh,
+    )
+    return analysis_from_coverage(trace, covg, coverage=config.coverage)
+
+
+def _trg_analysis(
+    trace: np.ndarray, window: int, config: OptimizerConfig, memo, stats
+):
+    """The TRG model, through the kernel/memo when enabled."""
+    if not config.use_fast_analysis:
+        return build_trg(trace, window_blocks=window)
+    start = time.perf_counter()
+    if memo is not None:
+        misses_before = memo.misses
+        trg = memo.trg(trace, window_blocks=window)
+        fresh = memo.misses > misses_before
+    else:
+        trg = build_trg_fast(trace, window_blocks=window)
+        fresh = True
+    _note_analysis(
+        stats,
+        accesses=int(trace.shape[0]),
+        seconds=time.perf_counter() - start,
+        fresh=fresh,
+    )
+    return trg
+
+
+def analysis_cell(
+    module: Module,
+    bundle: TraceBundle,
+    layout_name: str,
+    config: OptimizerConfig = OptimizerConfig(),
+) -> Optional[tuple]:
+    """The kernel-analysis work item ``optimize()`` would need for one of
+    the four model-driven optimizers: ``("affinity", trace, w_max,
+    time_horizon)`` or ``("trg", trace, window_blocks)``.
+
+    ``None`` for layouts without a precomputable model analysis.  Used by
+    :meth:`repro.experiments.pipeline.Lab.precompute_layouts` and
+    :func:`repro.perf.parallel.analysis_cells` to fan the expensive model
+    passes across workers before the (serial, memo-hitting) layout
+    builds.
+    """
+    spec = _OPTIMIZER_SPECS.get(layout_name)
+    if spec is None:
+        return None
+    granularity, model = spec
+    trace = _prepare_trace(bundle, granularity, config)
+    if model == Model.AFFINITY:
+        return ("affinity", trace, config.w_max, config.affinity_time_horizon)
+    size = _uniform_size(module, bundle, granularity)
+    window = trg_window_blocks(config.cache, size, config.trg_window_factor)
+    return ("trg", trace, window)
+
+
 def optimize(
     module: Module,
     bundle: TraceBundle,
     granularity: Granularity,
     model: str,
     config: OptimizerConfig = OptimizerConfig(),
+    *,
+    memo=None,
+    stats: Optional[dict] = None,
 ) -> LayoutResult:
-    """Run one of the four optimizers and return the new layout."""
+    """Run one of the four optimizers and return the new layout.
+
+    ``memo`` (a :class:`repro.perf.memo.SimMemo`) replays identical
+    model analyses from the content-addressed cache; ``stats`` collects
+    ``analysis_*`` throughput counters.  Both are inert unless
+    ``config.use_fast_analysis`` routes through the kernels, and neither
+    ever changes the produced layout — the kernels are parity-gated
+    bit-identical to the scalar models.
+    """
     trace = _prepare_trace(bundle, granularity, config)
     if model == Model.AFFINITY:
-        analysis = AffinityAnalysis(
-            trace,
-            w_max=config.w_max,
-            coverage=config.coverage,
-            time_horizon=config.affinity_time_horizon,
-        )
+        analysis = _affinity_analysis(trace, config, memo, stats)
         forest = build_hierarchy(analysis, config.w_values())
         order = layout_order(forest)
         note = f"affinity(w={config.w_min}..{config.w_max}, cov={config.coverage})"
@@ -142,7 +259,7 @@ def optimize(
         size = _uniform_size(module, bundle, granularity)
         window = trg_window_blocks(config.cache, size, config.trg_window_factor)
         slots = uniform_block_slots(config.cache, size)
-        trg = build_trg(trace, window_blocks=window)
+        trg = _trg_analysis(trace, window, config, memo, stats)
         order = reduce_trg(trg, slots).order
         note = f"trg(window={window} blocks, slots={slots}, S={size}B)"
     elif model == Model.PH:
@@ -162,31 +279,63 @@ def optimize(
 
 
 def function_affinity(
-    module: Module, bundle: TraceBundle, config: OptimizerConfig = OptimizerConfig()
+    module: Module,
+    bundle: TraceBundle,
+    config: OptimizerConfig = OptimizerConfig(),
+    *,
+    memo=None,
+    stats: Optional[dict] = None,
 ) -> LayoutResult:
     """Function reordering driven by w-window affinity."""
-    return optimize(module, bundle, Granularity.FUNCTION, Model.AFFINITY, config)
+    return optimize(
+        module, bundle, Granularity.FUNCTION, Model.AFFINITY, config,
+        memo=memo, stats=stats,
+    )
 
 
 def bb_affinity(
-    module: Module, bundle: TraceBundle, config: OptimizerConfig = OptimizerConfig()
+    module: Module,
+    bundle: TraceBundle,
+    config: OptimizerConfig = OptimizerConfig(),
+    *,
+    memo=None,
+    stats: Optional[dict] = None,
 ) -> LayoutResult:
     """Inter-procedural basic-block reordering driven by w-window affinity."""
-    return optimize(module, bundle, Granularity.BASIC_BLOCK, Model.AFFINITY, config)
+    return optimize(
+        module, bundle, Granularity.BASIC_BLOCK, Model.AFFINITY, config,
+        memo=memo, stats=stats,
+    )
 
 
 def function_trg(
-    module: Module, bundle: TraceBundle, config: OptimizerConfig = OptimizerConfig()
+    module: Module,
+    bundle: TraceBundle,
+    config: OptimizerConfig = OptimizerConfig(),
+    *,
+    memo=None,
+    stats: Optional[dict] = None,
 ) -> LayoutResult:
     """Function reordering driven by TRG reduction."""
-    return optimize(module, bundle, Granularity.FUNCTION, Model.TRG, config)
+    return optimize(
+        module, bundle, Granularity.FUNCTION, Model.TRG, config,
+        memo=memo, stats=stats,
+    )
 
 
 def bb_trg(
-    module: Module, bundle: TraceBundle, config: OptimizerConfig = OptimizerConfig()
+    module: Module,
+    bundle: TraceBundle,
+    config: OptimizerConfig = OptimizerConfig(),
+    *,
+    memo=None,
+    stats: Optional[dict] = None,
 ) -> LayoutResult:
     """Inter-procedural basic-block reordering driven by TRG reduction."""
-    return optimize(module, bundle, Granularity.BASIC_BLOCK, Model.TRG, config)
+    return optimize(
+        module, bundle, Granularity.BASIC_BLOCK, Model.TRG, config,
+        memo=memo, stats=stats,
+    )
 
 
 #: Optimizer registry, keyed by the names used throughout the evaluation.
@@ -197,12 +346,28 @@ OPTIMIZERS: dict[str, Callable[..., LayoutResult]] = {
     "bb-trg": bb_trg,
 }
 
+#: (granularity, model) behind each of the four optimizers — the basis of
+#: :func:`analysis_cell`'s precomputation contract.
+_OPTIMIZER_SPECS: dict[str, tuple[Granularity, str]] = {
+    "function-affinity": (Granularity.FUNCTION, Model.AFFINITY),
+    "bb-affinity": (Granularity.BASIC_BLOCK, Model.AFFINITY),
+    "function-trg": (Granularity.FUNCTION, Model.TRG),
+    "bb-trg": (Granularity.BASIC_BLOCK, Model.TRG),
+}
+
 
 def _comparator(granularity: Granularity, model: str) -> Callable[..., LayoutResult]:
     def run(
-        module: Module, bundle: TraceBundle, config: OptimizerConfig = OptimizerConfig()
+        module: Module,
+        bundle: TraceBundle,
+        config: OptimizerConfig = OptimizerConfig(),
+        *,
+        memo=None,
+        stats: Optional[dict] = None,
     ) -> LayoutResult:
-        return optimize(module, bundle, granularity, model, config)
+        return optimize(
+            module, bundle, granularity, model, config, memo=memo, stats=stats
+        )
 
     return run
 

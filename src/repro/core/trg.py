@@ -49,6 +49,8 @@ class TRG:
         return self.weights.get(key, 0)
 
     def add_conflict(self, x: int, y: int, amount: int = 1) -> None:
+        if amount <= 0:
+            raise ValueError(f"conflict amount must be positive, got {amount}")
         key = (x, y) if x < y else (y, x)
         self.weights[key] = self.weights.get(key, 0) + amount
 

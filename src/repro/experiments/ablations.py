@@ -74,14 +74,11 @@ def run_trg_window(lab: Lab, program: str = "syn-gcc") -> ExperimentResult:
     conflicts; oversized windows blur phase-local patterns — the sweep
     exposes the fragility the paper attributes to the 2C constant.
     """
-    prepared = lab.program(program)
     rows = []
     summary: dict[str, float] = {}
     for factor in (0.1, 0.25, 0.5, 1.0, 2.0, 8.0):
         cfg = OptimizerConfig(cache=lab.cache_cfg, trg_window_factor=factor)
-        layout = optimize(
-            prepared.module, prepared.test_bundle, Granularity.FUNCTION, Model.TRG, cfg
-        )
+        layout = lab.optimize(program, Granularity.FUNCTION, Model.TRG, cfg)
         red = _solo_reduction(lab, program, layout)
         rows.append([f"{factor}C", pct(red)])
         summary[f"factor_{factor}"] = red
@@ -105,7 +102,6 @@ def run_affinity_windows(lab: Lab, program: str = "syn-gcc") -> ExperimentResult
     degenerate configs (w<=3, coverage 0.5) bound how much of the win comes
     from the hierarchy at all.
     """
-    prepared = lab.program(program)
     rows = []
     summary: dict[str, float] = {}
     configs = [
@@ -119,13 +115,7 @@ def run_affinity_windows(lab: Lab, program: str = "syn-gcc") -> ExperimentResult
     ]
     for label, kw in configs:
         cfg = OptimizerConfig(cache=lab.cache_cfg, **kw)
-        layout = optimize(
-            prepared.module,
-            prepared.test_bundle,
-            Granularity.BASIC_BLOCK,
-            Model.AFFINITY,
-            cfg,
-        )
+        layout = lab.optimize(program, Granularity.BASIC_BLOCK, Model.AFFINITY, cfg)
         red = _solo_reduction(lab, program, layout)
         rows.append([label, pct(red)])
         summary[label] = red
@@ -147,13 +137,7 @@ def run_pruning(lab: Lab, program: str = "syn-gcc") -> ExperimentResult:
     for k in (25, 100, 400, 10_000):
         pruned = prune_top_k(trimmed, k)
         cfg = OptimizerConfig(cache=lab.cache_cfg, prune_k=k)
-        layout = optimize(
-            prepared.module,
-            prepared.test_bundle,
-            Granularity.BASIC_BLOCK,
-            Model.AFFINITY,
-            cfg,
-        )
+        layout = lab.optimize(program, Granularity.BASIC_BLOCK, Model.AFFINITY, cfg)
         red = _solo_reduction(lab, program, layout)
         rows.append(
             [str(k), pct(pruned.keep_ratio, signed=False), pct(red)]

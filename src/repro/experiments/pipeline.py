@@ -31,6 +31,7 @@ the full experiment logic at a fraction of the cost.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -44,6 +45,7 @@ from ..cache.setassoc import simulate
 from ..cache.shared import simulate_shared
 from ..cache.stats import CacheStats
 from ..core.optimizers import OPTIMIZERS, OptimizerConfig
+from ..core.optimizers import optimize as optimize_layout
 from ..engine.fetch import fetch_lines
 from ..engine.instrument import TraceBundle, collect_trace
 from ..ir.module import Module
@@ -121,6 +123,11 @@ class Lab:
     use_kernel: route sim-channel solo cells through the stack-distance
         kernel (parity-gated bit-identical to the scalar simulator;
         False forces the scalar oracle everywhere).
+    use_fast_analysis: route the locality models (affinity coverage, TRG
+        construction) through the vectorized kernels in
+        :mod:`repro.core.fastanalysis` (also parity-gated bit-identical).
+        ``None`` (default) respects ``optimizer_config``; a bool
+        overrides its ``use_fast_analysis`` field.
 
     The lab doubles as the telemetry source: :attr:`timings` accumulates
     per-stage wall-clock seconds (monotonic clock) and :attr:`counters`
@@ -138,6 +145,7 @@ class Lab:
         jobs: int = 1,
         memo=None,
         use_kernel: bool = True,
+        use_fast_analysis: Optional[bool] = None,
     ):
         if not 0.0 < scale <= 1.0:
             raise ValueError("scale must be in (0, 1]")
@@ -146,19 +154,35 @@ class Lab:
         self.cache_cfg = cache_cfg
         self.scale = scale
         self.optimizer_config = optimizer_config or OptimizerConfig(cache=cache_cfg)
+        if use_fast_analysis is not None:
+            self.optimizer_config = dataclasses.replace(
+                self.optimizer_config, use_fast_analysis=use_fast_analysis
+            )
         self.quantum = quantum
         self.noise_sigma = noise_sigma
         self.timing = timing
         self.jobs = jobs
         self.memo = memo
         self.use_kernel = use_kernel
+        # Analysis artifacts always go through a memo so that
+        # precompute_layouts can inject parallel-built payloads; without a
+        # user-supplied SimMemo it is private and purely in-memory.
+        if memo is not None:
+            self._analysis_memo = memo
+        else:
+            from ..perf.memo import SimMemo
+
+            self._analysis_memo = SimMemo()
 
         #: per-stage wall seconds: prepare / optimize / fetch / simulate.
         self.timings: dict[str, float] = {}
         #: throughput counters: nominal line accesses simulated + seconds,
         #: split scalar (sim_*) vs. stack-distance kernel (kernel_*);
         #: kernel_passes counts histogram computations, kernel_cells the
-        #: measurement cells those histograms answered.
+        #: measurement cells those histograms answered.  The analysis_*
+        #: group tracks the locality-model kernels the same way: cells =
+        #: analyses consumed by optimizers, passes = fresh kernel runs,
+        #: memo_hits = replays.
         self.counters: dict[str, float] = {
             "sim_accesses": 0,
             "sim_seconds": 0.0,
@@ -166,6 +190,11 @@ class Lab:
             "kernel_seconds": 0.0,
             "kernel_passes": 0,
             "kernel_cells": 0,
+            "analysis_accesses": 0,
+            "analysis_seconds": 0.0,
+            "analysis_passes": 0,
+            "analysis_cells": 0,
+            "analysis_memo_hits": 0,
         }
 
         self._programs: dict[str, PreparedProgram] = {}
@@ -244,6 +273,11 @@ class Lab:
             self._programs[name] = prepared
         return prepared
 
+    def _note_analysis(self, stats: dict) -> None:
+        """Fold an optimizer's ``analysis_*`` counters into the lab's."""
+        for key, value in stats.items():
+            self.counters[key] = self.counters.get(key, 0) + value
+
     def layout(self, name: str, layout_name: str) -> LayoutResult:
         """Baseline or one of the four optimizers' layouts (memoized).
 
@@ -261,11 +295,115 @@ class Lab:
                     result = baseline_layout(prepared.module)
                 else:
                     optimizer = OPTIMIZERS[layout_name]
+                    stats: dict = {}
                     result = optimizer(
-                        prepared.module, prepared.test_bundle, self.optimizer_config
+                        prepared.module,
+                        prepared.test_bundle,
+                        self.optimizer_config,
+                        memo=self._analysis_memo,
+                        stats=stats,
                     )
+                    self._note_analysis(stats)
             self._layouts[key] = result
         return result
+
+    def optimize(self, name: str, granularity, model, config) -> LayoutResult:
+        """Run one optimizer with a custom config through the lab.
+
+        The ablation experiments sweep optimizer parameters the four
+        named layouts pin down; routing them here (instead of calling
+        :func:`repro.core.optimizers.optimize` directly) keeps the lab's
+        analysis memo, ``analysis_*`` counters, and the lab-level
+        ``use_fast_analysis`` override in force for every layout build
+        in a suite run.  Not memoized: sweeps never repeat a config.
+        """
+        prepared = self.program(name)
+        config = dataclasses.replace(
+            config, use_fast_analysis=self.optimizer_config.use_fast_analysis
+        )
+        stats: dict = {}
+        with self._stage("optimize"):
+            result = optimize_layout(
+                prepared.module,
+                prepared.test_bundle,
+                granularity,
+                model,
+                config,
+                memo=self._analysis_memo,
+                stats=stats,
+            )
+        self._note_analysis(stats)
+        return result
+
+    def precompute_layouts(
+        self,
+        cells: Sequence[tuple[str, str]],
+        *,
+        jobs: Optional[int] = None,
+    ) -> None:
+        """Build many ``(program, layout)`` cells' layouts at once.
+
+        The expensive part of a model-driven layout is the analysis pass
+        (affinity coverage or TRG); those passes are independent across
+        cells, so they fan out across ``jobs`` worker processes and land
+        in the analysis memo, after which the (cheap, memo-hitting)
+        layout builds run serially.  Results are **bit-identical** to
+        calling :meth:`layout` cell by cell — the kernels are
+        deterministic and the memo is content-addressed — so this is
+        purely a wall-clock optimization, exactly like
+        :meth:`precompute_solo`.
+        """
+        jobs = self.jobs if jobs is None else jobs
+        todo = [
+            (name, layout_name)
+            for name, layout_name in dict.fromkeys(tuple(c) for c in cells)
+            if (name, layout_name) not in self._layouts
+        ]
+        if (
+            jobs > 1
+            and len(todo) > 1
+            and self.optimizer_config.use_fast_analysis
+        ):
+            from ..core.optimizers import analysis_cell
+            from ..perf.memo import affinity_key, trg_key
+            from ..perf.parallel import analysis_cells
+
+            tasks: list[tuple] = []
+            pending: list[str] = []
+            seen: set[str] = set()
+            for name, layout_name in todo:
+                prepared = self.program(name)
+                cell = analysis_cell(
+                    prepared.module,
+                    prepared.test_bundle,
+                    layout_name,
+                    self.optimizer_config,
+                )
+                if cell is None:
+                    continue
+                if cell[0] == "affinity":
+                    key = affinity_key(cell[1], w_max=cell[2], time_horizon=cell[3])
+                else:
+                    key = trg_key(cell[1], window_blocks=cell[2])
+                if key in seen or self._analysis_memo.has_analysis(key):
+                    continue
+                seen.add(key)
+                tasks.append(cell)
+                pending.append(key)
+            if tasks:
+                with self._stage("optimize"):
+                    start = time.perf_counter()
+                    payloads = analysis_cells(tasks, jobs=jobs)
+                    elapsed = time.perf_counter() - start
+                    for key, payload in zip(pending, payloads):
+                        self._analysis_memo.put_analysis(key, payload)
+                    self.counters["analysis_passes"] += len(tasks)
+                    self.counters["analysis_accesses"] += sum(
+                        int(np.asarray(c[1]).shape[0]) for c in tasks
+                    )
+                    self.counters["analysis_seconds"] += elapsed
+        for name, layout_name in todo:
+            self.layout(name, layout_name)
 
     def supports(self, name: str, layout_name: str) -> bool:
         """False where the paper reported N/A (BB reordering failures)."""

@@ -513,6 +513,13 @@ def main(argv: list[str] | None = None) -> int:
         "of the stack-distance kernel (the kernel is parity-gated "
         "bit-identical; this flag exists for oracle comparison)",
     )
+    parser.add_argument(
+        "--no-fast-analysis",
+        action="store_true",
+        help="force the scalar locality models (AffinityAnalysis / "
+        "build_trg) instead of the vectorized analysis kernels (also "
+        "parity-gated bit-identical; for oracle comparison)",
+    )
     args = parser.parse_args(argv)
 
     ids = args.only if args.only is not None else list(EXPERIMENTS)
@@ -560,7 +567,11 @@ def main(argv: list[str] | None = None) -> int:
     suite_jobs = args.jobs if len(ids) > 1 else 1
     cell_jobs = args.jobs if len(ids) == 1 else 1
     lab = Lab(
-        scale=args.scale, jobs=cell_jobs, memo=memo, use_kernel=not args.no_fastsim
+        scale=args.scale,
+        jobs=cell_jobs,
+        memo=memo,
+        use_kernel=not args.no_fastsim,
+        use_fast_analysis=False if args.no_fast_analysis else None,
     )
     outcomes = run_suite(
         lab,

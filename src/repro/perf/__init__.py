@@ -13,7 +13,11 @@ makes it fast without changing a single result:
   keyed by hash of (line stream, geometry, prefetch flag, warm state);
   stack-distance histograms get their own coarser keys
   (:func:`~repro.perf.memo.histogram_key`: stream + ``n_sets`` only),
-  so one entry answers a whole associativity family;
+  so one entry answers a whole associativity family; locality-model
+  analysis artifacts (w-affinity coverage tables, TRGs) are memoized
+  under :data:`~repro.perf.memo.ANALYSIS_SCHEMA` keys
+  (:func:`~repro.perf.memo.affinity_key`,
+  :func:`~repro.perf.memo.trg_key`: symbol stream + model parameters);
 - :mod:`repro.perf.telemetry` — per-stage wall time, simulator
   throughput, and memo hit rates aggregated into ``BENCH_perf.json``
   (:class:`~repro.perf.telemetry.Telemetry`), plus the journal-parity
@@ -24,15 +28,34 @@ Determinism is the contract: every knob here trades wall-clock time,
 never results — enforced by ``tests/perf/``.
 """
 
-from .memo import SimMemo, histogram_key, memo_key, state_fingerprint
-from .parallel import ExperimentPool, histogram_cells, rebuild_error, simulate_cells
+from .memo import (
+    ANALYSIS_SCHEMA,
+    SimMemo,
+    affinity_key,
+    analysis_key,
+    histogram_key,
+    memo_key,
+    state_fingerprint,
+    trg_key,
+)
+from .parallel import (
+    ExperimentPool,
+    analysis_cells,
+    histogram_cells,
+    rebuild_error,
+    simulate_cells,
+)
 from .telemetry import BENCH_SCHEMA, Telemetry, compare_journal_outcomes
 
 __all__ = [
+    "ANALYSIS_SCHEMA",
     "BENCH_SCHEMA",
     "ExperimentPool",
     "SimMemo",
     "Telemetry",
+    "affinity_key",
+    "analysis_cells",
+    "analysis_key",
     "compare_journal_outcomes",
     "histogram_cells",
     "histogram_key",
@@ -40,4 +63,5 @@ __all__ = [
     "rebuild_error",
     "simulate_cells",
     "state_fingerprint",
+    "trg_key",
 ]

@@ -20,6 +20,19 @@ Subcommands:
     1 on any divergence), and reports the measured speedup.  With
     ``--bench PATH`` the numbers are merged into an existing
     ``BENCH_perf.json`` (or a fresh report) under ``kernel_bench``.
+
+``analysis-bench``
+    Parity gate + speedup measurement for the locality-model analysis
+    kernels (:mod:`repro.core.fastanalysis`): builds a real symbol
+    trace, runs the scalar oracles (``AffinityAnalysis`` for the full
+    ``2..w_max`` sweep and ``build_trg``) against the vectorized
+    kernels, asserts both artifacts are **bit-identical** (exit 1 on
+    any divergence), and reports the combined analysis-stage speedup.
+    Timings are the minimum over ``--reps`` repetitions (single runs
+    are noisy on shared machines).  ``--min-speedup`` turns the report
+    into a gate; ``--bench PATH`` merges the numbers under
+    ``analysis_bench``; ``--out PATH`` writes a standalone
+    ``BENCH_analysis.json``.
 """
 
 from __future__ import annotations
@@ -116,6 +129,121 @@ def _run_kernel_bench(args) -> int:
     return 0
 
 
+#: schema tag of the standalone analysis-bench report (``--out``).
+ANALYSIS_BENCH_SCHEMA = "repro.perf/analysis-bench.v1"
+
+
+def _run_analysis_bench(args) -> int:
+    from ..core.affinity import AffinityAnalysis
+    from ..core.fastanalysis import (
+        affinity_coverage,
+        build_trg_fast,
+        coverage_from_analysis,
+    )
+    from ..core.layout import Granularity
+    from ..core.optimizers import OptimizerConfig, _prepare_trace
+    from ..core.trg import build_trg
+    from ..experiments.pipeline import Lab
+    from ..robust.atomic import atomic_write_text
+
+    lab = Lab(scale=args.scale)
+    prepared = lab.program(args.program)
+    config = OptimizerConfig()
+    trace = _prepare_trace(
+        prepared.test_bundle, Granularity(args.granularity), config
+    )
+    w_max = args.w_max
+    window = args.window_blocks
+    reps = max(1, args.reps)
+
+    def timed(fn):
+        """(best wall seconds over reps, last result)."""
+        best, result = float("inf"), None
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - t0)
+        return best, result
+
+    # Scalar oracles: one-pass LRU-stack sweep + scalar TRG window walk.
+    scalar_aff_s, scalar_analysis = timed(lambda: AffinityAnalysis(trace, w_max))
+    scalar_trg_s, scalar_trg = timed(lambda: build_trg(trace, window_blocks=window))
+
+    # Kernels: the vectorized equivalents.
+    kernel_aff_s, kernel_covg = timed(lambda: affinity_coverage(trace, w_max=w_max))
+    kernel_trg_s, kernel_trg = timed(lambda: build_trg_fast(trace, window_blocks=window))
+
+    mismatches = []
+    if coverage_from_analysis(scalar_analysis) != kernel_covg:
+        mismatches.append("affinity coverage tables diverge")
+    if scalar_trg.weights != kernel_trg.weights:
+        mismatches.append("TRG edge weights diverge")
+    if scalar_trg.nodes != kernel_trg.nodes:
+        mismatches.append("TRG node orders diverge")
+    if mismatches:
+        print("analysis parity FAILED:", file=sys.stderr)
+        for m in mismatches:
+            print(f"  {m}", file=sys.stderr)
+        return 1
+
+    scalar_s = scalar_aff_s + scalar_trg_s
+    kernel_s = kernel_aff_s + kernel_trg_s
+    speedup = scalar_s / kernel_s if kernel_s > 0 else float("inf")
+    aff_speedup = scalar_aff_s / kernel_aff_s if kernel_aff_s > 0 else float("inf")
+    trg_speedup = scalar_trg_s / kernel_trg_s if kernel_trg_s > 0 else float("inf")
+    n_syms = len({int(s) for s in trace.tolist()})
+    print(
+        f"analysis parity OK: {args.program} ({len(trace)} accesses, "
+        f"{n_syms} symbols, granularity={args.granularity}), "
+        f"w_max={w_max}, window={window} blocks, best of {reps} reps"
+    )
+    print(
+        f"affinity: scalar {scalar_aff_s:.3f}s / kernel {kernel_aff_s:.3f}s "
+        f"({aff_speedup:.2f}x); trg: scalar {scalar_trg_s:.3f}s / kernel "
+        f"{kernel_trg_s:.3f}s ({trg_speedup:.2f}x)"
+    )
+    print(
+        f"analysis stage: scalar {scalar_s:.3f}s, kernel {kernel_s:.3f}s, "
+        f"speedup {speedup:.2f}x"
+    )
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        print(
+            f"error: speedup {speedup:.2f}x below required "
+            f"{args.min_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+
+    section = {
+        "program": args.program,
+        "granularity": args.granularity,
+        "trace_accesses": int(len(trace)),
+        "symbols": n_syms,
+        "w_max": w_max,
+        "window_blocks": window,
+        "reps": reps,
+        "scalar_seconds": round(scalar_s, 4),
+        "kernel_seconds": round(kernel_s, 4),
+        "affinity_speedup": round(aff_speedup, 2),
+        "trg_speedup": round(trg_speedup, 2),
+        "speedup": round(speedup, 2),
+    }
+    if args.bench is not None:
+        try:
+            with open(args.bench) as fh:
+                bench = json.load(fh)
+        except (OSError, ValueError):
+            bench = {"schema": BENCH_SCHEMA}
+        bench["analysis_bench"] = section
+        atomic_write_text(args.bench, json.dumps(bench, indent=2, sort_keys=True))
+        print(f"analysis_bench section written to {args.bench}")
+    if args.out is not None:
+        report = {"schema": ANALYSIS_BENCH_SCHEMA, "scale": args.scale, **section}
+        atomic_write_text(args.out, json.dumps(report, indent=2, sort_keys=True))
+        print(f"analysis-bench report written to {args.out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro.perf", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -161,6 +289,57 @@ def main(argv: list[str] | None = None) -> int:
         help="merge results into this BENCH_perf.json",
     )
 
+    ab_p = sub.add_parser(
+        "analysis-bench",
+        help="locality-model kernel parity gate + analysis-stage speedup",
+    )
+    ab_p.add_argument("--program", default="syn-gcc", help="suite program")
+    ab_p.add_argument(
+        "--scale", type=float, default=0.5, help="trace-budget multiplier"
+    )
+    ab_p.add_argument(
+        "--granularity",
+        default="function",
+        choices=["function", "bb"],
+        help="symbol granularity of the analyzed trace",
+    )
+    ab_p.add_argument(
+        "--w-max",
+        type=int,
+        default=20,
+        help="affinity sweep upper bound (default: the paper's w_max)",
+    )
+    ab_p.add_argument(
+        "--window-blocks",
+        type=int,
+        default=256,
+        help="TRG reuse-window capacity in blocks",
+    )
+    ab_p.add_argument(
+        "--reps",
+        type=int,
+        default=3,
+        help="repetitions per timing (the best is reported)",
+    )
+    ab_p.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail (exit 1) if the combined speedup falls below this",
+    )
+    ab_p.add_argument(
+        "--bench",
+        default=None,
+        metavar="PATH",
+        help="merge results into this BENCH_perf.json",
+    )
+    ab_p.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write a standalone BENCH_analysis.json report",
+    )
+
     args = parser.parse_args(argv)
 
     if args.command == "compare-journals":
@@ -178,12 +357,15 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "show-bench":
         with open(args.bench_path) as fh:
             bench = json.load(fh)
-        if bench.get("schema") != BENCH_SCHEMA:
+        # v2 reports (no "analysis" section) remain readable.
+        if bench.get("schema") not in (BENCH_SCHEMA, "repro.perf/bench.v2"):
             print(f"error: not a {BENCH_SCHEMA} report", file=sys.stderr)
             return 2
         sim = bench.get("simulator", {})
         kernel = bench.get("kernel") or {}
         kernel_bench = bench.get("kernel_bench") or {}
+        analysis = bench.get("analysis") or {}
+        analysis_bench = bench.get("analysis_bench") or {}
         memo = bench.get("memo") or {}
         print(
             f"jobs={bench.get('jobs', '?')} scale={bench.get('scale', '?')} "
@@ -208,6 +390,22 @@ def main(argv: list[str] | None = None) -> int:
                 f"(n_sets={kernel_bench.get('n_sets', '?')}, "
                 f"program={kernel_bench.get('program', '?')})"
             )
+        if analysis.get("cells"):
+            print(
+                f"analysis: {analysis.get('accesses', 0)} accesses in "
+                f"{analysis.get('seconds', 0)}s "
+                f"({analysis.get('accesses_per_s', 0)}/s), "
+                f"{analysis.get('passes', 0)} passes for "
+                f"{analysis.get('cells', 0)} cells, "
+                f"{analysis.get('memo_hits', 0)} memo hits"
+            )
+        if analysis_bench:
+            print(
+                f"analysis-bench: {analysis_bench.get('speedup', 0)}x "
+                f"(affinity {analysis_bench.get('affinity_speedup', 0)}x, "
+                f"trg {analysis_bench.get('trg_speedup', 0)}x, "
+                f"program={analysis_bench.get('program', '?')})"
+            )
         if memo:
             print(
                 f"memo: {memo.get('hits', 0)} hits / {memo.get('misses', 0)} misses "
@@ -219,6 +417,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "kernel-bench":
         return _run_kernel_bench(args)
+
+    if args.command == "analysis-bench":
+        return _run_analysis_bench(args)
 
     return 2  # pragma: no cover
 

@@ -64,7 +64,15 @@ from ..cache.setassoc import CacheState, simulate
 from ..cache.stats import CacheStats
 from ..robust.atomic import atomic_write_text
 
-__all__ = ["SimMemo", "histogram_key", "memo_key", "state_fingerprint"]
+__all__ = [
+    "SimMemo",
+    "affinity_key",
+    "analysis_key",
+    "histogram_key",
+    "memo_key",
+    "state_fingerprint",
+    "trg_key",
+]
 
 #: bumped whenever simulate()'s semantics change; invalidates old caches.
 SCHEMA = "repro.perf.memo.v2"
@@ -72,6 +80,12 @@ SCHEMA = "repro.perf.memo.v2"
 #: separate tag for stack-distance histogram entries (repro.cache.fastsim);
 #: bumped whenever the kernel's semantics change.
 KERNEL_SCHEMA = "repro.perf.memo.kernel.v1"
+
+#: tag for locality-model analysis artifacts (repro.core.fastanalysis):
+#: affinity coverage histograms and TRG payloads, keyed on the prepared
+#: block trace + model parameters.  Bumped whenever either model's
+#: semantics change.
+ANALYSIS_SCHEMA = "repro.perf.memo.analysis.v1"
 
 #: stats fields persisted per entry, in schema order.
 _STATS_FIELDS = ("accesses", "misses", "prefetches", "prefetch_hits")
@@ -107,6 +121,34 @@ def memo_key(
     return h.hexdigest()
 
 
+def analysis_key(trace: np.ndarray, kind: str, params: str) -> str:
+    """Content hash identifying one locality-model analysis input.
+
+    ``kind`` names the model (``affinity`` / ``trg``), ``params`` its
+    result-relevant parameters — anything that changes the artifact must
+    appear here, and nothing that does not (e.g. the affinity
+    ``coverage`` threshold is applied at *query* time, so one coverage
+    entry serves every threshold).
+    """
+    arr = np.ascontiguousarray(np.asarray(trace), dtype="<i8")
+    h = hashlib.sha256()
+    h.update(f"{ANALYSIS_SCHEMA}|{kind}|{params}|".encode())
+    h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def affinity_key(
+    trace: np.ndarray, *, w_max: int, time_horizon: Optional[int] = None
+) -> str:
+    """Key of one affinity-coverage artifact (all w <= w_max at once)."""
+    return analysis_key(trace, "affinity", f"w={int(w_max)}/h={time_horizon}")
+
+
+def trg_key(trace: np.ndarray, *, window_blocks: Optional[int] = None) -> str:
+    """Key of one TRG artifact."""
+    return analysis_key(trace, "trg", f"win={window_blocks}")
+
+
 def histogram_key(lines: np.ndarray, n_sets: int) -> str:
     """Content hash identifying one stack-distance histogram's input.
 
@@ -138,6 +180,7 @@ class SimMemo:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self._mem: dict[str, CacheStats] = {}
         self._mem_hist: dict[str, DistanceHistogram] = {}
+        self._mem_analysis: dict[str, dict] = {}
         self.hits = 0
         self.misses = 0
         self.bypasses = 0
@@ -190,6 +233,8 @@ class SimMemo:
     def invalidate(self, key: str) -> bool:
         """Drop ``key`` from memory and disk; True if anything was removed."""
         removed = self._mem.pop(key, None) is not None
+        removed = self._mem_hist.pop(key, None) is not None or removed
+        removed = self._mem_analysis.pop(key, None) is not None or removed
         if self.cache_dir is not None:
             path = self._entry_path(key)
             if path.exists():
@@ -275,6 +320,106 @@ class SimMemo:
         prefetch); one histogram entry serves every ``assoc`` of this
         ``n_sets``."""
         return self.histogram(lines, cfg.n_sets).stats(cfg.assoc)
+
+    # -- analysis artifacts (repro.core.fastanalysis) -----------------------
+
+    def _get_analysis(self, key: str, parse):
+        """Load + parse an analysis payload; hit/miss counted on success.
+
+        ``parse`` raises ``ValueError`` on malformed payloads, which —
+        like any other corruption — degrades to a miss (and an unlink on
+        disk), never to a failure or a silently wrong artifact.
+        """
+        raw = self._mem_analysis.get(key)
+        if raw is not None:
+            try:
+                obj = parse(raw)
+            except (ValueError, TypeError, KeyError):
+                self._mem_analysis.pop(key, None)
+            else:
+                self.hits += 1
+                return obj
+        if self.cache_dir is not None:
+            path = self._entry_path(key)
+            try:
+                raw = json.loads(path.read_text())
+                if raw.get("schema") != ANALYSIS_SCHEMA:
+                    raise ValueError(f"schema {raw.get('schema')!r}")
+                obj = parse(raw)
+            except FileNotFoundError:
+                pass
+            except (OSError, ValueError, TypeError, KeyError):
+                path.unlink(missing_ok=True)
+            else:
+                self._mem_analysis[key] = raw
+                self.hits += 1
+                return obj
+        self.misses += 1
+        return None
+
+    def has_analysis(self, key: str) -> bool:
+        """True if an entry exists for ``key`` (no counters, no parse).
+
+        A planning probe for batch precomputation: existence does not
+        guarantee validity — a corrupt entry will still degrade to a
+        recomputation at consumption time.
+        """
+        if key in self._mem_analysis:
+            return True
+        return self.cache_dir is not None and self._entry_path(key).exists()
+
+    def put_analysis(self, key: str, payload: dict) -> None:
+        """Store an analysis payload (in memory, and on disk if enabled)."""
+        payload = {"schema": ANALYSIS_SCHEMA, **payload}
+        self._mem_analysis[key] = payload
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            atomic_write_text(
+                self._entry_path(key), json.dumps(payload, sort_keys=True)
+            )
+
+    def affinity_coverage(
+        self, trace: np.ndarray, *, w_max: int, time_horizon: Optional[int] = None
+    ):
+        """Memoized :func:`repro.core.fastanalysis.affinity_coverage`.
+
+        One entry answers every ``coverage`` threshold and every
+        ``w <= w_max`` (both are applied at query time).
+        """
+        from ..core.fastanalysis import AffinityCoverage, affinity_coverage
+
+        key = affinity_key(trace, w_max=w_max, time_horizon=time_horizon)
+
+        def parse(raw: dict):
+            covg = AffinityCoverage.from_dict(raw)
+            if covg.w_max != w_max or covg.time_horizon != time_horizon:
+                raise ValueError("analysis entry parameters do not match key")
+            return covg
+
+        covg = self._get_analysis(key, parse)
+        if covg is None:
+            covg = affinity_coverage(trace, w_max=w_max, time_horizon=time_horizon)
+            self.put_analysis(key, covg.to_dict())
+        return covg
+
+    def trg(self, trace: np.ndarray, *, window_blocks: Optional[int] = None):
+        """Memoized :func:`repro.core.fastanalysis.build_trg_fast`.
+
+        Always returns a *fresh* :class:`~repro.core.trg.TRG` — callers
+        may hand the graph to mutating consumers.
+        """
+        from ..core.fastanalysis import (
+            build_trg_fast,
+            trg_from_payload,
+            trg_to_payload,
+        )
+
+        key = trg_key(trace, window_blocks=window_blocks)
+        trg = self._get_analysis(key, trg_from_payload)
+        if trg is None:
+            trg = build_trg_fast(trace, window_blocks=window_blocks)
+            self.put_analysis(key, trg_to_payload(trg, window_blocks))
+        return trg
 
     # -- introspection -----------------------------------------------------
 

@@ -46,7 +46,13 @@ from ..robust.errors import (
     SimulationError,
 )
 
-__all__ = ["ExperimentPool", "histogram_cells", "rebuild_error", "simulate_cells"]
+__all__ = [
+    "ExperimentPool",
+    "analysis_cells",
+    "histogram_cells",
+    "rebuild_error",
+    "simulate_cells",
+]
 
 #: the per-process Lab of an experiment worker (set by the initializer).
 _WORKER_LAB = None
@@ -210,6 +216,47 @@ def simulate_cells(
         CacheStats(accesses=a, misses=m, prefetches=p, prefetch_hits=h)
         for (a, m, p, h) in raw
     ]
+
+
+def _analysis_cell(cell: tuple) -> dict:
+    from ..core.fastanalysis import affinity_coverage, build_trg_fast, trg_to_payload
+
+    kind = cell[0]
+    if kind == "affinity":
+        _, trace, w_max, time_horizon = cell
+        return affinity_coverage(
+            trace, w_max=w_max, time_horizon=time_horizon
+        ).to_dict()
+    if kind == "trg":
+        _, trace, window_blocks = cell
+        return trg_to_payload(
+            build_trg_fast(trace, window_blocks=window_blocks), window_blocks
+        )
+    raise ValueError(f"unknown analysis cell kind {kind!r}")
+
+
+def analysis_cells(
+    cells: list[tuple],
+    *,
+    jobs: int = 1,
+) -> list[dict]:
+    """Compute independent locality-model analysis cells, possibly in
+    parallel.
+
+    Each cell is ``("affinity", trace, w_max, time_horizon)`` or
+    ``("trg", trace, window_blocks)`` — the shape produced by
+    :func:`repro.core.optimizers.analysis_cell`.  Results are the
+    artifacts' JSON payloads (picklable, and exactly what
+    :meth:`repro.perf.memo.SimMemo.put_analysis` stores), positionally
+    aligned with ``cells`` and identical to serial kernel runs — the
+    kernels are deterministic, so fan-out cannot change any layout.
+    """
+    if jobs <= 1 or len(cells) <= 1:
+        return [_analysis_cell(c) for c in cells]
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(cells)), mp_context=_mp_context()
+    ) as pool:
+        return list(pool.map(_analysis_cell, cells))
 
 
 def _histogram_cell(cell: tuple) -> dict:

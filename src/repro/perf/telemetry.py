@@ -26,7 +26,9 @@ __all__ = ["BENCH_SCHEMA", "Telemetry", "compare_journal_outcomes"]
 #: schema tag of BENCH_perf.json; bump on breaking layout changes.
 #: v2: adds the "kernel" section (stack-distance kernel throughput) next
 #: to the scalar "simulator" section.
-BENCH_SCHEMA = "repro.perf/bench.v2"
+#: v3: adds the "analysis" section (locality-model kernel throughput and
+#: analysis-memo hit counters from the optimize stage).
+BENCH_SCHEMA = "repro.perf/bench.v3"
 
 #: journal-entry fields that legitimately differ between two runs of the
 #: same suite (wall-clock measurements); everything else must match.
@@ -49,6 +51,11 @@ class Telemetry:
         self.kernel_seconds = 0.0
         self.kernel_passes = 0
         self.kernel_cells = 0
+        self.analysis_accesses = 0
+        self.analysis_seconds = 0.0
+        self.analysis_passes = 0
+        self.analysis_cells = 0
+        self.analysis_memo_hits = 0
         self.memo: dict[str, float] = {}
         self.wall_s = 0.0
 
@@ -65,6 +72,11 @@ class Telemetry:
         self.kernel_seconds += float(counters.get("kernel_seconds", 0.0))
         self.kernel_passes += int(counters.get("kernel_passes", 0))
         self.kernel_cells += int(counters.get("kernel_cells", 0))
+        self.analysis_accesses += int(counters.get("analysis_accesses", 0))
+        self.analysis_seconds += float(counters.get("analysis_seconds", 0.0))
+        self.analysis_passes += int(counters.get("analysis_passes", 0))
+        self.analysis_cells += int(counters.get("analysis_cells", 0))
+        self.analysis_memo_hits += int(counters.get("analysis_memo_hits", 0))
 
     def merge_memo(self, counters: Optional[dict[str, float]]) -> None:
         if not counters:
@@ -95,6 +107,12 @@ class Telemetry:
             return 0.0
         return self.kernel_accesses / self.kernel_seconds
 
+    @property
+    def analysis_accesses_per_second(self) -> float:
+        if self.analysis_seconds <= 0:
+            return 0.0
+        return self.analysis_accesses / self.analysis_seconds
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "schema": BENCH_SCHEMA,
@@ -120,6 +138,14 @@ class Telemetry:
                 )
                 if self.kernel_passes
                 else 0.0,
+            },
+            "analysis": {
+                "accesses": self.analysis_accesses,
+                "seconds": round(self.analysis_seconds, 4),
+                "accesses_per_s": round(self.analysis_accesses_per_second, 1),
+                "passes": self.analysis_passes,
+                "cells": self.analysis_cells,
+                "memo_hits": self.analysis_memo_hits,
             },
             "memo": self.memo or None,
         }

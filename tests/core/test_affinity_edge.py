@@ -89,3 +89,107 @@ def test_occurrence_counts_match_trimmed_trace(trace):
     trimmed = trim(t)
     for s in set(trimmed.tolist()):
         assert analysis.occurrences(s) == int((trimmed == s).sum())
+
+
+# -- coverage-threshold and horizon-finalization cross-checks --------------
+#
+# affine_pairs_naive implements the strict Definition 3 (coverage 1.0, no
+# horizon).  These references extend it: per-occurrence minimal footprints
+# by direct window scanning, then the threshold/horizon rules applied on
+# top — an independent derivation of exactly what ``_analyze`` computes.
+
+
+def _covered_count_naive(t, x, y, w, horizon=None):
+    """Occurrences of x with a y-occurrence within footprint w, under the
+    optional horizon: a *forward* partner (j > i) only counts while the
+    occurrence is still pending, i.e. j - i <= horizon + 1."""
+    from repro.core.affinity import window_footprint
+
+    xs = np.flatnonzero(t == x).tolist()
+    ys = np.flatnonzero(t == y).tolist()
+    count = 0
+    for i in xs:
+        ok = False
+        for j in ys:
+            if horizon is not None and j > i and j - i > horizon + 1:
+                continue
+            if window_footprint(t, i, j) <= w:
+                ok = True
+                break
+        count += ok
+    return count
+
+
+def _affine_pairs_ref(t, w, w_max, coverage, horizon=None):
+    symbols = sorted(set(t.tolist()))
+    pairs = set()
+    for a, x in enumerate(symbols):
+        for y in symbols[a + 1 :]:
+            need_x = coverage * int((t == x).sum())
+            need_y = coverage * int((t == y).sum())
+            if (
+                _covered_count_naive(t, x, y, w, horizon) >= need_x
+                and _covered_count_naive(t, y, x, w, horizon) >= need_y
+            ):
+                pairs.add((x, y))
+    return pairs
+
+
+@pytest.mark.parametrize("seed", range(4))
+@pytest.mark.parametrize("coverage", [1.0, 0.9, 0.75, 0.5])
+def test_coverage_threshold_against_naive(seed, coverage):
+    rng = np.random.default_rng(100 + seed)
+    t = rng.integers(0, 6, size=90)
+    from repro.trace import trim
+
+    t = trim(t)
+    w_max = 5
+    analysis = AffinityAnalysis(t, w_max=w_max, coverage=coverage)
+    for w in (2, 3, 5):
+        assert analysis.affine_pairs(w) == _affine_pairs_ref(
+            t, w, w_max, coverage
+        ), (seed, coverage, w)
+
+
+def test_coverage_one_matches_strict_naive():
+    rng = np.random.default_rng(11)
+    t = rng.integers(0, 5, size=70)
+    analysis = AffinityAnalysis(t, w_max=4, coverage=1.0)
+    for w in (2, 4):
+        assert analysis.affine_pairs(w) == affine_pairs_naive(t, w)
+
+
+@pytest.mark.parametrize("seed", range(4))
+@pytest.mark.parametrize("horizon", [0, 2, 5, 15])
+def test_finite_horizon_finalization_against_naive(seed, horizon):
+    """Every covered() count — not just the pair set — matches the direct
+    per-occurrence derivation under mid-trace pending finalization."""
+    rng = np.random.default_rng(200 + seed)
+    t = rng.integers(0, 5, size=80)
+    from repro.trace import trim
+
+    t = trim(t)
+    w_max = 4
+    analysis = AffinityAnalysis(t, w_max=w_max, time_horizon=horizon)
+    symbols = sorted(set(t.tolist()))
+    for x in symbols:
+        for y in symbols:
+            if x == y:
+                continue
+            for w in (2, 3, 4):
+                assert analysis.covered(x, y, w) == _covered_count_naive(
+                    t, x, y, w, horizon
+                ), (seed, horizon, x, y, w)
+
+
+def test_horizon_with_coverage_threshold_combined():
+    rng = np.random.default_rng(3)
+    t = rng.integers(0, 5, size=80)
+    from repro.trace import trim
+
+    t = trim(t)
+    analysis = AffinityAnalysis(t, w_max=4, coverage=0.75, time_horizon=4)
+    for w in (2, 4):
+        assert analysis.affine_pairs(w) == _affine_pairs_ref(
+            t, w, 4, 0.75, horizon=4
+        )

@@ -1,0 +1,55 @@
+"""window_footprint: parity with the sort-based definition + timing smoke.
+
+The set-based rewrite (ISSUE 5 satellite) must count exactly what
+``np.unique`` counted, and must not reintroduce a per-window sort — the
+naive affinity oracle calls it per occurrence pair, so an O(n log n)
+window cost makes the oracle unusable on the traces it exists to check.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.affinity import window_footprint
+
+
+def footprint_unique(trace: np.ndarray, i: int, j: int) -> int:
+    lo, hi = (i, j) if i <= j else (j, i)
+    return int(np.unique(trace[lo : hi + 1]).shape[0])
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_parity_with_unique(seed):
+    rng = np.random.default_rng(seed)
+    t = rng.integers(0, 12, size=120)
+    idx = rng.integers(0, 120, size=(60, 2))
+    for i, j in idx.tolist():
+        assert window_footprint(t, i, j) == footprint_unique(t, i, j)
+
+
+def test_order_of_endpoints_irrelevant():
+    t = np.array([1, 4, 2, 4, 2, 3, 5, 1, 4])
+    assert window_footprint(t, 0, 8) == window_footprint(t, 8, 0) == 5
+
+
+def test_single_element_window():
+    t = np.array([3, 3, 7])
+    assert window_footprint(t, 1, 1) == 1
+
+
+def test_timing_smoke():
+    """Many small-window calls stay cheap (the oracle's access pattern).
+
+    Pure smoke: generous bound, only catches a regression back to
+    per-call sorting or similar pathology.
+    """
+    rng = np.random.default_rng(7)
+    t = rng.integers(0, 50, size=5000)
+    start = time.perf_counter()
+    total = 0
+    for i in range(0, 4900, 7):
+        total += window_footprint(t, i, i + 40)
+    elapsed = time.perf_counter() - start
+    assert total > 0
+    assert elapsed < 2.0

@@ -148,3 +148,104 @@ class TestKernelRouting:
         lab.solo_miss("syn-mcf", BASELINE, channel="hw")
         assert lab.counters["kernel_cells"] == 0
         assert lab.counters["sim_accesses"] > 0
+
+
+class TestAnalysisRouting:
+    """Locality-model kernel routing: bit-identical layouts, counter
+    accounting, and the batch precompute path."""
+
+    LAYOUTS = ("function-affinity", "function-trg", "bb-affinity", "bb-trg")
+
+    @staticmethod
+    def _same_layout(a, b):
+        am, bm = a.address_map, b.address_map
+        return (
+            am.order == bm.order
+            and np.array_equal(am.starts, bm.starts)
+            and np.array_equal(am.sizes, bm.sizes)
+            and am.added_jumps == bm.added_jumps
+        )
+
+    def test_layout_parity_fast_vs_scalar(self):
+        fast = Lab(scale=SCALE, noise_sigma=0.0)
+        scalar = Lab(scale=SCALE, noise_sigma=0.0, use_fast_analysis=False)
+        for layout_name in self.LAYOUTS:
+            assert self._same_layout(
+                fast.layout("syn-mcf", layout_name),
+                scalar.layout("syn-mcf", layout_name),
+            ), layout_name
+        assert fast.counters["analysis_cells"] == len(self.LAYOUTS)
+        assert fast.counters["analysis_passes"] == len(self.LAYOUTS)
+        assert fast.counters["analysis_accesses"] > 0
+        # The scalar path runs the original oracles: no kernel counters.
+        assert scalar.counters["analysis_cells"] == 0
+
+    def test_lab_optimize_inherits_fast_analysis_override(self):
+        from repro.core.optimizers import Model, OptimizerConfig
+        from repro.core.layout import Granularity
+
+        cfg = OptimizerConfig(w_max=8)
+        fast = Lab(scale=SCALE, noise_sigma=0.0)
+        scalar = Lab(scale=SCALE, noise_sigma=0.0, use_fast_analysis=False)
+        a = fast.optimize("syn-mcf", Granularity.FUNCTION, Model.AFFINITY, cfg)
+        b = scalar.optimize("syn-mcf", Granularity.FUNCTION, Model.AFFINITY, cfg)
+        assert self._same_layout(a, b)
+        assert fast.counters["analysis_cells"] == 1
+        assert scalar.counters["analysis_cells"] == 0
+
+    def test_repeated_layout_config_hits_analysis_memo(self):
+        """Two optimizers sharing one analysis (same trace + params)
+        compute it once and replay it the second time."""
+        from repro.core.optimizers import Model, OptimizerConfig
+        from repro.core.layout import Granularity
+
+        lab = Lab(scale=SCALE, noise_sigma=0.0)
+        cfg = OptimizerConfig(w_max=8)
+        lab.optimize("syn-mcf", Granularity.FUNCTION, Model.AFFINITY, cfg)
+        assert lab.counters["analysis_memo_hits"] == 0
+        lab.optimize("syn-mcf", Granularity.FUNCTION, Model.AFFINITY, cfg)
+        assert lab.counters["analysis_memo_hits"] == 1
+        assert lab.counters["analysis_passes"] == 1  # only the first ran
+
+    def test_precompute_layouts_parity_and_memo(self, tmp_path):
+        from repro.perf import SimMemo
+
+        cells = [("syn-mcf", layout_name) for layout_name in self.LAYOUTS]
+        batched = Lab(
+            scale=SCALE, noise_sigma=0.0, memo=SimMemo(tmp_path / "memo")
+        )
+        batched.precompute_layouts(cells, jobs=2)
+        assert batched.counters["analysis_passes"] == len(self.LAYOUTS)
+        lazy = Lab(scale=SCALE, noise_sigma=0.0, use_fast_analysis=False)
+        for cell in cells:
+            assert self._same_layout(
+                batched.layout(*cell), lazy.layout(*cell)
+            ), cell
+        # Consumption replayed every batch-built artifact from the memo.
+        assert batched.counters["analysis_memo_hits"] == len(self.LAYOUTS)
+        # A fresh lab on the same memo dir replays without any pass.
+        again = Lab(
+            scale=SCALE, noise_sigma=0.0, memo=SimMemo(tmp_path / "memo")
+        )
+        again.precompute_layouts(cells, jobs=2)
+        assert again.counters["analysis_passes"] == 0
+        assert again.counters["analysis_memo_hits"] == len(self.LAYOUTS)
+
+    def test_precompute_layouts_serial_and_scalar_fallbacks(self):
+        """jobs=1 or the scalar path must still build every layout."""
+        serial = Lab(scale=SCALE, noise_sigma=0.0)
+        serial.precompute_layouts([("syn-mcf", "function-trg")], jobs=1)
+        scalar = Lab(scale=SCALE, noise_sigma=0.0, use_fast_analysis=False)
+        scalar.precompute_layouts(
+            [("syn-mcf", "function-trg"), ("syn-mcf", "bb-trg")], jobs=2
+        )
+        assert self._same_layout(
+            serial.layout("syn-mcf", "function-trg"),
+            scalar.layout("syn-mcf", "function-trg"),
+        )
+
+    def test_spawn_config_carries_use_fast_analysis(self):
+        cfg = Lab(scale=SCALE, use_fast_analysis=False).spawn_config()
+        assert cfg["optimizer_config"].use_fast_analysis is False
+        cfg = Lab(scale=SCALE).spawn_config()
+        assert cfg["optimizer_config"].use_fast_analysis is True

@@ -15,6 +15,7 @@ from repro.cache import PAPER_L1I, simulate
 from repro.experiments import Lab
 from repro.experiments.runner import run_suite
 from repro.perf import (
+    analysis_cells,
     compare_journal_outcomes,
     histogram_cells,
     rebuild_error,
@@ -154,6 +155,46 @@ class TestHistogramCells:
 
     def test_empty(self):
         assert histogram_cells([], jobs=2) == []
+
+
+class TestAnalysisCells:
+    def test_results_identical_to_serial(self):
+        from repro.core import affinity_coverage, build_trg_fast
+        from repro.core.fastanalysis import trg_to_payload
+
+        rng = np.random.default_rng(5)
+        traces = [rng.integers(0, 30, 2000) for _ in range(3)]
+        cells = [("affinity", t, 8, None) for t in traces] + [
+            ("trg", t, 64) for t in traces
+        ]
+        parallel = analysis_cells(cells, jobs=2)
+        serial = analysis_cells(cells, jobs=1)
+        assert parallel == serial
+        assert parallel[0] == affinity_coverage(traces[0], w_max=8).to_dict()
+        assert parallel[3] == trg_to_payload(
+            build_trg_fast(traces[0], window_blocks=64), 64
+        )
+
+    def test_payloads_feed_the_memo(self):
+        """The precompute handshake: worker payloads injected via
+        put_analysis replay as artifacts identical to direct kernel runs."""
+        from repro.core import affinity_coverage
+        from repro.perf import SimMemo, affinity_key
+
+        rng = np.random.default_rng(6)
+        trace = rng.integers(0, 30, 2000)
+        (payload,) = analysis_cells([("affinity", trace, 8, None)], jobs=1)
+        memo = SimMemo()
+        memo.put_analysis(affinity_key(trace, w_max=8), payload)
+        assert memo.affinity_coverage(trace, w_max=8) == affinity_coverage(
+            trace, w_max=8
+        )
+        assert (memo.hits, memo.misses) == (1, 0)
+
+    def test_empty_and_unknown_kind(self):
+        assert analysis_cells([], jobs=2) == []
+        with pytest.raises(ValueError, match="unknown analysis cell kind"):
+            analysis_cells([("zipf", None)], jobs=1)
 
 
 class TestRebuildError:

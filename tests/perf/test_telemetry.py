@@ -100,6 +100,41 @@ class TestTelemetry:
         assert d["cells_per_pass"] == 5.0
         assert Telemetry().to_dict()["kernel"]["cells_per_pass"] == 0.0
 
+    def test_analysis_counter_merge_and_rendering(self):
+        """bench.v3: the analysis section aggregates the optimize-stage
+        locality-model kernel counters across experiments and workers."""
+        t = Telemetry()
+        t.merge_counters(
+            {
+                "analysis_accesses": 2000,
+                "analysis_seconds": 0.5,
+                "analysis_passes": 2,
+                "analysis_cells": 4,
+                "analysis_memo_hits": 2,
+            }
+        )
+        t.merge_counters({"analysis_accesses": 1000, "analysis_seconds": 0.5})
+        d = t.to_dict()["analysis"]
+        assert d["accesses"] == 3000
+        assert d["seconds"] == 1.0
+        assert d["accesses_per_s"] == 3000.0
+        assert d["passes"] == 2
+        assert d["cells"] == 4
+        assert d["memo_hits"] == 2
+        assert Telemetry().to_dict()["analysis"]["accesses_per_s"] == 0.0
+
+    def test_run_suite_populates_analysis_counters(self):
+        lab = Lab(scale=0.05, noise_sigma=0.0)
+        t = Telemetry(jobs=1, scale=0.05)
+        run_suite(lab, ["ablation-pruning"], out=io.StringIO(), telemetry=t)
+        assert t.analysis_cells > 0
+        assert t.analysis_passes > 0
+        assert t.analysis_accesses > 0
+        assert t.analysis_seconds > 0
+        d = t.to_dict()["analysis"]
+        assert d["cells"] == t.analysis_cells
+        assert d["accesses_per_s"] > 0
+
 
 class TestCompareJournalOutcomes:
     A = {"exp_id": "fig4", "status": "ok", "elapsed_s": 1.0, "error": None}
@@ -199,6 +234,71 @@ class TestPerfCli:
         )
         assert code == 1
         assert "below required" in capsys.readouterr().err
+
+    def test_analysis_bench_parity_gate(self, tmp_path, capsys):
+        bench = tmp_path / "BENCH_perf.json"
+        out = tmp_path / "BENCH_analysis.json"
+        code = perf_main(
+            [
+                "analysis-bench",
+                "--scale", "0.05",
+                "--reps", "1",
+                "--bench", str(bench),
+                "--out", str(out),
+            ]
+        )
+        printed = capsys.readouterr().out
+        assert code == 0
+        assert "analysis parity OK" in printed
+        report = json.loads(bench.read_text())
+        ab = report["analysis_bench"]
+        assert ab["program"] == "syn-gcc"
+        assert ab["w_max"] == 20
+        assert ab["window_blocks"] == 256
+        assert ab["speedup"] > 0
+        assert ab["trace_accesses"] > 0
+        standalone = json.loads(out.read_text())
+        assert standalone["schema"] == "repro.perf/analysis-bench.v1"
+        assert standalone["speedup"] == ab["speedup"]
+        # The merged section survives show-bench.
+        assert perf_main(["show-bench", str(bench)]) == 0
+        assert "analysis-bench:" in capsys.readouterr().out
+
+    def test_analysis_bench_min_speedup_enforced(self, capsys):
+        code = perf_main(
+            ["analysis-bench", "--scale", "0.05", "--reps", "1",
+             "--min-speedup", "1e9"]
+        )
+        assert code == 1
+        assert "below required" in capsys.readouterr().err
+
+    def test_show_bench_accepts_v2_reports(self, tmp_path, capsys):
+        path = tmp_path / "old.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": "repro.perf/bench.v2",
+                    "simulator": {"accesses": 1, "seconds": 0.1},
+                }
+            )
+        )
+        assert perf_main(["show-bench", str(path)]) == 0
+        assert "simulator:" in capsys.readouterr().out
+
+    def test_no_fast_analysis_journal_parity(self, tmp_path, capsys):
+        """The full pipeline output is byte-identical with the locality
+        kernels on vs off (modulo timing fields) — the tentpole's
+        end-to-end contract for --no-fast-analysis."""
+        fast = tmp_path / "fast.jsonl"
+        scalar = tmp_path / "scalar.jsonl"
+        base = [
+            "--only", "ablation-pruning", "fig4",
+            "--scale", "0.05", "--journal",
+        ]
+        assert runner_main(base + [str(fast)]) == 0
+        assert runner_main(base + [str(scalar), "--no-fast-analysis"]) == 0
+        assert perf_main(["compare-journals", str(fast), str(scalar)]) == 0
+        assert "journals agree" in capsys.readouterr().out
 
     def test_runner_rejects_bad_jobs(self, capsys):
         assert runner_main(["--jobs", "0", "--only", "fig4"]) == 2
