@@ -53,6 +53,7 @@ from .stats import CacheStats
 
 __all__ = [
     "DistanceHistogram",
+    "per_line_misses",
     "simulate_fast",
     "stack_distance_histogram",
     "sweep_stats",
@@ -317,6 +318,63 @@ def simulate_fast(
             "use repro.cache.setassoc.simulate for warm-start runs"
         )
     return stack_distance_histogram(lines, cfg.n_sets, method=method).stats(cfg.assoc)
+
+
+def per_line_misses(lines: np.ndarray, cfg: CacheConfig) -> dict[int, int]:
+    """Exact LRU miss count *per line* under ``cfg`` (cold included).
+
+    The attribution the aggregate histogram cannot answer: which lines
+    eat the misses.  Used by the static-analysis certification mode
+    (:mod:`repro.staticlint.certify`) to rank-correlate predicted
+    conflict scores against measured per-line miss volume.  Same model
+    domain as the kernel (cold cache, no prefetch, true LRU); the summed
+    counts equal :meth:`DistanceHistogram.misses` at ``cfg.assoc``
+    exactly (pinned by the parity tests).
+
+    Returns a dict mapping line index to its miss count; lines that
+    never miss (or never appear) are absent.
+    """
+    arr = _canonical_stream(lines)
+    misses: dict[int, int] = {}
+    if arr.shape[0] == 0:
+        return misses
+    n_sets = cfg.n_sets
+    assoc = cfg.assoc
+    part, counts = _partition(arr, n_sets)
+    # Immediate same-line repeats (stack distance 0) always hit at any
+    # associativity >= 1 and never change a stack — strip them exactly as
+    # the histogram kernel does.
+    n = part.shape[0]
+    dup = np.empty(n, dtype=bool)
+    dup[0] = False
+    np.equal(part[1:], part[:-1], out=dup[1:])
+    if dup.any():
+        if n_sets > 1:
+            counts = counts - np.bincount(part[dup] & (n_sets - 1), minlength=n_sets)
+        else:
+            counts = counts - int(np.count_nonzero(dup))
+        part = part[~dup]
+    stream = part.tolist()
+    pos = 0
+    for cnt in counts.tolist():
+        end = pos + cnt
+        if cnt:
+            stack: list[int] = []
+            index = stack.index
+            insert = stack.insert
+            pop = stack.pop
+            for line in stream[pos:end]:
+                try:
+                    d = index(line)
+                except ValueError:
+                    misses[line] = misses.get(line, 0) + 1  # cold miss
+                    insert(0, line)
+                    continue
+                insert(0, pop(d))
+                if d >= assoc:
+                    misses[line] = misses.get(line, 0) + 1
+        pos = end
+    return misses
 
 
 def sweep_stats(

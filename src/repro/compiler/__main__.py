@@ -46,6 +46,19 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="statically analyze every produced layout (see python -m repro.lint)",
     )
+    parser.add_argument(
+        "--static-lint",
+        action="store_true",
+        help="run the profile-free S-pack over every produced layout "
+        "(see python -m repro.staticlint)",
+    )
+    parser.add_argument(
+        "--profile-source",
+        choices=["trace", "static"],
+        default="trace",
+        help="optimization profile: an instrumented test run ('trace', the "
+        "paper's pipeline) or the heuristic CFG walk ('static', no execution)",
+    )
     args = parser.parse_args(argv)
 
     prog, module = build_suite_program(args.program)
@@ -58,13 +71,14 @@ def main(argv: list[str] | None = None) -> int:
         )
         spec = prog.spec
 
-    driver = Driver(optimizers=args.optimizers)
+    driver = Driver(optimizers=args.optimizers, profile_source=args.profile_source)
     result = driver.build(
         module,
         spec.test_input(),
         None if args.no_evaluate else spec.ref_input(),
         build_dir=args.build_dir,
         lint=args.lint,
+        static_lint=args.static_lint,
     )
 
     print(f"program {result.program}: {module.n_functions} functions, "
@@ -76,6 +90,9 @@ def main(argv: list[str] | None = None) -> int:
         if name in result.lint_reports:
             s = result.lint_reports[name].summary()
             line += f"  lint={s['errors']}E/{s['warnings']}W"
+        if name in result.static_lint_reports:
+            s = result.static_lint_reports[name].summary()
+            line += f"  static={s['errors']}E/{s['warnings']}W"
         print(line)
     if result.miss_ratios:
         print(f"best layout: {result.best_layout()}")

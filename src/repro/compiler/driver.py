@@ -38,6 +38,8 @@ from ..ir.transforms import LayoutResult, baseline_layout
 from ..lint.diagnostics import LintReport
 from ..lint.rules import LintConfig, run_lint
 from ..robust.errors import ArtifactError, ProfileError, error_context
+from ..staticlint.profile import synthesize_bundle
+from ..staticlint.rulepack import StaticLintConfig, run_static_lint
 from .artifacts import save_layout, save_report
 
 __all__ = ["BuildResult", "Driver"]
@@ -54,6 +56,8 @@ class BuildResult:
     miss_ratios: dict[str, float] = field(default_factory=dict)
     #: per-layout static analysis (populated by ``build(..., lint=True)``).
     lint_reports: dict[str, LintReport] = field(default_factory=dict)
+    #: per-layout profile-free analysis (``build(..., static_lint=True)``).
+    static_lint_reports: dict[str, LintReport] = field(default_factory=dict)
     #: per-stage wall-clock seconds.
     timings: dict[str, float] = field(default_factory=dict)
     #: build directory, when persisted.
@@ -84,6 +88,11 @@ class BuildResult:
             out["lint"] = {
                 name: report.to_dict() for name, report in self.lint_reports.items()
             }
+        if self.static_lint_reports:
+            out["static_lint"] = {
+                name: report.to_dict()
+                for name, report in self.static_lint_reports.items()
+            }
         return out
 
 
@@ -98,17 +107,31 @@ class Driver:
         *,
         jobs: int = 1,
         memo=None,
+        profile_source: str = "trace",
     ):
         """``jobs`` fans the per-layout evaluation simulations out across
         worker processes; ``memo`` (a :class:`repro.perf.memo.SimMemo`)
         replays identical simulations from the content-addressed cache.
-        Both only trade wall-clock time — never results."""
+        Both only trade wall-clock time — never results.
+
+        ``profile_source`` selects where the optimization profile comes
+        from: ``"trace"`` (the paper's pipeline — instrument and run the
+        test input) or ``"static"`` (no execution at all — the synthetic
+        bundle of :func:`repro.staticlint.profile.synthesize_bundle`,
+        walked from CFG branch heuristics).  The evaluation stage always
+        measures against the real ref-input trace, so the two sources
+        are directly comparable."""
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if profile_source not in ("trace", "static"):
+            raise ValueError(
+                f"profile_source must be 'trace' or 'static', got {profile_source!r}"
+            )
         self.optimizer_config = optimizer_config or OptimizerConfig(cache=cache)
         self.cache = cache
         self.jobs = jobs
         self.memo = memo
+        self.profile_source = profile_source
         self.optimizer_names = list(optimizers or OPTIMIZERS)
         for name in self.optimizer_names:
             if name not in OPTIMIZERS and name not in COMPARATORS:
@@ -160,6 +183,8 @@ class Driver:
         *,
         lint: bool = False,
         lint_config: Optional[LintConfig] = None,
+        static_lint: bool = False,
+        static_lint_config: Optional[StaticLintConfig] = None,
     ) -> BuildResult:
         """Run the pipeline on ``module``.
 
@@ -168,7 +193,11 @@ class Driver:
         every produced layout is statically analyzed against the test-input
         profile and the per-layout :class:`~repro.lint.diagnostics.LintReport`
         is recorded in :attr:`BuildResult.lint_reports` (and in
-        :meth:`BuildResult.report`).
+        :meth:`BuildResult.report`).  ``static_lint=True`` adds the
+        profile-free S-pack (:mod:`repro.staticlint`) over the same
+        layouts into :attr:`BuildResult.static_lint_reports` — usable
+        even when the build itself is trace-driven, so the two packs can
+        be diffed report-for-report.
 
         Every stage failure surfaces as a typed
         :class:`~repro.robust.errors.ReproError`: a module/input that
@@ -185,7 +214,12 @@ class Driver:
         with error_context(
             "instrument", program=program, reraise=ProfileError
         ):
-            profile = collect_trace(module, test_input)
+            if self.profile_source == "static":
+                profile = synthesize_bundle(
+                    module, max_blocks=test_input.max_blocks, seed=test_input.seed
+                )
+            else:
+                profile = collect_trace(module, test_input)
         timings["instrument"] = time.perf_counter() - start
 
         layouts: dict[str, LayoutResult] = {"baseline": baseline_layout(module)}
@@ -218,6 +252,23 @@ class Driver:
                         layout_name=name,
                     )
             timings["lint"] = time.perf_counter() - start
+
+        if static_lint:
+            from ..staticlint.frequency import estimate_frequencies
+
+            start = time.perf_counter()
+            cfg = static_lint_config or StaticLintConfig()
+            with error_context("static-lint", program=program):
+                # The frequency estimate is layout-independent: compute
+                # once, share across every layout's report.
+                static_profile = estimate_frequencies(module, cfg.frequency)
+            for name, layout in layouts.items():
+                with error_context("static-lint", program=program, layout=name):
+                    result.static_lint_reports[name] = run_static_lint(
+                        module, layout, self.cache, cfg,
+                        profile=static_profile, layout_name=name,
+                    )
+            timings["static-lint"] = time.perf_counter() - start
 
         if ref_input is not None:
             start = time.perf_counter()

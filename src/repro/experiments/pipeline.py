@@ -54,6 +54,7 @@ from ..machine.counters import measure_corun, measure_solo, reading_from_stats
 from ..machine.smt import CoRunTiming, corun_pair
 from ..machine.timing import ThreadCost, TimingParams, thread_cost
 from ..robust.errors import ProfileError, error_context
+from ..staticlint.profile import synthesize_bundle
 from ..workloads.suite import SuiteProgram
 from ..workloads.suite import build as build_suite_program
 
@@ -146,11 +147,17 @@ class Lab:
         memo=None,
         use_kernel: bool = True,
         use_fast_analysis: Optional[bool] = None,
+        profile_source: str = "trace",
     ):
         if not 0.0 < scale <= 1.0:
             raise ValueError("scale must be in (0, 1]")
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if profile_source not in ("trace", "static"):
+            raise ValueError(
+                f"unknown profile_source {profile_source!r} "
+                "(expected 'trace' or 'static')"
+            )
         self.cache_cfg = cache_cfg
         self.scale = scale
         self.optimizer_config = optimizer_config or OptimizerConfig(cache=cache_cfg)
@@ -164,6 +171,12 @@ class Lab:
         self.jobs = jobs
         self.memo = memo
         self.use_kernel = use_kernel
+        #: where the *optimization* profile (test input) comes from:
+        #: "trace" instruments a real run; "static" synthesizes the test
+        #: bundle from CFG structure alone (no-profile layout builds).
+        #: The ref-input measurement channel is always a real trace, so
+        #: evaluations measure what the static profile actually bought.
+        self.profile_source = profile_source
         # Analysis artifacts always go through a memo so that
         # precompute_layouts can inject parallel-built payloads; without a
         # user-supplied SimMemo it is private and purely in-memory.
@@ -241,6 +254,7 @@ class Lab:
             "noise_sigma": self.noise_sigma,
             "timing": self.timing,
             "use_kernel": self.use_kernel,
+            "profile_source": self.profile_source,
         }
 
     # -- program preparation -------------------------------------------------
@@ -264,10 +278,19 @@ class Lab:
                 prog, module = build_suite_program(
                     name, ref_blocks=ref_blocks, test_blocks=test_blocks
                 )
+                test_input = prog.spec.test_input()
+                if self.profile_source == "static":
+                    test_bundle = synthesize_bundle(
+                        module,
+                        max_blocks=test_input.max_blocks,
+                        seed=test_input.seed,
+                    )
+                else:
+                    test_bundle = collect_trace(module, test_input)
                 prepared = PreparedProgram(
                     prog=prog,
                     module=module,
-                    test_bundle=collect_trace(module, prog.spec.test_input()),
+                    test_bundle=test_bundle,
                     ref_bundle=collect_trace(module, prog.spec.ref_input()),
                 )
             self._programs[name] = prepared

@@ -51,6 +51,7 @@ from . import (
     exp_optopt,
     exp_scheduling,
     exp_smt_width,
+    exp_staticlint,
     exp_table1,
     exp_table2,
     exp_unified,
@@ -88,6 +89,7 @@ EXPERIMENTS: dict[str, Callable[[Lab], ExperimentResult]] = {
     "smt-width": exp_smt_width.run,
     "cache-sweep": exp_cache_sweep.run,
     "scheduling": exp_scheduling.run,
+    "staticlint-certify": exp_staticlint.run,
     "ablation-trg-window": ablations.run_trg_window,
     "ablation-affinity-windows": ablations.run_affinity_windows,
     "ablation-pruning": ablations.run_pruning,

@@ -8,8 +8,11 @@ Provides successor maps at two granularities:
 * **inter-procedural** edges (call edges to callee entries and an
   over-approximated return edge set), used for whole-program reachability.
 
-These are static structures; dynamic frequencies come from traces, never
-from the CFG (matching the paper, whose models are purely profile-driven).
+These are static structures.  The paper's models are purely
+profile-driven — dynamic frequencies come from traces — but the CFG is
+also the substrate of the profile-*free* channel: :mod:`repro.staticlint`
+estimates block frequencies from branch heuristics over these edges and
+certifies the estimates against the trace-driven simulator.
 """
 
 from __future__ import annotations

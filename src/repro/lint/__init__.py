@@ -73,7 +73,7 @@ if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers
     from .rules import LintConfig, Rule, all_rules, get_rule, run_lint  # noqa: F401
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     try:
         module_name, attr = _EXPORTS[name]
     except KeyError:

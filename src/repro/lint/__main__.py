@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from typing import TYPE_CHECKING
 
 from ..cache.config import PAPER_L1I
 from ..core.optimizers import COMPARATORS, OPTIMIZERS, OptimizerConfig
@@ -25,6 +26,11 @@ from ..workloads.suite import build as build_suite_program
 from .compare import compare_layouts
 from .diagnostics import Severity, render_json, render_text
 from .rules import LintConfig, all_rules, run_lint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache.config import CacheConfig
+    from ..engine.instrument import TraceBundle
+    from ..ir.module import Module
 
 _KNOWN_LAYOUTS = ["baseline"] + list(OPTIMIZERS) + list(COMPARATORS)
 
@@ -39,7 +45,9 @@ def _parse_severity_override(text: str) -> tuple[str, Severity]:
         )
 
 
-def _make_layout(name: str, module, bundle, cache) -> LayoutResult:
+def _make_layout(
+    name: str, module: "Module", bundle: "TraceBundle", cache: "CacheConfig"
+) -> LayoutResult:
     if name == "baseline":
         return baseline_layout(module)
     optimizer = OPTIMIZERS.get(name) or COMPARATORS[name]

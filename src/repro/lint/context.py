@@ -46,7 +46,7 @@ class LintContext:
         cache: CacheConfig,
         *,
         hot_coverage: float = 0.9,
-    ):
+    ) -> None:
         if not 0.0 < hot_coverage <= 1.0:
             raise ValueError("hot_coverage must be in (0, 1]")
         self.module = module

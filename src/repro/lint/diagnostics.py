@@ -67,6 +67,19 @@ class Diagnostic:
     message: str
     measured: Mapping[str, object] = field(default_factory=dict)
 
+    @property
+    def sort_key(self) -> tuple[str, str, str]:
+        """Canonical ordering key: ``(rule, location, message)``.
+
+        Location strings encode the anchor hierarchy (``func:block``,
+        ``set N``, ``layout``), so sorting by this key groups findings by
+        rule, then by where they point.  Every rendering path sorts by it
+        (errors first in text output) so report output is a pure function
+        of the finding *set* — independent of rule execution or emission
+        order, which keeps report diffs and golden tests stable.
+        """
+        return (self.rule, self.location, self.message)
+
     def to_dict(self) -> dict:
         return {
             "rule": self.rule,
@@ -115,6 +128,10 @@ class LintReport:
     def by_rule(self, rule: str) -> list[Diagnostic]:
         return [d for d in self.diagnostics if d.rule == rule]
 
+    def sorted_diagnostics(self) -> list[Diagnostic]:
+        """Diagnostics in canonical ``(rule, location, message)`` order."""
+        return sorted(self.diagnostics, key=lambda d: d.sort_key)
+
     def count(self, severity: Severity) -> int:
         return sum(1 for d in self.diagnostics if d.severity is severity)
 
@@ -161,7 +178,7 @@ class LintReport:
                 }
                 for rule in self.rules_run
             },
-            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "diagnostics": [d.to_dict() for d in self.sorted_diagnostics()],
         }
 
 
@@ -178,7 +195,7 @@ def render_text(report: LintReport) -> str:
         lines.append("clean: no diagnostics")
     else:
         order = sorted(
-            report.diagnostics, key=lambda d: (-d.severity.rank, d.rule, d.location)
+            report.diagnostics, key=lambda d: (-d.severity.rank, *d.sort_key)
         )
         lines.extend(d.format() for d in order)
     s = report.summary()

@@ -51,7 +51,7 @@ class LayoutError(ReproError, ValueError):
     :attr:`diagnostics` and in the machine-readable context.
     """
 
-    def __init__(self, diagnostics: Sequence[Diagnostic]):
+    def __init__(self, diagnostics: Sequence[Diagnostic]) -> None:
         self.diagnostics = list(diagnostics)
         super().__init__(
             "; ".join(d.message for d in self.diagnostics),
@@ -61,7 +61,7 @@ class LayoutError(ReproError, ValueError):
         )
 
 
-def _diag(severity: Severity, location: str, message: str, **measured) -> Diagnostic:
+def _diag(severity: Severity, location: str, message: str, **measured: object) -> Diagnostic:
     return Diagnostic(RULE_INTEGRITY, severity, location, message, measured)
 
 

@@ -60,7 +60,7 @@ def _truncation_note(rule_id: str, shown: int, total: int) -> Diagnostic:
     "hot cache lines mapped to one set beyond its associativity",
     Severity.WARNING,
 )
-def set_conflict_hotspot(ctx: LintContext, cfg: LintConfig):
+def set_conflict_hotspot(ctx: LintContext, cfg: LintConfig) -> tuple[list[Diagnostic], dict]:
     """Static conflict-miss predictor.
 
     Maps every hot line to its cache set; a set holding more hot lines than
@@ -134,7 +134,7 @@ def set_conflict_hotspot(ctx: LintContext, cfg: LintConfig):
     "fall-through successors not laid out adjacently (added-jump bloat)",
     Severity.WARNING,
 )
-def broken_fallthrough(ctx: LintContext, cfg: LintConfig):
+def broken_fallthrough(ctx: LintContext, cfg: LintConfig) -> tuple[list[Diagnostic], dict]:
     """Attributes the layout's added-jump bloat to individual blocks.
 
     A block whose fall-through successor is not placed immediately after it
@@ -195,7 +195,7 @@ def broken_fallthrough(ctx: LintContext, cfg: LintConfig):
     "cold blocks embedded inside hot runs, wasting fetched lines",
     Severity.WARNING,
 )
-def hot_cold_interleaving(ctx: LintContext, cfg: LintConfig):
+def hot_cold_interleaving(ctx: LintContext, cfg: LintConfig) -> tuple[list[Diagnostic], dict]:
     """Flags short cold runs sandwiched between hot blocks.
 
     A small pocket of cold code inside a hot run shares cache lines with
@@ -263,7 +263,7 @@ def hot_cold_interleaving(ctx: LintContext, cfg: LintConfig):
     "hot-touched cache lines mostly filled with cold bytes",
     Severity.WARNING,
 )
-def line_utilization(ctx: LintContext, cfg: LintConfig):
+def line_utilization(ctx: LintContext, cfg: LintConfig) -> tuple[list[Diagnostic], dict]:
     """Fragmentation politeness cost.
 
     Every line a hot block touches is fetched whole; bytes of the line not
@@ -333,7 +333,7 @@ def line_utilization(ctx: LintContext, cfg: LintConfig):
     "static hot footprint at or above the cache-capacity threshold",
     Severity.WARNING,
 )
-def footprint_over_capacity(ctx: LintContext, cfg: LintConfig):
+def footprint_over_capacity(ctx: LintContext, cfg: LintConfig) -> tuple[list[Diagnostic], dict]:
     """The paper's defensiveness threshold, evaluated statically.
 
     A program misses in shared cache when ``self.FP + peer.FP >= C``
@@ -382,7 +382,7 @@ def footprint_over_capacity(ctx: LintContext, cfg: LintConfig):
     "permutation, overlap and gap audit of the address map",
     Severity.ERROR,
 )
-def layout_integrity(ctx: LintContext, cfg: LintConfig):
+def layout_integrity(ctx: LintContext, cfg: LintConfig) -> tuple[list[Diagnostic], dict]:
     """The post-processing sanity check as a rule.
 
     Delegates to the same audits :mod:`repro.ir.transforms` applies when a

@@ -24,9 +24,21 @@ from ..ir.transforms import LayoutResult
 from .context import LintContext
 from .diagnostics import Diagnostic, LintReport, Severity
 
-__all__ = ["Rule", "LintConfig", "rule", "get_rule", "all_rules", "run_lint"]
+__all__ = [
+    "Rule",
+    "RuleRegistry",
+    "LintConfig",
+    "rule",
+    "get_rule",
+    "all_rules",
+    "run_lint",
+]
 
-RuleFn = Callable[[LintContext, "LintConfig"], tuple[list[Diagnostic], dict]]
+#: A rule callable: ``(context, config) -> (diagnostics, metrics)``.  The
+#: context/config types differ per rule pack (trace-driven rules take
+#: ``(LintContext, LintConfig)``, the static pack its own pair), so the
+#: registry stays agnostic.
+RuleFn = Callable[..., tuple[list[Diagnostic], dict]]
 
 
 @dataclass(frozen=True)
@@ -40,41 +52,84 @@ class Rule:
     fn: RuleFn
 
 
-_REGISTRY: dict[str, Rule] = {}
+class RuleRegistry:
+    """A catalog of lint rules under stable ids.
 
+    Each rule pack owns one instance (the trace-driven L-pack here, the
+    static S-pack in :mod:`repro.staticlint`), so packs can never collide
+    on ids and tools can enumerate each catalog independently.  The
+    optional ``loader`` is called once before the first query — rule
+    packs register themselves on import, and deferring that import keeps
+    registry modules import-light and cycle-free.
+    """
 
-def rule(
-    id: str, name: str, summary: str, default_severity: Severity
-) -> Callable[[RuleFn], RuleFn]:
-    """Class decorator registering a rule function under ``id``."""
+    def __init__(self, loader: Optional[Callable[[], None]] = None) -> None:
+        self._rules: dict[str, Rule] = {}
+        self._loader = loader
+        self._loaded = loader is None
 
-    def register(fn: RuleFn) -> RuleFn:
-        if id in _REGISTRY:
-            raise ValueError(f"rule id {id!r} already registered")
-        _REGISTRY[id] = Rule(id, name, summary, default_severity, fn)
-        return fn
+    def _ensure_loaded(self) -> None:
+        if not self._loaded:
+            self._loaded = True
+            assert self._loader is not None
+            self._loader()
 
-    return register
+    def rule(
+        self, id: str, name: str, summary: str, default_severity: Severity
+    ) -> Callable[[RuleFn], RuleFn]:
+        """Decorator registering a rule function under ``id``."""
 
+        def register(fn: RuleFn) -> RuleFn:
+            if id in self._rules:
+                raise ValueError(f"rule id {id!r} already registered")
+            self._rules[id] = Rule(id, name, summary, default_severity, fn)
+            return fn
 
-def get_rule(rule_id: str) -> Rule:
-    _ensure_rulepack()
-    try:
-        return _REGISTRY[rule_id]
-    except KeyError:
-        raise KeyError(f"unknown lint rule {rule_id!r} (known: {sorted(_REGISTRY)})")
+        return register
 
+    def get(self, rule_id: str) -> Rule:
+        self._ensure_loaded()
+        try:
+            return self._rules[rule_id]
+        except KeyError:
+            raise KeyError(
+                f"unknown lint rule {rule_id!r} (known: {sorted(self._rules)})"
+            )
 
-def all_rules() -> list[Rule]:
-    """Every registered rule, ordered by id."""
-    _ensure_rulepack()
-    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+    def all(self) -> list[Rule]:
+        """Every registered rule, ordered by id."""
+        self._ensure_loaded()
+        return [self._rules[k] for k in sorted(self._rules)]
+
+    def ids(self) -> list[str]:
+        self._ensure_loaded()
+        return sorted(self._rules)
 
 
 def _ensure_rulepack() -> None:
     # The rule pack registers itself on import; importing it lazily here
     # keeps `rules` import-light and avoids an import cycle with it.
     from . import rulepack  # noqa: F401
+
+
+#: the trace-driven rule pack's registry (L001...).
+_REGISTRY = RuleRegistry(loader=_ensure_rulepack)
+
+
+def rule(
+    id: str, name: str, summary: str, default_severity: Severity
+) -> Callable[[RuleFn], RuleFn]:
+    """Decorator registering a rule in the trace-driven (L-pack) registry."""
+    return _REGISTRY.rule(id, name, summary, default_severity)
+
+
+def get_rule(rule_id: str) -> Rule:
+    return _REGISTRY.get(rule_id)
+
+
+def all_rules() -> list[Rule]:
+    """Every registered trace-driven rule, ordered by id."""
+    return _REGISTRY.all()
 
 
 @dataclass(frozen=True)
@@ -102,7 +157,7 @@ class LintConfig:
     def severity_for(self, rule_id: str, emitted: Severity) -> Severity:
         return self.severity_overrides.get(rule_id, emitted)
 
-    def with_overrides(self, **kw) -> "LintConfig":
+    def with_overrides(self, **kw: object) -> "LintConfig":
         return replace(self, **kw)
 
 

@@ -42,7 +42,7 @@ import json
 import sys
 import time
 
-from .telemetry import BENCH_SCHEMA, compare_journal_outcomes
+from .telemetry import BENCH_SCHEMA, COMPAT_SCHEMAS, compare_journal_outcomes
 
 
 def _load_journal(path: str) -> list[dict]:
@@ -357,8 +357,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "show-bench":
         with open(args.bench_path) as fh:
             bench = json.load(fh)
-        # v2 reports (no "analysis" section) remain readable.
-        if bench.get("schema") not in (BENCH_SCHEMA, "repro.perf/bench.v2"):
+        # Older reports (no "analysis"/"staticlint" section) remain readable.
+        if bench.get("schema") not in (BENCH_SCHEMA, *COMPAT_SCHEMAS):
             print(f"error: not a {BENCH_SCHEMA} report", file=sys.stderr)
             return 2
         sim = bench.get("simulator", {})
@@ -366,6 +366,7 @@ def main(argv: list[str] | None = None) -> int:
         kernel_bench = bench.get("kernel_bench") or {}
         analysis = bench.get("analysis") or {}
         analysis_bench = bench.get("analysis_bench") or {}
+        staticlint = bench.get("staticlint") or {}
         memo = bench.get("memo") or {}
         print(
             f"jobs={bench.get('jobs', '?')} scale={bench.get('scale', '?')} "
@@ -406,6 +407,19 @@ def main(argv: list[str] | None = None) -> int:
                 f"trg {analysis_bench.get('trg_speedup', 0)}x, "
                 f"program={analysis_bench.get('program', '?')})"
             )
+        if staticlint.get("diagnostics") or staticlint.get("certified"):
+            print(
+                f"staticlint: {staticlint.get('diagnostics', 0)} diagnostics in "
+                f"{staticlint.get('seconds', 0)}s "
+                f"({staticlint.get('diagnostics_per_s', 0)}/s), "
+                f"{staticlint.get('certified', 0)} program(s) certified"
+            )
+            for row in staticlint.get("certify", []):
+                print(
+                    f"  certify {row.get('program', '?')}/{row.get('layout', '?')}: "
+                    f"conflict_rho={row.get('conflict_rho', '?')} "
+                    f"hotness_rho={row.get('hotness_rho', '?')}"
+                )
         if memo:
             print(
                 f"memo: {memo.get('hits', 0)} hits / {memo.get('misses', 0)} misses "

@@ -21,14 +21,19 @@ from typing import Any, Optional
 
 from ..robust.atomic import atomic_write_text
 
-__all__ = ["BENCH_SCHEMA", "Telemetry", "compare_journal_outcomes"]
+__all__ = ["BENCH_SCHEMA", "COMPAT_SCHEMAS", "Telemetry", "compare_journal_outcomes"]
 
 #: schema tag of BENCH_perf.json; bump on breaking layout changes.
 #: v2: adds the "kernel" section (stack-distance kernel throughput) next
 #: to the scalar "simulator" section.
 #: v3: adds the "analysis" section (locality-model kernel throughput and
 #: analysis-memo hit counters from the optimize stage).
-BENCH_SCHEMA = "repro.perf/bench.v3"
+#: v4: adds the "staticlint" section (profile-free analysis throughput
+#: and certification counters; see repro.staticlint).
+BENCH_SCHEMA = "repro.perf/bench.v4"
+
+#: older schema tags show-bench and other readers still accept.
+COMPAT_SCHEMAS = ("repro.perf/bench.v2", "repro.perf/bench.v3")
 
 #: journal-entry fields that legitimately differ between two runs of the
 #: same suite (wall-clock measurements); everything else must match.
@@ -56,6 +61,9 @@ class Telemetry:
         self.analysis_passes = 0
         self.analysis_cells = 0
         self.analysis_memo_hits = 0
+        self.staticlint_diags = 0
+        self.staticlint_seconds = 0.0
+        self.staticlint_certified = 0
         self.memo: dict[str, float] = {}
         self.wall_s = 0.0
 
@@ -77,6 +85,9 @@ class Telemetry:
         self.analysis_passes += int(counters.get("analysis_passes", 0))
         self.analysis_cells += int(counters.get("analysis_cells", 0))
         self.analysis_memo_hits += int(counters.get("analysis_memo_hits", 0))
+        self.staticlint_diags += int(counters.get("staticlint_diags", 0))
+        self.staticlint_seconds += float(counters.get("staticlint_seconds", 0.0))
+        self.staticlint_certified += int(counters.get("staticlint_certified", 0))
 
     def merge_memo(self, counters: Optional[dict[str, float]]) -> None:
         if not counters:
@@ -113,6 +124,12 @@ class Telemetry:
             return 0.0
         return self.analysis_accesses / self.analysis_seconds
 
+    @property
+    def staticlint_diags_per_second(self) -> float:
+        if self.staticlint_seconds <= 0:
+            return 0.0
+        return self.staticlint_diags / self.staticlint_seconds
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "schema": BENCH_SCHEMA,
@@ -146,6 +163,12 @@ class Telemetry:
                 "passes": self.analysis_passes,
                 "cells": self.analysis_cells,
                 "memo_hits": self.analysis_memo_hits,
+            },
+            "staticlint": {
+                "diagnostics": self.staticlint_diags,
+                "seconds": round(self.staticlint_seconds, 4),
+                "diagnostics_per_s": round(self.staticlint_diags_per_second, 1),
+                "certified": self.staticlint_certified,
             },
             "memo": self.memo or None,
         }

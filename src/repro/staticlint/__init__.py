@@ -1,0 +1,46 @@
+"""Profile-free static analysis over the IR (``repro.staticlint``).
+
+The trace-driven linter (:mod:`repro.lint`) needs a simulated execution
+before it can say anything; this package makes the same class of layout
+judgements from the program text alone.  It is organised as four layers:
+
+* :mod:`~repro.staticlint.dataflow` — a reusable CFG/call-graph dataflow
+  framework: dominators, natural loops, loop-nesting depth, and an
+  interprocedural call graph with Tarjan SCC condensation;
+* :mod:`~repro.staticlint.frequency` — Ball–Larus-style branch heuristics
+  plus Markov-chain block-frequency propagation, yielding a
+  :class:`~repro.staticlint.frequency.StaticProfile`;
+* :mod:`~repro.staticlint.profile` — a seeded structural walk that turns
+  the heuristics into a synthetic :class:`~repro.engine.instrument.TraceBundle`
+  so every trace-consuming component (``optimize``, ``run_lint``,
+  ``fastsim``) works without a real profile;
+* :mod:`~repro.staticlint.conflict` / :mod:`~repro.staticlint.rulepack` —
+  closed-form cache-set conflict prediction and the S00x lint pack;
+* :mod:`~repro.staticlint.certify` — cross-checks static predictions
+  against the trace-driven simulator (rank correlations), the CI gate.
+
+Run ``python -m repro.staticlint --help`` for the CLI.
+"""
+
+from .certify import CertifyResult, certify_program, spearman
+from .conflict import StaticLintContext
+from .dataflow import CallGraph, FunctionCFG, Loop
+from .frequency import FrequencyConfig, StaticProfile, estimate_frequencies
+from .profile import synthesize_bundle
+from .rulepack import StaticLintConfig, run_static_lint
+
+__all__ = [
+    "CallGraph",
+    "CertifyResult",
+    "FrequencyConfig",
+    "FunctionCFG",
+    "Loop",
+    "StaticLintConfig",
+    "StaticLintContext",
+    "StaticProfile",
+    "certify_program",
+    "estimate_frequencies",
+    "run_static_lint",
+    "spearman",
+    "synthesize_bundle",
+]

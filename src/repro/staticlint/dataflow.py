@@ -1,0 +1,339 @@
+"""Reusable CFG/call-graph dataflow framework over the IR.
+
+Three classic analyses, computed once per function/module and shared by
+every static pass:
+
+* **Dominators** — the Cooper–Harvey–Kennedy iterative algorithm over a
+  reverse post-order, ``O(n^2)`` worst case but effectively linear on the
+  reducible CFGs the workload generator emits.
+* **Natural loops** — one loop per back edge ``u -> h`` (where ``h``
+  dominates ``u``); loops sharing a header are merged, and per-block
+  nesting depth falls out of body containment.
+* **Call-graph SCC condensation** — Tarjan's algorithm (iterative, so
+  deep call chains do not hit the recursion limit) plus a topological
+  order of the condensation with callers before callees, the order the
+  interprocedural frequency propagation needs.
+
+Everything here is purely structural: no trace, no profile, no layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.module import Function, Module
+
+__all__ = [
+    "FunctionCFG",
+    "Loop",
+    "CallGraph",
+    "build_cfgs",
+]
+
+
+@dataclass(frozen=True)
+class Loop:
+    """One natural loop: its header plus the set of body blocks.
+
+    Indices are *local* (positions in ``Function.blocks``).  ``body``
+    always contains ``header``.  ``back_edges`` are the ``(tail, header)``
+    latch edges that induced the loop; ``exits`` are ``(src, dst)`` edges
+    leaving the body.
+    """
+
+    header: int
+    body: frozenset[int]
+    back_edges: tuple[tuple[int, int], ...]
+    exits: tuple[tuple[int, int], ...]
+
+    def __contains__(self, idx: int) -> bool:
+        return idx in self.body
+
+
+class FunctionCFG:
+    """Intra-procedural CFG of one function with dominator/loop analyses.
+
+    Blocks are addressed by their *local index* (position in
+    ``func.blocks``); index 0 is the entry.  Call terminators contribute
+    their return-to edge only — callee entries are inter-procedural and
+    live on :class:`CallGraph`.
+    """
+
+    def __init__(self, func: Function) -> None:
+        self.func = func
+        self.n = len(func.blocks)
+        self.index: dict[str, int] = {b.name: i for i, b in enumerate(func.blocks)}
+        self.succs: list[list[int]] = []
+        for block in func.blocks:
+            out: list[int] = []
+            seen: set[int] = set()
+            for name in block.terminator.local_targets():
+                j = self.index[name]
+                if j not in seen:  # Switch may repeat a target
+                    seen.add(j)
+                    out.append(j)
+            self.succs.append(out)
+        self.preds: list[list[int]] = [[] for _ in range(self.n)]
+        for i, out in enumerate(self.succs):
+            for j in out:
+                self.preds[j].append(i)
+        self.rpo: list[int] = self._reverse_postorder()
+        self.rpo_number: list[int] = [-1] * self.n
+        for k, i in enumerate(self.rpo):
+            self.rpo_number[i] = k
+        self.idom: list[int] = self._dominators()
+        self.loops: list[Loop] = self._natural_loops()
+        self.loop_depth: list[int] = self._loop_depths()
+
+    # -- reachability ------------------------------------------------------
+
+    def _reverse_postorder(self) -> list[int]:
+        seen = [False] * self.n
+        post: list[int] = []
+        # Iterative DFS with an explicit successor cursor per frame.
+        stack: list[tuple[int, int]] = [(0, 0)]
+        seen[0] = True
+        while stack:
+            node, cursor = stack.pop()
+            out = self.succs[node]
+            while cursor < len(out) and seen[out[cursor]]:
+                cursor += 1
+            if cursor < len(out):
+                stack.append((node, cursor + 1))
+                nxt = out[cursor]
+                seen[nxt] = True
+                stack.append((nxt, 0))
+            else:
+                post.append(node)
+        return post[::-1]
+
+    @property
+    def reachable(self) -> list[int]:
+        """Local indices reachable from the entry, in reverse post-order."""
+        return self.rpo
+
+    # -- dominators --------------------------------------------------------
+
+    def _dominators(self) -> list[int]:
+        """Immediate dominators (Cooper–Harvey–Kennedy); -1 = unreachable."""
+        idom = [-1] * self.n
+        idom[0] = 0
+        rpo_num = {}
+        for k, i in enumerate(self.rpo):
+            rpo_num[i] = k
+
+        def intersect(a: int, b: int) -> int:
+            while a != b:
+                while rpo_num[a] > rpo_num[b]:
+                    a = idom[a]
+                while rpo_num[b] > rpo_num[a]:
+                    b = idom[b]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for node in self.rpo:
+                if node == 0:
+                    continue
+                new_idom = -1
+                for p in self.preds[node]:
+                    if idom[p] == -1:
+                        continue  # not yet processed / unreachable
+                    new_idom = p if new_idom == -1 else intersect(p, new_idom)
+                if new_idom != -1 and idom[node] != new_idom:
+                    idom[node] = new_idom
+                    changed = True
+        return idom
+
+    def dominates(self, a: int, b: int) -> bool:
+        """Does block ``a`` dominate block ``b``?  (Both must be reachable.)"""
+        if self.idom[b] == -1 or self.idom[a] == -1:
+            return False
+        while b != 0 and b != a:
+            b = self.idom[b]
+        return b == a
+
+    # -- natural loops -----------------------------------------------------
+
+    def _natural_loops(self) -> list[Loop]:
+        bodies: dict[int, set[int]] = {}
+        latches: dict[int, list[tuple[int, int]]] = {}
+        for u in self.rpo:
+            for h in self.succs[u]:
+                if self.dominates(h, u):
+                    body = bodies.setdefault(h, {h})
+                    latches.setdefault(h, []).append((u, h))
+                    # Reverse reachability from the latch, stopping at the
+                    # header: the standard natural-loop body construction.
+                    stack = [u]
+                    while stack:
+                        node = stack.pop()
+                        if node in body:
+                            continue
+                        body.add(node)
+                        stack.extend(p for p in self.preds[node] if self.idom[p] != -1)
+        loops: list[Loop] = []
+        for header in sorted(bodies):
+            body = bodies[header]
+            exits = tuple(
+                sorted(
+                    (src, dst)
+                    for src in body
+                    for dst in self.succs[src]
+                    if dst not in body
+                )
+            )
+            loops.append(
+                Loop(
+                    header=header,
+                    body=frozenset(body),
+                    back_edges=tuple(sorted(latches[header])),
+                    exits=exits,
+                )
+            )
+        return loops
+
+    def _loop_depths(self) -> list[int]:
+        depth = [0] * self.n
+        for loop in self.loops:
+            for idx in loop.body:
+                depth[idx] += 1
+        return depth
+
+    def innermost_loop(self, idx: int) -> Loop | None:
+        """The smallest loop containing ``idx``, or ``None``."""
+        best: Loop | None = None
+        for loop in self.loops:
+            if idx in loop.body and (best is None or len(loop.body) < len(best.body)):
+                best = loop
+        return best
+
+    def is_back_edge(self, src: int, dst: int) -> bool:
+        return dst in self.succs[src] and self.dominates(dst, src)
+
+    def is_loop_exit_edge(self, src: int, dst: int) -> bool:
+        """Does ``src -> dst`` leave the innermost loop of ``src``?"""
+        loop = self.innermost_loop(src)
+        return loop is not None and dst not in loop.body
+
+
+@dataclass
+class CallGraph:
+    """Interprocedural call graph with SCC condensation.
+
+    ``sccs`` lists strongly connected components of function names;
+    ``topo_sccs`` orders them callers-before-callees starting from the
+    module entry, which is the processing order for top-down frequency
+    propagation.  Functions unreachable from the entry still appear (in
+    deterministic order after the reachable part).
+    """
+
+    module: Module
+    edges: dict[str, list[str]] = field(default_factory=dict)
+    sccs: list[tuple[str, ...]] = field(default_factory=list)
+    topo_sccs: list[tuple[str, ...]] = field(default_factory=list)
+    scc_of: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, module: Module) -> "CallGraph":
+        edges: dict[str, list[str]] = {f.name: [] for f in module.functions}
+        for block in module.iter_blocks():
+            callee = block.terminator.callee()
+            if callee is not None and callee not in edges[block.func]:
+                edges[block.func].append(callee)
+        graph = cls(module=module, edges=edges)
+        graph.sccs = graph._tarjan()
+        graph.scc_of = {
+            name: i for i, comp in enumerate(graph.sccs) for name in comp
+        }
+        graph.topo_sccs = graph._topo_condensation()
+        return graph
+
+    def _tarjan(self) -> list[tuple[str, ...]]:
+        """Iterative Tarjan SCC over function names (deterministic order)."""
+        index: dict[str, int] = {}
+        low: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        sccs: list[tuple[str, ...]] = []
+        counter = 0
+
+        for root in (f.name for f in self.module.functions):
+            if root in index:
+                continue
+            work: list[tuple[str, int]] = [(root, 0)]
+            while work:
+                node, cursor = work.pop()
+                if cursor == 0:
+                    index[node] = low[node] = counter
+                    counter += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                recurse = False
+                out = self.edges[node]
+                while cursor < len(out):
+                    succ = out[cursor]
+                    cursor += 1
+                    if succ not in index:
+                        work.append((node, cursor))
+                        work.append((succ, 0))
+                        recurse = True
+                        break
+                    if succ in on_stack:
+                        low[node] = min(low[node], index[succ])
+                if recurse:
+                    continue
+                if low[node] == index[node]:
+                    comp: list[str] = []
+                    while True:
+                        top = stack.pop()
+                        on_stack.discard(top)
+                        comp.append(top)
+                        if top == node:
+                            break
+                    sccs.append(tuple(comp))
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+        return sccs
+
+    def _topo_condensation(self) -> list[tuple[str, ...]]:
+        """Condensation SCCs, callers before callees (Kahn on SCC edges)."""
+        n = len(self.sccs)
+        cond_edges: list[set[int]] = [set() for _ in range(n)]
+        indeg = [0] * n
+        for caller, callees in self.edges.items():
+            a = self.scc_of[caller]
+            for callee in callees:
+                b = self.scc_of[callee]
+                if a != b and b not in cond_edges[a]:
+                    cond_edges[a].add(b)
+                    indeg[b] += 1
+        # Deterministic Kahn: process ready SCCs in ascending Tarjan index
+        # (Tarjan emits callees first, so higher index ~ closer to roots).
+        ready = sorted(i for i in range(n) if indeg[i] == 0)
+        order: list[int] = []
+        while ready:
+            i = ready.pop()  # highest index first: entry SCC early
+            order.append(i)
+            freed: list[int] = []
+            for j in cond_edges[i]:
+                indeg[j] -= 1
+                if indeg[j] == 0:
+                    freed.append(j)
+            ready.extend(sorted(freed))
+            ready.sort()
+        return [self.sccs[i] for i in order]
+
+    def is_recursive(self, name: str) -> bool:
+        comp = self.sccs[self.scc_of[name]]
+        return len(comp) > 1 or name in self.edges[name]
+
+    def callers_of(self, name: str) -> list[str]:
+        return sorted(c for c, callees in self.edges.items() if name in callees)
+
+
+def build_cfgs(module: Module) -> dict[str, FunctionCFG]:
+    """One :class:`FunctionCFG` per function, keyed by function name."""
+    return {f.name: FunctionCFG(f) for f in module.functions}

@@ -27,6 +27,7 @@ def test_registry_covers_every_paper_artifact():
         "ablation-pruning",
         "ablation-optimal-gap",
         "ablation-seeds",
+        "staticlint-certify",
     }
     assert set(EXPERIMENTS) == expected
 

@@ -57,3 +57,24 @@ def leaf_module(n_functions: int, n_instr: int = 16) -> Module:
 @pytest.fixture
 def tiny_cache():
     return TINY_CACHE
+
+
+@pytest.fixture
+def lint_report():
+    """A hand-built report with several rules/locations, emitted out of
+    canonical order (for ordering-invariance tests)."""
+    from repro.lint.diagnostics import Diagnostic, LintReport, Severity
+
+    report = LintReport(program="p", layout="baseline", cache="tiny")
+    report.rules_run = ["L001", "L002", "L006"]
+    report.metrics = {"L001": {"conflict_score": 0.25}, "L002": {}, "L006": {}}
+    report.extend(
+        [
+            Diagnostic("L002", Severity.WARNING, "main:b", "broken fall-through"),
+            Diagnostic("L001", Severity.WARNING, "set 7", "overloaded", {"k": 5}),
+            Diagnostic("L006", Severity.ERROR, "layout", "overlap", {"bytes": 8}),
+            Diagnostic("L001", Severity.WARNING, "set 2", "overloaded", {"k": 3}),
+            Diagnostic("L002", Severity.WARNING, "main:a", "broken fall-through"),
+        ]
+    )
+    return report

@@ -1,0 +1,72 @@
+"""Golden-output and determinism regression tests for the lint reports.
+
+The JSON rendering of a report is a public contract consumed by build
+tooling: its bytes must be a pure function of (program, layout, config),
+never of rule execution order, diagnostic emission order, or hash
+randomization.  The golden file pins the full ``--format json`` output
+for one suite cell; the shuffle tests pin the canonical
+``(rule, location, message)`` ordering directly.
+
+Regenerate the golden after an intentional analyzer change with::
+
+    PYTHONPATH=src python -m repro.lint syn-mcf --scale 0.05 \
+        --format json > tests/lint/golden/lint_syn-mcf_baseline.json
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import random
+from contextlib import redirect_stdout
+from pathlib import Path
+
+from repro.lint.__main__ import main
+from repro.lint.diagnostics import render_json, render_text
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _run_cli_json(argv: list[str]) -> tuple[int, str]:
+    buf = io.StringIO()
+    with redirect_stdout(buf):
+        rc = main(argv)
+    return rc, buf.getvalue()
+
+
+def test_cli_json_matches_golden():
+    rc, out = _run_cli_json(["syn-mcf", "--scale", "0.05", "--format", "json"])
+    assert rc == 0
+    golden = (GOLDEN_DIR / "lint_syn-mcf_baseline.json").read_text()
+    assert out == golden
+
+
+def test_cli_json_run_to_run_deterministic():
+    argv = ["syn-sjeng", "--scale", "0.05", "--format", "json"]
+    rc1, out1 = _run_cli_json(argv)
+    rc2, out2 = _run_cli_json(argv)
+    assert rc1 == rc2 == 0
+    assert out1 == out2
+
+
+def test_report_json_invariant_under_diagnostic_shuffle(lint_report):
+    """to_dict()/render paths must not depend on emission order."""
+    reference = lint_report.to_dict()
+    ref_text = render_text(lint_report)
+    ref_json = render_json(lint_report)
+    rng = random.Random(1234)
+    for _ in range(5):
+        rng.shuffle(lint_report.diagnostics)
+        assert lint_report.to_dict() == reference
+        assert render_text(lint_report) == ref_text
+        assert render_json(lint_report) == ref_json
+
+
+def test_sorted_diagnostics_is_canonical(lint_report):
+    keys = [d.sort_key for d in lint_report.sorted_diagnostics()]
+    assert keys == sorted(keys)
+    # JSON diagnostics array follows the same canonical order.
+    emitted = json.loads(render_json(lint_report))["diagnostics"]
+    assert [
+        (d["rule"], d["location"], d["message"]) for d in emitted
+    ] == sorted((d["rule"], d["location"], d["message"]) for d in emitted)

@@ -1,0 +1,156 @@
+"""Hand-built modules with known CFG structure for the static-analysis
+tests: a diamond with a loop, a call chain, and mutual recursion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.engine.instrument import TraceBundle
+from repro.ir import (
+    BasicBlock,
+    Branch,
+    Call,
+    Exit,
+    Function,
+    Jump,
+    LoopBranch,
+    Module,
+    Return,
+)
+
+#: 1 KB, 2-way, 64 B lines -> 16 lines, 8 sets (same geometry as the
+#: trace-lint tests: lines 8 apart in index collide in the same set).
+TINY_CACHE = CacheConfig(size_bytes=1024, assoc=2, line_bytes=64)
+
+
+def make_bundle(module: Module, trace) -> TraceBundle:
+    """Fabricate a TraceBundle with an exact, hand-chosen block trace."""
+    function_names = [f.name for f in module.functions]
+    fidx = {n: i for i, n in enumerate(function_names)}
+    func_of_gid = np.array(
+        [fidx[n] for n in module.function_of_gid()], dtype=np.int32
+    )
+    bb = np.asarray(trace, dtype=np.int64)
+    instr = int(sum(module.block_by_gid(int(g)).n_instr for g in bb))
+    return TraceBundle(
+        program=module.name,
+        input_name="synthetic",
+        bb_trace=bb,
+        func_trace=func_of_gid[bb] if bb.shape[0] else bb.astype(np.int32),
+        block_names=[
+            f"{b.func}:{b.name}"
+            for b in (module.block_by_gid(g) for g in range(module.n_blocks))
+        ],
+        function_names=function_names,
+        func_of_gid=func_of_gid,
+        instr_count=instr,
+        natural_exit=True,
+    )
+
+
+def chained_module(n: int, n_instr: int = 16, name: str = "chain") -> Module:
+    """``n`` 64-byte blocks strung together by jumps; each executes once."""
+    blocks = [
+        BasicBlock(f"b{i}", n_instr, Jump(f"b{i + 1}")) for i in range(n - 1)
+    ]
+    blocks.append(BasicBlock(f"b{n - 1}", n_instr, Exit()))
+    return Module(name, [Function("main", blocks)], entry="main").seal()
+
+
+def heat_module() -> Module:
+    """Four one-line blocks with known frequencies a=1, b=4, c=1, d=1.
+
+    Blocks are 15 instructions (60 bytes) so that the 4-byte jump
+    ``place_blocks`` charges for a non-adjacent fall-through still fits
+    in a single 64-byte cache line — every block spans exactly one line
+    wherever it is placed.
+    """
+    main = Function(
+        "main",
+        [
+            BasicBlock("a", 15, Jump("b")),
+            BasicBlock("b", 15, LoopBranch("b", "c", trips=4)),
+            BasicBlock("c", 15, Jump("d")),
+            BasicBlock("d", 15, Exit()),
+        ],
+    )
+    return Module("heat", [main], entry="main").seal()
+
+
+def diamond_loop_module() -> Module:
+    """main: entry -> {left,right} -> join -> loop(x3) -> exit.
+
+    One reducible loop with a compile-time trip count, one two-way
+    branch, no calls.
+    """
+    main = Function(
+        "main",
+        [
+            BasicBlock("entry", 4, Branch("left", "right", taken_prob=0.5)),
+            BasicBlock("left", 4, Jump("join")),
+            BasicBlock("right", 4, Jump("join")),
+            BasicBlock("join", 4, Jump("body")),
+            BasicBlock("body", 8, LoopBranch("body", "done", trips=3)),
+            BasicBlock("done", 4, Exit()),
+        ],
+    )
+    return Module("diamond", [main], entry="main").seal()
+
+
+def call_chain_module() -> Module:
+    """main calls helper twice; helper calls leaf once; cold is unreachable."""
+    main = Function(
+        "main",
+        [
+            BasicBlock("entry", 4, Call("helper", "mid")),
+            BasicBlock("mid", 4, Call("helper", "end")),
+            BasicBlock("end", 4, Exit()),
+        ],
+    )
+    helper = Function(
+        "helper",
+        [
+            BasicBlock("entry", 4, Call("leaf", "out")),
+            BasicBlock("out", 4, Return()),
+        ],
+    )
+    leaf = Function("leaf", [BasicBlock("entry", 4, Return())])
+    cold = Function("cold", [BasicBlock("entry", 4, Return())])
+    return Module("chain", [main, helper, leaf, cold], entry="main").seal()
+
+
+def recursive_module() -> Module:
+    """a and b call each other (a recursive SCC below main)."""
+    main = Function(
+        "main", [BasicBlock("entry", 4, Call("a", "end")), BasicBlock("end", 4, Exit())]
+    )
+    a = Function(
+        "a",
+        [
+            BasicBlock("entry", 4, Branch("rec", "base", taken_prob=0.3)),
+            BasicBlock("rec", 4, Call("b", "out")),
+            BasicBlock("base", 4, Return()),
+            BasicBlock("out", 4, Return()),
+        ],
+    )
+    b = Function(
+        "b", [BasicBlock("entry", 4, Call("a", "out")), BasicBlock("out", 4, Return())]
+    )
+    return Module("rec", [main, a, b], entry="main").seal()
+
+
+@pytest.fixture
+def diamond():
+    return diamond_loop_module()
+
+
+@pytest.fixture
+def chain():
+    return call_chain_module()
+
+
+@pytest.fixture
+def recursive():
+    return recursive_module()

@@ -1,0 +1,134 @@
+"""Certification: Spearman, per-line miss parity, and the acceptance gate.
+
+The suite-level tests here pin the PR's acceptance criteria: on at least
+two synthetic workloads the static conflict scores must rank-correlate
+with simulated per-line misses at Spearman >= 0.6, and a profile-free
+``Lab`` must produce structurally valid optimized layouts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.fastsim import per_line_misses, stack_distance_histogram
+from repro.lint import run_lint
+from repro.lint.integrity import audit_address_map
+from repro.staticlint.certify import certify_suite, spearman
+from repro.staticlint.rulepack import run_static_lint
+
+from .conftest import TINY_CACHE
+
+#: scale used for the expensive end-to-end certifications below; the CI
+#: smoke gate runs the same two programs at the same scale.
+CERT_SCALE = 0.25
+CERT_PROGRAMS = ("syn-gcc", "syn-gobmk")
+
+
+# -- spearman -----------------------------------------------------------------
+
+
+def test_spearman_perfect_monotone():
+    assert spearman([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+    # Rank correlation ignores the shape of the monotone map.
+    assert spearman([1, 2, 3, 4], [1, 100, 101, 1000]) == pytest.approx(1.0)
+
+
+def test_spearman_reversed_is_minus_one():
+    assert spearman([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+
+def test_spearman_handles_ties():
+    assert spearman([1, 1, 2], [5, 5, 9]) == pytest.approx(1.0)
+    # Tie-aware: matches the textbook value for one tied pair.
+    rho = spearman([1, 1, 2, 3], [1, 2, 3, 4])
+    assert 0.8 < rho < 1.0
+
+
+def test_spearman_degenerate_inputs_are_zero():
+    assert spearman([], []) == 0.0
+    assert spearman([1], [2]) == 0.0
+    assert spearman([3, 3, 3], [1, 2, 3]) == 0.0
+
+
+def test_spearman_shape_mismatch_raises():
+    with pytest.raises(ValueError, match="shape"):
+        spearman([1, 2], [1, 2, 3])
+
+
+# -- per-line miss attribution ------------------------------------------------
+
+
+def test_per_line_misses_sums_to_histogram_misses():
+    rng = np.random.default_rng(42)
+    lines = rng.integers(0, 48, size=4000).astype(np.int64)
+    per_line = per_line_misses(lines, TINY_CACHE)
+    hist = stack_distance_histogram(lines, TINY_CACHE.n_sets)
+    assert sum(per_line.values()) == hist.misses(TINY_CACHE.assoc)
+    # Every touched line pays at least its cold miss.
+    assert set(per_line) == set(np.unique(lines).tolist())
+    assert all(v >= 1 for v in per_line.values())
+
+
+# -- acceptance: static predictions certify against the simulator -------------
+
+
+@pytest.fixture(scope="module")
+def cert_results():
+    return {
+        r.program: r for r in certify_suite(CERT_PROGRAMS, scale=CERT_SCALE)
+    }
+
+
+@pytest.mark.parametrize("program", CERT_PROGRAMS)
+def test_conflict_scores_correlate_with_simulated_misses(cert_results, program):
+    r = cert_results[program]
+    assert r.n_conflict_lines > 0, "gate program must have oversubscribed sets"
+    assert r.measured_misses > 0
+    assert r.conflict_rho >= 0.6
+    assert r.passes(min_conflict_rho=0.6)
+
+
+@pytest.mark.parametrize("program", CERT_PROGRAMS)
+def test_hotness_estimates_correlate_with_traced_counts(cert_results, program):
+    assert cert_results[program].hotness_rho >= 0.6
+
+
+def test_certify_result_round_trips_to_dict(cert_results):
+    d = cert_results["syn-gcc"].to_dict()
+    assert d["program"] == "syn-gcc"
+    assert d["layout"] == "baseline"
+    assert set(d) == {
+        "program",
+        "layout",
+        "conflict_rho",
+        "hotness_rho",
+        "n_lines",
+        "n_conflict_lines",
+        "measured_misses",
+        "diagnostics",
+        "static_seconds",
+        "sim_seconds",
+    }
+
+
+# -- acceptance: profile-free optimization produces valid layouts -------------
+
+
+def test_static_profile_drives_optimizer_to_valid_layout():
+    from repro.experiments.pipeline import Lab
+
+    lab = Lab(scale=0.1, profile_source="static")
+    prepared = lab.program("syn-sjeng")
+    layout = lab.layout("syn-sjeng", "bb-affinity")
+    module = prepared.module
+    # Structurally sound: the shared audit finds nothing...
+    assert audit_address_map(module, layout.address_map) == []
+    assert sorted(layout.address_map.order) == list(range(module.n_blocks))
+    # ...and both integrity lints agree (parity between S005 and L006).
+    s_report = run_static_lint(module, layout, lab.cache_cfg)
+    l_report = run_lint(
+        module, layout, prepared.test_bundle, lab.cache_cfg
+    )
+    assert s_report.by_rule("S005") == []
+    assert l_report.by_rule("L006") == []
+    # The profile that drove the build really was synthetic.
+    assert prepared.test_bundle.input_name == "static-synthetic"

@@ -1,0 +1,133 @@
+"""The ``python -m repro.staticlint`` CLI: output schema and exit codes."""
+
+import json
+
+import pytest
+
+from repro.staticlint.__main__ import DEFAULT_CERTIFY_PROGRAMS, main
+
+
+def run(capsys, *argv):
+    rc = main(list(argv))
+    return rc, capsys.readouterr().out
+
+
+# -- list-rules ---------------------------------------------------------------
+
+
+def test_list_rules_prints_catalog(capsys):
+    rc, out = run(capsys, "list-rules")
+    assert rc == 0
+    for rule_id in ("S001", "S002", "S003", "S004", "S005"):
+        assert rule_id in out
+
+
+# -- lint ---------------------------------------------------------------------
+
+
+def test_lint_json_has_report_schema(capsys):
+    rc, out = run(capsys, "lint", "syn-mcf", "--scale", "0.05", "--format", "json")
+    assert rc == 0  # no ERROR diagnostics on a well-formed baseline
+    payload = json.loads(out)
+    assert payload["program"] == "syn-mcf"
+    assert payload["layout"] == "baseline"
+    assert list(payload["rules"]) == ["S001", "S002", "S003", "S004", "S005"]
+    assert set(payload["summary"]["by_rule"]) == set(payload["rules"])
+    assert payload["summary"]["errors"] == 0
+    for d in payload["diagnostics"]:
+        assert d["rule"].startswith("S")
+
+
+def test_lint_disable_skips_rule(capsys):
+    rc, out = run(
+        capsys,
+        "lint", "syn-mcf", "--scale", "0.05", "--format", "json",
+        "--disable", "S003", "--disable", "S004",
+    )
+    assert rc == 0
+    payload = json.loads(out)
+    assert list(payload["rules"]) == ["S001", "S002", "S005"]
+
+
+def test_lint_usage_errors_exit_2(capsys):
+    for argv in (
+        ["lint", "syn-mcf", "--scale", "0"],
+        ["lint", "syn-mcf", "--hot-coverage", "2"],
+        ["lint", "syn-mcf", "--disable", "S999"],
+        ["lint", "no-such-program"],
+        ["lint", "syn-mcf", "--layout", "no-such-layout"],
+    ):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        capsys.readouterr()
+
+
+# -- certify ------------------------------------------------------------------
+
+
+def test_default_gate_programs():
+    assert DEFAULT_CERTIFY_PROGRAMS == ("syn-gcc", "syn-gobmk")
+
+
+@pytest.fixture(scope="module")
+def certify_json(tmp_path_factory):
+    """One cheap certify run shared by the CLI tests (degenerate program,
+    thresholds disabled: exercises plumbing, not calibration)."""
+    bench = tmp_path_factory.mktemp("bench") / "BENCH_perf.json"
+    return bench
+
+
+def test_certify_json_and_bench_merge(capsys, certify_json):
+    rc, out = run(
+        capsys,
+        "certify",
+        "--programs", "syn-mcf",
+        "--scale", "0.05",
+        "--min-conflict-rho", "-1",
+        "--format", "json",
+        "--bench", str(certify_json),
+    )
+    assert rc == 0
+    # stdout: the JSON payload followed by the bench-merge note line.
+    payload = json.loads(out[: out.rindex("}") + 1])
+    assert payload["ok"] is True
+    assert payload["min_conflict_rho"] == -1.0
+    (result,) = payload["results"]
+    assert result["program"] == "syn-mcf"
+    assert result["layout"] == "baseline"
+    assert result["n_lines"] > 0
+
+    bench = json.loads(certify_json.read_text())
+    section = bench["staticlint"]
+    assert section["ok"] is True
+    assert section["certified"] == 1
+    assert section["certify"][0]["program"] == "syn-mcf"
+    assert {"diagnostics", "seconds", "diagnostics_per_s"} <= set(section)
+
+
+def test_certify_threshold_failure_exits_1(capsys):
+    # syn-mcf has no oversubscribed set: conflict_rho is pinned at 0, so
+    # any positive threshold fails.
+    rc = main(
+        [
+            "certify",
+            "--programs", "syn-mcf",
+            "--scale", "0.05",
+            "--min-conflict-rho", "0.5",
+        ]
+    )
+    capsys.readouterr()
+    assert rc == 1
+
+
+def test_certify_usage_errors_exit_2(capsys):
+    for argv in (
+        ["certify", "--scale", "0"],
+        ["certify", "--programs", "no-such-program", "--scale", "0.05"],
+        ["certify", "--layout", "no-such-layout"],
+    ):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        capsys.readouterr()

@@ -1,0 +1,158 @@
+"""Dataflow framework: RPO, dominators, natural loops, call-graph SCCs."""
+
+from repro.ir import BasicBlock, Exit, Function, Jump, Module, Return
+from repro.staticlint.dataflow import CallGraph, FunctionCFG, build_cfgs
+
+
+def idx(cfg, name):
+    return cfg.index[name]
+
+
+# -- reverse postorder / reachability ----------------------------------------
+
+
+def test_rpo_starts_at_entry_and_respects_topology(diamond):
+    cfg = FunctionCFG(diamond.function("main"))
+    rpo = cfg.rpo
+    assert rpo[0] == idx(cfg, "entry")
+    pos = {node: k for k, node in enumerate(rpo)}
+    # Acyclic edges go forward in RPO.
+    assert pos[idx(cfg, "entry")] < pos[idx(cfg, "left")]
+    assert pos[idx(cfg, "entry")] < pos[idx(cfg, "right")]
+    assert pos[idx(cfg, "left")] < pos[idx(cfg, "join")]
+    assert pos[idx(cfg, "join")] < pos[idx(cfg, "body")]
+    assert pos[idx(cfg, "body")] < pos[idx(cfg, "done")]
+    assert len(rpo) == 6  # every block reachable
+
+
+def test_unreachable_block_excluded_from_rpo_and_dominators():
+    main = Function(
+        "main",
+        [
+            BasicBlock("entry", 4, Jump("end")),
+            BasicBlock("dead", 4, Return()),
+            BasicBlock("end", 4, Exit()),
+        ],
+    )
+    m = Module("dead", [main], entry="main").seal()
+    cfg = FunctionCFG(m.function("main"))
+    assert idx(cfg, "dead") not in cfg.rpo
+    assert cfg.idom[idx(cfg, "dead")] == -1
+    assert not cfg.dominates(idx(cfg, "entry"), idx(cfg, "dead"))
+
+
+# -- dominators ---------------------------------------------------------------
+
+
+def test_dominators_of_diamond(diamond):
+    cfg = FunctionCFG(diamond.function("main"))
+    e, le, r, j, b, d = (idx(cfg, n) for n in ("entry", "left", "right", "join", "body", "done"))
+    assert cfg.idom[e] == e
+    assert cfg.idom[le] == e
+    assert cfg.idom[r] == e
+    # join is reached via both arms, so neither arm dominates it.
+    assert cfg.idom[j] == e
+    assert cfg.idom[b] == j
+    assert cfg.idom[d] == b
+    assert cfg.dominates(e, d)
+    assert cfg.dominates(j, b)
+    assert not cfg.dominates(le, j)
+    assert not cfg.dominates(r, j)
+
+
+# -- natural loops ------------------------------------------------------------
+
+
+def test_self_loop_detected(diamond):
+    cfg = FunctionCFG(diamond.function("main"))
+    b, d = idx(cfg, "body"), idx(cfg, "done")
+    assert len(cfg.loops) == 1
+    loop = cfg.loops[0]
+    assert loop.header == b
+    assert loop.body == frozenset({b})
+    assert loop.back_edges == ((b, b),)
+    assert loop.exits == ((b, d),)
+    assert cfg.loop_depth[b] == 1
+    assert cfg.loop_depth[d] == 0
+    assert cfg.is_back_edge(b, b)
+    assert not cfg.is_back_edge(b, d)
+    assert cfg.is_loop_exit_edge(b, d)
+    assert cfg.innermost_loop(b) is loop
+    assert cfg.innermost_loop(d) is None
+
+
+def test_multi_block_loop():
+    from repro.ir import LoopBranch
+
+    main = Function(
+        "main",
+        [
+            BasicBlock("entry", 4, Jump("head")),
+            BasicBlock("head", 4, Jump("tail")),
+            BasicBlock("tail", 4, LoopBranch("head", "out", trips=2)),
+            BasicBlock("out", 4, Exit()),
+        ],
+    )
+    m = Module("loop2", [main], entry="main").seal()
+    cfg = FunctionCFG(m.function("main"))
+    h, t, o = idx(cfg, "head"), idx(cfg, "tail"), idx(cfg, "out")
+    assert len(cfg.loops) == 1
+    loop = cfg.loops[0]
+    assert loop.header == h
+    assert loop.body == frozenset({h, t})
+    assert loop.back_edges == ((t, h),)
+    assert (t, o) in loop.exits
+    assert cfg.loop_depth[h] == cfg.loop_depth[t] == 1
+
+
+# -- call graph ---------------------------------------------------------------
+
+
+def test_call_graph_edges_and_topo_order(chain):
+    g = CallGraph.build(chain)
+    assert g.edges["main"] == ["helper"]
+    assert g.edges["helper"] == ["leaf"]
+    assert g.edges["leaf"] == []
+    assert g.edges["cold"] == []
+    assert all(len(c) == 1 for c in g.sccs)
+    assert not any(g.is_recursive(f.name) for f in chain.functions)
+    pos = {comp[0]: k for k, comp in enumerate(g.topo_sccs)}
+    # Callers before callees.
+    assert pos["main"] < pos["helper"] < pos["leaf"]
+    assert g.callers_of("helper") == ["main"]
+    assert g.callers_of("leaf") == ["helper"]
+    assert g.callers_of("main") == []
+
+
+def test_mutual_recursion_forms_one_scc(recursive):
+    g = CallGraph.build(recursive)
+    comp = g.sccs[g.scc_of["a"]]
+    assert set(comp) == {"a", "b"}
+    assert g.is_recursive("a") and g.is_recursive("b")
+    assert not g.is_recursive("main")
+    pos = {name: k for k, comp in enumerate(g.topo_sccs) for name in comp}
+    assert pos["main"] < pos["a"]
+    assert pos["a"] == pos["b"]
+
+
+def test_self_recursion_is_recursive():
+    from repro.ir import Call
+
+    main = Function(
+        "main",
+        [BasicBlock("entry", 4, Call("s", "end")), BasicBlock("end", 4, Exit())],
+    )
+    s = Function(
+        "s",
+        [BasicBlock("entry", 4, Call("s", "out")), BasicBlock("out", 4, Return())],
+    )
+    m = Module("selfrec", [main, s], entry="main").seal()
+    g = CallGraph.build(m)
+    assert g.is_recursive("s")
+    assert not g.is_recursive("main")
+
+
+def test_build_cfgs_covers_every_function(chain):
+    cfgs = build_cfgs(chain)
+    assert set(cfgs) == {"main", "helper", "leaf", "cold"}
+    assert all(cfgs[f.name].n == len(f.blocks) for f in chain.functions)

@@ -1,0 +1,113 @@
+"""Synthetic trace bundles: interpreter parity, determinism, budgets."""
+
+import numpy as np
+import pytest
+
+from repro.engine.instrument import collect_trace
+from repro.engine.state import InputSpec
+from repro.ir import (
+    BasicBlock,
+    Call,
+    Exit,
+    Function,
+    Jump,
+    LoopBranch,
+    Module,
+    Return,
+)
+from repro.staticlint.profile import STATIC_INPUT_NAME, synthesize_bundle
+
+from .conftest import diamond_loop_module
+
+
+def _deterministic_module() -> Module:
+    """Only Jump/LoopBranch/Call/Return/Exit: zero randomness in any walk."""
+    main = Function(
+        "main",
+        [
+            BasicBlock("entry", 4, Jump("loop")),
+            BasicBlock("loop", 2, LoopBranch("loop", "call", trips=3)),
+            BasicBlock("call", 4, Call("leaf", "end")),
+            BasicBlock("end", 4, Exit()),
+        ],
+    )
+    leaf = Function("leaf", [BasicBlock("entry", 8, Return())])
+    return Module("det", [main, leaf], entry="main").seal()
+
+
+def test_deterministic_walk_matches_interpreter_exactly():
+    m = _deterministic_module()
+    synth = synthesize_bundle(m, max_blocks=100, seed=0)
+    real = collect_trace(m, InputSpec(name="t", seed=123, max_blocks=100))
+    assert np.array_equal(synth.bb_trace, real.bb_trace)
+    assert synth.instr_count == real.instr_count
+    assert synth.natural_exit and real.natural_exit
+    assert np.array_equal(synth.func_trace, real.func_trace)
+
+
+def test_bundle_structure_is_valid():
+    m = _deterministic_module()
+    b = synthesize_bundle(m, max_blocks=100, seed=0)
+    assert b.program == "det"
+    assert b.input_name == STATIC_INPUT_NAME
+    assert len(b.block_names) == m.n_blocks
+    assert b.function_names == [f.name for f in m.functions]
+    # Every traced gid is a real block; instr_count is the trace's sum.
+    assert b.bb_trace.min() >= 0 and b.bb_trace.max() < m.n_blocks
+    assert b.instr_count == sum(
+        m.block_by_gid(int(g)).n_instr for g in b.bb_trace
+    )
+    assert np.array_equal(b.func_trace, b.func_of_gid[b.bb_trace])
+
+
+def test_loop_trips_and_call_semantics():
+    m = _deterministic_module()
+    b = synthesize_bundle(m, max_blocks=100, seed=0)
+    names = [b.block_names[g] for g in b.bb_trace]
+    assert names == [
+        "main:entry",
+        "main:loop",
+        "main:loop",
+        "main:loop",  # trips=3: body runs 3 times per loop visit
+        "main:call",
+        "leaf:entry",
+        "main:end",
+    ]
+
+
+def test_same_seed_reproduces_branchy_walk():
+    m = diamond_loop_module()
+    a = synthesize_bundle(m, max_blocks=64, seed=7)
+    b = synthesize_bundle(m, max_blocks=64, seed=7)
+    assert np.array_equal(a.bb_trace, b.bb_trace)
+    assert a.instr_count == b.instr_count
+    assert a.natural_exit == b.natural_exit
+    # The diamond always terminates in exactly 7 dynamic blocks.
+    assert len(a.bb_trace) == 7
+    assert a.natural_exit
+
+
+def test_block_budget_truncates_walk():
+    m = _deterministic_module()
+    b = synthesize_bundle(m, max_blocks=3, seed=0)
+    assert len(b.bb_trace) == 3
+    assert not b.natural_exit
+
+
+def test_return_from_root_frame_is_natural_exit():
+    main = Function("main", [BasicBlock("entry", 4, Return())])
+    m = Module("ret", [main], entry="main").seal()
+    b = synthesize_bundle(m, max_blocks=10, seed=0)
+    assert len(b.bb_trace) == 1
+    assert b.natural_exit
+
+
+def test_invalid_inputs_rejected():
+    m = _deterministic_module()
+    with pytest.raises(ValueError, match="max_blocks"):
+        synthesize_bundle(m, max_blocks=0, seed=0)
+    unsealed = Module(
+        "u", [Function("main", [BasicBlock("entry", 4, Exit())])], entry="main"
+    )
+    with pytest.raises(ValueError, match="sealed"):
+        synthesize_bundle(unsealed, max_blocks=10, seed=0)

@@ -1,0 +1,209 @@
+"""S-pack rules on hand-built modules with planted defects."""
+
+import pytest
+
+from repro.ir import (
+    AddressMap,
+    BasicBlock,
+    Branch,
+    Call,
+    Exit,
+    Function,
+    Module,
+    Return,
+    baseline_layout,
+    layout_blocks,
+)
+from repro.ir.codegen import place_blocks
+from repro.lint import Severity, run_lint
+from repro.lint.integrity import audit_address_map
+from repro.staticlint.rulepack import (
+    StaticLintConfig,
+    all_static_rules,
+    run_static_lint,
+)
+
+from .conftest import TINY_CACHE, chained_module, heat_module, make_bundle
+
+
+def test_rule_catalog_is_complete():
+    assert [r.id for r in all_static_rules()] == [
+        "S001",
+        "S002",
+        "S003",
+        "S004",
+        "S005",
+    ]
+
+
+# -- S001 static-set-conflict -------------------------------------------------
+
+
+def test_s001_flags_warm_lines_piled_on_one_set():
+    m = heat_module()
+    amap = place_blocks(m, {0: 0, 1: 512, 2: 1024, 3: 64})
+    report = run_static_lint(m, amap, TINY_CACHE)
+    diags = [d for d in report.by_rule("S001") if d.severity is Severity.WARNING]
+    assert len(diags) == 1
+    d = diags[0]
+    assert d.location == "set 0"
+    assert d.measured["warm_lines"] == 3
+    assert d.measured["assoc"] == 2
+    # Charged heat of set 0: (4 + 1 + 1) * overflow 1/6 = 1.0 fetches.
+    assert d.measured["predicted_conflict_fetches"] == pytest.approx(1.0)
+    assert report.metrics["S001"]["n_conflict_sets"] == 1
+
+
+def test_s001_clean_when_spread_over_sets():
+    m = heat_module()
+    amap = place_blocks(m, {0: 0, 1: 64, 2: 128, 3: 192})
+    report = run_static_lint(m, amap, TINY_CACHE)
+    assert report.by_rule("S001") == []
+    assert report.metrics["S001"]["n_conflict_sets"] == 0
+    assert report.metrics["S001"]["conflict_score"] == 0.0
+
+
+# -- S002 static-footprint-bound ----------------------------------------------
+
+
+def test_s002_warns_when_bound_exceeds_capacity():
+    m = chained_module(18)  # 18 warm 64B lines vs 16-line tiny cache
+    report = run_static_lint(m, baseline_layout(m), TINY_CACHE)
+    diags = report.by_rule("S002")
+    assert [d.severity for d in diags] == [Severity.WARNING]
+    assert diags[0].measured["bound_lines"] >= diags[0].measured["capacity_lines"]
+
+
+def test_s002_info_when_bound_exceeds_half_capacity():
+    m = chained_module(16)
+    report = run_static_lint(m, baseline_layout(m), TINY_CACHE)
+    diags = report.by_rule("S002")
+    assert [d.severity for d in diags] == [Severity.INFO]
+
+
+def test_s002_clean_for_small_footprint():
+    m = chained_module(4)
+    report = run_static_lint(m, baseline_layout(m), TINY_CACHE)
+    assert report.by_rule("S002") == []
+
+
+# -- S003 hot-fallthrough-break -----------------------------------------------
+
+
+def _branchy():
+    main = Function(
+        "main",
+        [
+            BasicBlock("entry", 16, Branch("a", "b", taken_prob=0.5)),
+            BasicBlock("a", 16, Exit()),
+            BasicBlock("b", 16, Exit()),
+        ],
+    )
+    return Module("ft", [main], entry="main").seal()
+
+
+def test_s003_flags_broken_hot_fallthrough():
+    m = _branchy()
+    # Declaration order entry,a,b: entry's fall-through (b) is not adjacent.
+    report = run_static_lint(m, layout_blocks(m, [0, 1, 2]), TINY_CACHE)
+    diags = [d for d in report.by_rule("S003") if d.severity is Severity.WARNING]
+    assert [d.location for d in diags] == ["main:entry"]
+    # Charged the estimated frequency times the edge probability (1 * 0.7).
+    assert diags[0].measured["expected_jumps"] == pytest.approx(0.7)
+    assert diags[0].measured["target"] == "main:b"
+    assert report.metrics["S003"]["n_broken_total"] == 1
+
+
+def test_s003_clean_when_fallthrough_adjacent():
+    m = _branchy()
+    report = run_static_lint(m, layout_blocks(m, [0, 2, 1]), TINY_CACHE)
+    assert report.by_rule("S003") == []
+    assert report.metrics["S003"]["n_broken_total"] == 0
+
+
+# -- S004 far-hot-call --------------------------------------------------------
+
+
+def _caller(callee_start):
+    main = Function(
+        "main",
+        [
+            BasicBlock("entry", 16, Call("far", "end")),
+            BasicBlock("end", 16, Exit()),
+        ],
+    )
+    far = Function("far", [BasicBlock("entry", 16, Return())])
+    m = Module("call", [main, far], entry="main").seal()
+    return m, place_blocks(m, {0: 0, 1: 64, 2: callee_start})
+
+
+def test_s004_flags_call_beyond_cache_span():
+    m, amap = _caller(2048)  # > 1024B tiny-cache span
+    report = run_static_lint(m, amap, TINY_CACHE)
+    diags = [d for d in report.by_rule("S004") if d.severity is Severity.WARNING]
+    assert len(diags) == 1
+    assert diags[0].location == "main:entry"
+    assert diags[0].measured["callee"] == "far"
+    assert diags[0].measured["distance_bytes"] == 2048
+    assert report.metrics["S004"]["n_far_calls"] == 1
+
+
+def test_s004_clean_for_near_call():
+    m, amap = _caller(512)
+    report = run_static_lint(m, amap, TINY_CACHE)
+    assert report.by_rule("S004") == []
+    assert report.metrics["S004"]["n_far_calls"] == 0
+
+
+# -- S005 static-layout-integrity ---------------------------------------------
+
+
+def test_s005_parity_with_trace_driven_l006():
+    m = chained_module(3)
+    good = baseline_layout(m).address_map
+    starts = good.starts.copy()
+    starts[1] = starts[0] + 1  # plant an overlap
+    broken = AddressMap(
+        order=list(good.order), starts=starts, sizes=good.sizes.copy(), added_jumps=0
+    )
+
+    s_diags = run_static_lint(m, broken, TINY_CACHE).by_rule("S005")
+    l_report = run_lint(m, broken, make_bundle(m, [0, 1, 2]), TINY_CACHE)
+    l_diags = l_report.by_rule("L006")
+    assert s_diags, "planted overlap must be detected"
+    # Identical findings, only the rule id differs.
+    assert [
+        (d.severity, d.location, d.message, d.measured) for d in s_diags
+    ] == [(d.severity, d.location, d.message, d.measured) for d in l_diags]
+    # And both delegate to the shared audit.
+    audit = audit_address_map(m, broken)
+    assert len(audit) == len(s_diags)
+
+
+def test_s005_clean_layout_has_no_errors():
+    m = chained_module(3)
+    report = run_static_lint(m, baseline_layout(m), TINY_CACHE)
+    assert report.by_rule("S005") == []
+    assert report.ok
+
+
+# -- config: disable + severity overrides -------------------------------------
+
+
+def test_disabled_rules_are_skipped():
+    m = heat_module()
+    amap = place_blocks(m, {0: 0, 1: 512, 2: 1024, 3: 64})
+    cfg = StaticLintConfig(disabled=frozenset({"S001", "S002", "S003", "S004"}))
+    report = run_static_lint(m, amap, TINY_CACHE, cfg)
+    assert report.rules_run == ["S005"]
+    assert report.by_rule("S001") == []
+
+
+def test_severity_override_escalates_to_error():
+    m = heat_module()
+    amap = place_blocks(m, {0: 0, 1: 512, 2: 1024, 3: 64})
+    cfg = StaticLintConfig(severity_overrides={"S001": Severity.ERROR})
+    report = run_static_lint(m, amap, TINY_CACHE, cfg)
+    diags = report.by_rule("S001")
+    assert diags and all(d.severity is Severity.ERROR for d in diags)
+    assert not report.ok
