@@ -25,6 +25,17 @@ The runner is built for long, messy batch runs:
   timing fields); ``--memo-dir`` adds a persistent content-addressed
   simulation memo cache; ``--bench-out`` writes a ``BENCH_perf.json``
   telemetry report (see :mod:`repro.perf` and docs/performance.md).
+
+Retries are fault-class aware: a failure is retried only if
+:func:`repro.robust.errors.fault_class` calls it transient — permanent
+failures (bad input, broken invariants) fail fast no matter the budget —
+and backoff follows the deterministic decorrelated-jitter schedule of
+:class:`repro.robust.supervisor.RetryPolicy`.  Parallel runs execute
+under the :class:`~repro.robust.supervisor.SupervisedPool` self-healing
+runtime (heartbeats, hang deadlines, bounded worker respawn), and
+``--chaos SEED`` arms the deterministic process-level chaos harness
+(worker kills, hangs, memo I/O faults, mid-run corruption — see
+docs/robustness.md) whose journal outcomes must match a clean run.
 """
 
 from __future__ import annotations
@@ -32,12 +43,13 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Optional, TextIO
 
 from ..robust.errors import ReproError, SimulationError
 from ..robust.journal import RunJournal
+from ..robust.supervisor import RetryPolicy
 from . import (
     ablations,
     exp_cache_sweep,
@@ -165,21 +177,32 @@ def attempt_experiment(
     *,
     retries: int = 0,
     inject_fault: Optional[str] = None,
+    policy: Optional[RetryPolicy] = None,
 ) -> tuple[ExperimentOutcome, list[str]]:
     """Run one experiment's full attempt loop in isolation.
 
     The single source of truth for per-experiment semantics — the serial
     suite loop and the ``--jobs`` worker processes both call this, which
     is what makes parallel outcomes provably identical to serial ones.
-    Durations use the monotonic clock (``time.perf_counter``), never
-    wall-clock ``time.time`` — an NTP step mid-experiment must not warp
+    Retries follow ``policy`` (default: a :class:`RetryPolicy` granting
+    ``retries`` extra attempts): only transient fault classes are
+    retried, with deterministic decorrelated-jitter backoff keyed by
+    ``exp_id``; permanent failures fail fast.  Durations use the
+    monotonic clock (``time.perf_counter``), never wall-clock
+    ``time.time`` — an NTP step mid-experiment must not warp
     ``elapsed_s``.  Returns the outcome plus the retry notes to print.
     """
+    if policy is None:
+        policy = RetryPolicy(max_retries=retries)
+    elif retries > policy.max_retries:
+        policy = replace(policy, max_retries=retries)
     outcome = ExperimentOutcome(exp_id, "failed")
     notes: list[str] = []
     timings_before = dict(lab.timings)
     start = time.perf_counter()
-    for attempt in range(1, retries + 2):
+    attempt = 0
+    while True:
+        attempt += 1
         outcome.attempts = attempt
         try:
             if inject_fault == exp_id:
@@ -196,11 +219,13 @@ def attempt_experiment(
             raise
         except Exception as err:
             outcome.error = _as_repro_error(exp_id, err)
-            if attempt <= retries:
-                notes.append(
-                    f"!! {exp_id}: attempt {attempt} failed "
-                    f"({outcome.error}); retrying"
-                )
+            if not policy.should_retry(outcome.error, attempt):
+                break
+            notes.append(
+                f"!! {exp_id}: attempt {attempt} failed "
+                f"({outcome.error}); retrying"
+            )
+            policy.sleep_before_retry(exp_id, attempt)
     outcome.elapsed_s = time.perf_counter() - start
     outcome.timings = {
         stage: total - timings_before.get(stage, 0.0)
@@ -254,6 +279,10 @@ def run_suite(
     out: Optional[TextIO] = None,
     jobs: int = 1,
     telemetry=None,
+    policy: Optional[RetryPolicy] = None,
+    chaos=None,
+    hang_timeout_s: float = 300.0,
+    respawn_budget: int = 4,
 ) -> list[ExperimentOutcome]:
     """Run ``ids`` with per-experiment isolation.
 
@@ -268,12 +297,17 @@ def run_suite(
     named experiment to fail (a drill for the failure machinery).
 
     ``jobs > 1`` fans the experiments out across worker processes (one
-    private :class:`Lab` per worker) while preserving every serial
-    guarantee: isolation, typed errors, journal entries, and output in
-    the exact serial order — results and report text are identical
-    modulo timing fields.  ``telemetry`` (a
+    private :class:`Lab` per worker) under the self-healing
+    :class:`~repro.robust.supervisor.SupervisedPool` while preserving
+    every serial guarantee: isolation, typed errors, journal entries,
+    and output in the exact serial order — results and report text are
+    identical modulo timing fields.  ``telemetry`` (a
     :class:`repro.perf.telemetry.Telemetry`) collects per-stage wall
-    time and throughput counters from whichever path ran.
+    time and throughput counters from whichever path ran.  ``policy``
+    overrides the default taxonomy-aware retry schedule; ``chaos`` (a
+    :class:`repro.robust.faults.ChaosPlan`) arms the deterministic chaos
+    harness on the parallel path; ``hang_timeout_s`` and
+    ``respawn_budget`` tune the supervisor.
     """
     out = out or sys.stdout
     unknown = [i for i in ids if i not in EXPERIMENTS]
@@ -295,6 +329,7 @@ def run_suite(
             inject_fault=inject_fault,
             out=out,
             telemetry=telemetry,
+            policy=policy,
         )
         if telemetry is not None:
             telemetry.merge_stages(lab.timings)
@@ -313,6 +348,10 @@ def run_suite(
             out=out,
             jobs=jobs,
             telemetry=telemetry,
+            policy=policy,
+            chaos=chaos,
+            hang_timeout_s=hang_timeout_s,
+            respawn_budget=respawn_budget,
         )
     if telemetry is not None:
         telemetry.wall_s += time.perf_counter() - wall_start
@@ -338,6 +377,7 @@ def _run_suite_serial(
     inject_fault: Optional[str],
     out: TextIO,
     telemetry,
+    policy: Optional[RetryPolicy] = None,
 ) -> list[ExperimentOutcome]:
     outcomes: list[ExperimentOutcome] = []
     for exp_id in ids:
@@ -345,7 +385,7 @@ def _run_suite_serial(
             outcomes.append(_skip_outcome(exp_id, out))
             continue
         outcome, notes = attempt_experiment(
-            lab, exp_id, retries=retries, inject_fault=inject_fault
+            lab, exp_id, retries=retries, inject_fault=inject_fault, policy=policy
         )
         _emit_outcome(
             outcome,
@@ -372,27 +412,61 @@ def _run_suite_parallel(
     out: TextIO,
     jobs: int,
     telemetry,
+    policy: Optional[RetryPolicy] = None,
+    chaos=None,
+    hang_timeout_s: float = 300.0,
+    respawn_budget: int = 4,
 ) -> list[ExperimentOutcome]:
-    from ..perf.parallel import ExperimentPool, rebuild_error
+    from ..perf.parallel import rebuild_error
+    from ..robust.faults import chaos_corrupt_memo
+    from ..robust.supervisor import SupervisedPool
 
     memo_dir = None
     if lab.memo is not None and lab.memo.cache_dir is not None:
         memo_dir = str(lab.memo.cache_dir)
+    breaker_config = None
+    if chaos is not None:
+        # A tight breaker so the chaos soak exercises trip + recovery in
+        # seconds: three strikes open it, a quarter-second half-opens it.
+        breaker_config = {"failure_threshold": 3, "reset_after_s": 0.25}
 
     outcomes: list[ExperimentOutcome] = []
-    with ExperimentPool(jobs, lab.spawn_config(), memo_dir=memo_dir) as pool:
+    pool = SupervisedPool(
+        jobs,
+        lab.spawn_config(),
+        memo_dir=memo_dir,
+        hang_timeout_s=hang_timeout_s,
+        respawn_budget=respawn_budget,
+        breaker_config=breaker_config,
+        chaos=chaos,
+    )
+    with pool:
         futures = {
-            exp_id: pool.submit(exp_id, retries=retries, inject_fault=inject_fault)
+            exp_id: pool.submit(
+                exp_id, retries=retries, inject_fault=inject_fault, policy=policy
+            )
             for exp_id in ids
             if exp_id not in already_done
         }
         # Consume strictly in submission order: output, journal entries,
         # and early-abort behavior match the serial run line for line.
+        consumed = 0
         for exp_id in ids:
             if exp_id in already_done:
                 outcomes.append(_skip_outcome(exp_id, out))
                 continue
             payload = futures[exp_id].result()
+            consumed += 1
+            if (
+                chaos is not None
+                and memo_dir is not None
+                and consumed == chaos.corrupt_after
+            ):
+                # Mid-run silent corruption drill: garble one memo entry
+                # while workers are still reading the cache.  Readers
+                # detect it and degrade to recomputation, so outcomes
+                # stay identical to a clean run.
+                chaos_corrupt_memo(memo_dir, chaos.seed)
             error_payload = payload["error"]
             outcome = ExperimentOutcome(
                 exp_id=payload["exp_id"],
@@ -417,6 +491,11 @@ def _run_suite_parallel(
             outcomes.append(outcome)
             if outcome.status == "failed" and not keep_going:
                 break
+    if telemetry is not None:
+        stats = pool.stats.to_dict()
+        stats["breaker_trips"] = telemetry.memo.get("breaker_trips", 0)
+        stats["breaker_recoveries"] = telemetry.memo.get("breaker_recoveries", 0)
+        telemetry.merge_resilience(stats)
     return outcomes
 
 
@@ -522,6 +601,33 @@ def main(argv: list[str] | None = None) -> int:
         "build_trg) instead of the vectorized analysis kernels (also "
         "parity-gated bit-identical; for oracle comparison)",
     )
+    parser.add_argument(
+        "--chaos",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="arm the deterministic chaos harness with this seed (worker "
+        "kill, hang, memo I/O faults, mid-run corruption); requires "
+        "--jobs >= 2 and at least two experiments.  Outcomes must match "
+        "a clean run — see docs/robustness.md",
+    )
+    parser.add_argument(
+        "--hang-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="supervisor per-task deadline and heartbeat-stall limit "
+        "(default 300; chaos runs default to 60 so injected hangs are "
+        "detected quickly without outrunning honest slow experiments)",
+    )
+    parser.add_argument(
+        "--respawn-budget",
+        type=int,
+        default=4,
+        metavar="N",
+        help="workers the supervisor may replace before giving up and "
+        "resolving remaining work as failed (partial-result exit)",
+    )
     args = parser.parse_args(argv)
 
     ids = args.only if args.only is not None else list(EXPERIMENTS)
@@ -546,6 +652,33 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.respawn_budget < 0:
+        print("error: --respawn-budget must be >= 0", file=sys.stderr)
+        return 2
+    if args.hang_timeout is not None and args.hang_timeout <= 0:
+        print("error: --hang-timeout must be > 0", file=sys.stderr)
+        return 2
+
+    chaos = None
+    if args.chaos is not None:
+        if args.jobs < 2 or len(ids) < 2:
+            print(
+                "error: --chaos needs --jobs >= 2 and at least two "
+                "experiments (the harness kills and hangs workers; "
+                "redundancy is the point)",
+                file=sys.stderr,
+            )
+            return 2
+        from ..robust.faults import ChaosPlan
+
+        # The chaos drill targets the memo disk tier too; give it one.
+        if args.memo_dir is None:
+            args.memo_dir = ".chaos-memo"
+        chaos = ChaosPlan.from_seed(args.chaos, ids)
+        print(f"chaos: {chaos.describe()}")
+    hang_timeout_s = args.hang_timeout
+    if hang_timeout_s is None:
+        hang_timeout_s = 60.0 if chaos is not None else 300.0
 
     journal: Optional[RunJournal] = None
     if args.journal is not None or args.keep_going or args.resume:
@@ -585,8 +718,16 @@ def main(argv: list[str] | None = None) -> int:
         inject_fault=args.inject_fault,
         jobs=suite_jobs,
         telemetry=telemetry,
+        chaos=chaos,
+        hang_timeout_s=hang_timeout_s,
+        respawn_budget=args.respawn_budget,
     )
     _summarize(outcomes, sys.stdout)
+    if chaos is not None and memo is not None:
+        # Leave no partial or corrupt artifact behind: drop every memo
+        # entry the chaos run garbled (and any stray lock/tmp files).
+        kept, dropped = memo.scrub()
+        print(f"chaos scrub: {kept} memo entries kept, {dropped} dropped")
     if journal is not None:
         print(f"journal: {journal.path}")
     if telemetry is not None:

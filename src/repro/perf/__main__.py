@@ -253,6 +253,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     cmp_p.add_argument("journal_a")
     cmp_p.add_argument("journal_b")
+    cmp_p.add_argument(
+        "--ignore-attempts",
+        action="store_true",
+        help="tolerate differing attempt counts (chaos runs redispatch "
+        "killed/hung work, inflating attempts without changing outcomes)",
+    )
 
     show_p = sub.add_parser("show-bench", help="summarize a BENCH_perf.json")
     show_p.add_argument("bench_path")
@@ -343,8 +349,11 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.command == "compare-journals":
+        ignore = ("attempts",) if args.ignore_attempts else ()
         diffs = compare_journal_outcomes(
-            _load_journal(args.journal_a), _load_journal(args.journal_b)
+            _load_journal(args.journal_a),
+            _load_journal(args.journal_b),
+            ignore=ignore,
         )
         if diffs:
             print(f"journals differ ({args.journal_a} vs {args.journal_b}):")
@@ -424,6 +433,23 @@ def main(argv: list[str] | None = None) -> int:
             print(
                 f"memo: {memo.get('hits', 0)} hits / {memo.get('misses', 0)} misses "
                 f"(hit rate {memo.get('hit_rate', 0.0)})"
+            )
+            if memo.get("disk_failures") or memo.get("breaker_trips"):
+                print(
+                    f"  disk tier: {memo.get('disk_failures', 0)} failures, "
+                    f"{memo.get('degraded', 0)} degraded ops, breaker "
+                    f"{memo.get('breaker_trips', 0)} trip(s) / "
+                    f"{memo.get('breaker_recoveries', 0)} recover(ies)"
+                )
+        resilience = bench.get("resilience") or {}
+        if resilience:
+            print(
+                f"resilience: {resilience.get('workers_spawned', 0)} workers "
+                f"({resilience.get('workers_replaced', 0)} replaced), "
+                f"{resilience.get('worker_crashes', 0)} crash(es), "
+                f"{resilience.get('worker_hangs', 0)} hang(s), "
+                f"{resilience.get('redispatches', 0)} redispatch(es)"
+                + (", PARTIAL RESULTS" if resilience.get("partial") else "")
             )
         for stage, seconds in sorted(bench.get("stages", {}).items()):
             print(f"  {stage}: {seconds}s")

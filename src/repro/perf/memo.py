@@ -36,6 +36,26 @@ a killed run leaves complete entries or none.  Unreadable or
 schema-mismatched entries are treated as misses and dropped, never
 raised: a cache must degrade to recomputation, not to failure.
 
+Degradation and concurrency
+---------------------------
+
+The disk tier is wrapped in a
+:class:`~repro.robust.supervisor.CircuitBreaker`: repeated read/write
+``OSError`` s (a flaky disk, an NFS brown-out) trip it, after which
+lookups run purely against the in-process memo (``degraded`` counts the
+skipped disk operations) until the breaker half-opens on its timer and a
+probe succeeds.  A missing entry file is a *healthy miss* — the tier
+answered — and never counts against the breaker; corrupt entry *content*
+stays on the degrade-to-recomputation path and is likewise no strike.
+
+Concurrent writers computing the same key are de-duplicated with a
+per-key advisory file lock (``flock`` on ``{key}.lock``): the loser
+blocks until the winner publishes, then replays the winner's entry
+instead of repeating the simulation.  ``flock`` locks die with their
+holder, so a killed winner can never deadlock the losers.  When the
+platform has no ``fcntl`` the lock degrades to a no-op — both writers
+compute, and the atomic rename keeps the entry intact either way.
+
 Kernel histograms
 -----------------
 
@@ -53,16 +73,24 @@ from __future__ import annotations
 
 import hashlib
 import json
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Optional
+from typing import Iterator, Optional
 
 import numpy as np
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 from ..cache.config import CacheConfig
 from ..cache.fastsim import DistanceHistogram, stack_distance_histogram
 from ..cache.setassoc import CacheState, simulate
 from ..cache.stats import CacheStats
 from ..robust.atomic import atomic_write_text
+from ..robust.faults import MEMO_READ, MEMO_WRITE, maybe_io_fault
+from ..robust.supervisor import CircuitBreaker
 
 __all__ = [
     "SimMemo",
@@ -171,25 +199,126 @@ class SimMemo:
     cache_dir:
         optional directory for persistent entries.  ``None`` keeps the
         memo purely in-memory (one process lifetime).
+    breaker:
+        the :class:`~repro.robust.supervisor.CircuitBreaker` guarding
+        the disk tier (a default one is built when omitted).  Tripped,
+        the memo keeps answering from memory and recomputation while
+        ``degraded`` counts the skipped disk operations.
 
     Counters: ``hits`` / ``misses`` split lookups; ``bypasses`` counts
-    warm-state mutating calls that skipped the memo entirely.
+    warm-state mutating calls that skipped the memo entirely;
+    ``disk_failures`` / ``degraded`` / ``lock_waits`` track the disk
+    tier's health (see the module docstring).
     """
 
-    def __init__(self, cache_dir: Optional[str | Path] = None):
+    def __init__(
+        self,
+        cache_dir: Optional[str | Path] = None,
+        *,
+        breaker: Optional[CircuitBreaker] = None,
+    ):
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
         self._mem: dict[str, CacheStats] = {}
         self._mem_hist: dict[str, DistanceHistogram] = {}
         self._mem_analysis: dict[str, dict] = {}
         self.hits = 0
         self.misses = 0
         self.bypasses = 0
+        self.disk_failures = 0
+        self.degraded = 0
+        self.lock_waits = 0
 
     # -- storage -----------------------------------------------------------
 
     def _entry_path(self, key: str) -> Path:
         assert self.cache_dir is not None
         return self.cache_dir / f"{key}.json"
+
+    def _disk_read(self, path: Path) -> Optional[str]:
+        """Read an entry file through the circuit breaker.
+
+        Returns the text, or None when the file is absent (a healthy
+        miss — the tier answered, no strike), the tier is degraded
+        (breaker open), or the read itself failed (one strike).
+        """
+        if not self.breaker.allow():
+            self.degraded += 1
+            return None
+        try:
+            maybe_io_fault(MEMO_READ, str(path))
+            text = path.read_text()
+        except FileNotFoundError:
+            self.breaker.record_success()
+            return None
+        except OSError:
+            self.disk_failures += 1
+            self.breaker.record_failure()
+            return None
+        self.breaker.record_success()
+        return text
+
+    def _disk_write(self, path: Path, text: str) -> bool:
+        """Persist an entry through the circuit breaker; False if the
+        write was skipped (degraded) or failed.  The in-memory tier has
+        the entry either way, so callers never need the outcome."""
+        if not self.breaker.allow():
+            self.degraded += 1
+            return False
+        assert self.cache_dir is not None
+        try:
+            maybe_io_fault(MEMO_WRITE, str(path))
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            atomic_write_text(path, text)
+        except OSError:
+            self.disk_failures += 1
+            self.breaker.record_failure()
+            return False
+        self.breaker.record_success()
+        return True
+
+    @staticmethod
+    def _drop_entry(path: Path) -> None:
+        try:
+            path.unlink(missing_ok=True)
+        except OSError:
+            pass  # cleanup is best-effort; the entry already lost.
+
+    @contextmanager
+    def _key_lock(self, key: str) -> Iterator[bool]:
+        """Cross-process advisory lock for one key (compute dedup).
+
+        Yields True when another holder was waited on — the caller
+        should re-check the entry before recomputing, because the winner
+        published it while we blocked.  ``flock`` is released by the
+        kernel when its holder dies, so a killed winner cannot strand
+        the losers; on lockless platforms (or an unwritable cache dir)
+        this degrades to a no-op and both writers compute.
+        """
+        if self.cache_dir is None or fcntl is None:
+            yield False
+            return
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            fh = open(self.cache_dir / f"{key}.lock", "a+")
+        except OSError:
+            yield False
+            return
+        waited = False
+        try:
+            try:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                self.lock_waits += 1
+                waited = True
+                fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            yield waited
+        finally:
+            try:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+            except OSError:
+                pass
+            fh.close()
 
     def get(self, key: str) -> Optional[CacheStats]:
         """Stored stats for ``key``, counting the lookup as hit or miss."""
@@ -207,16 +336,17 @@ class SimMemo:
         if self.cache_dir is None:
             return None
         path = self._entry_path(key)
+        text = self._disk_read(path)
+        if text is None:
+            return None
         try:
-            raw = json.loads(path.read_text())
+            raw = json.loads(text)
             if raw.get("schema") != SCHEMA:
                 raise ValueError(f"schema {raw.get('schema')!r}")
             stats = CacheStats(**{f: int(raw[f]) for f in _STATS_FIELDS})
-        except FileNotFoundError:
-            return None
-        except (OSError, ValueError, TypeError, KeyError):
+        except (ValueError, TypeError, KeyError):
             # Corrupt or stale entry: a cache degrades to recomputation.
-            path.unlink(missing_ok=True)
+            self._drop_entry(path)
             return None
         self._mem[key] = stats
         return _copy(stats)
@@ -225,10 +355,9 @@ class SimMemo:
         """Store ``stats`` under ``key`` (in memory, and on disk if enabled)."""
         self._mem[key] = _copy(stats)
         if self.cache_dir is not None:
-            self.cache_dir.mkdir(parents=True, exist_ok=True)
             payload = {"schema": SCHEMA}
             payload.update({f: getattr(stats, f) for f in _STATS_FIELDS})
-            atomic_write_text(self._entry_path(key), json.dumps(payload, sort_keys=True))
+            self._disk_write(self._entry_path(key), json.dumps(payload, sort_keys=True))
 
     def invalidate(self, key: str) -> bool:
         """Drop ``key`` from memory and disk; True if anything was removed."""
@@ -240,6 +369,9 @@ class SimMemo:
             if path.exists():
                 path.unlink()
                 removed = True
+            # The lock sidecar is bookkeeping, not an entry: drop it
+            # silently and without affecting the return value.
+            self._drop_entry(self.cache_dir / f"{key}.lock")
         return removed
 
     # -- the memoizing simulator ------------------------------------------
@@ -263,29 +395,42 @@ class SimMemo:
         key = memo_key(lines, cfg, prefetch=prefetch)
         stats = self.get(key)
         if stats is None:
-            stats = simulate(lines, cfg, prefetch=prefetch)
-            self.put(key, stats)
+            with self._key_lock(key) as waited:
+                if waited:
+                    # The lock's previous holder computed this very key;
+                    # replay its published entry instead of repeating
+                    # the simulation.
+                    stats = self._peek(key)
+                    if stats is not None:
+                        self.hits += 1
+                if stats is None:
+                    stats = simulate(lines, cfg, prefetch=prefetch)
+                    self.put(key, stats)
         return stats
 
     # -- kernel histograms (repro.cache.fastsim) ---------------------------
 
-    def get_histogram(self, key: str) -> Optional[DistanceHistogram]:
-        """Stored histogram for ``key``, counted as a hit or miss."""
+    def _peek_histogram(self, key: str) -> Optional[DistanceHistogram]:
         hist = self._mem_hist.get(key)
         if hist is None and self.cache_dir is not None:
             path = self._entry_path(key)
-            try:
-                raw = json.loads(path.read_text())
-                if raw.get("schema") != KERNEL_SCHEMA:
-                    raise ValueError(f"schema {raw.get('schema')!r}")
-                hist = DistanceHistogram.from_dict(raw)
-            except FileNotFoundError:
-                hist = None
-            except (OSError, ValueError, TypeError, KeyError):
-                path.unlink(missing_ok=True)
-                hist = None
+            text = self._disk_read(path)
+            if text is not None:
+                try:
+                    raw = json.loads(text)
+                    if raw.get("schema") != KERNEL_SCHEMA:
+                        raise ValueError(f"schema {raw.get('schema')!r}")
+                    hist = DistanceHistogram.from_dict(raw)
+                except (ValueError, TypeError, KeyError):
+                    self._drop_entry(path)
+                    hist = None
             if hist is not None:
                 self._mem_hist[key] = hist
+        return hist
+
+    def get_histogram(self, key: str) -> Optional[DistanceHistogram]:
+        """Stored histogram for ``key``, counted as a hit or miss."""
+        hist = self._peek_histogram(key)
         if hist is None:
             self.misses += 1
             return None
@@ -296,10 +441,9 @@ class SimMemo:
         """Store ``hist`` under ``key`` (in memory, and on disk if enabled)."""
         self._mem_hist[key] = hist
         if self.cache_dir is not None:
-            self.cache_dir.mkdir(parents=True, exist_ok=True)
             payload = {"schema": KERNEL_SCHEMA}
             payload.update(hist.to_dict())
-            atomic_write_text(self._entry_path(key), json.dumps(payload, sort_keys=True))
+            self._disk_write(self._entry_path(key), json.dumps(payload, sort_keys=True))
 
     def histogram(self, lines: np.ndarray, n_sets: int) -> DistanceHistogram:
         """Memoized :func:`repro.cache.fastsim.stack_distance_histogram`.
@@ -311,8 +455,14 @@ class SimMemo:
         key = histogram_key(lines, n_sets)
         hist = self.get_histogram(key)
         if hist is None:
-            hist = stack_distance_histogram(lines, n_sets)
-            self.put_histogram(key, hist)
+            with self._key_lock(key) as waited:
+                if waited:
+                    hist = self._peek_histogram(key)
+                    if hist is not None:
+                        self.hits += 1
+                if hist is None:
+                    hist = stack_distance_histogram(lines, n_sets)
+                    self.put_histogram(key, hist)
         return hist
 
     def simulate_fast(self, lines: np.ndarray, cfg: CacheConfig) -> CacheStats:
@@ -323,8 +473,8 @@ class SimMemo:
 
     # -- analysis artifacts (repro.core.fastanalysis) -----------------------
 
-    def _get_analysis(self, key: str, parse):
-        """Load + parse an analysis payload; hit/miss counted on success.
+    def _peek_analysis(self, key: str, parse):
+        """Load + parse an analysis payload without touching counters.
 
         ``parse`` raises ``ValueError`` on malformed payloads, which —
         like any other corruption — degrades to a miss (and an unlink on
@@ -333,29 +483,33 @@ class SimMemo:
         raw = self._mem_analysis.get(key)
         if raw is not None:
             try:
-                obj = parse(raw)
+                return parse(raw)
             except (ValueError, TypeError, KeyError):
                 self._mem_analysis.pop(key, None)
-            else:
-                self.hits += 1
-                return obj
         if self.cache_dir is not None:
             path = self._entry_path(key)
-            try:
-                raw = json.loads(path.read_text())
-                if raw.get("schema") != ANALYSIS_SCHEMA:
-                    raise ValueError(f"schema {raw.get('schema')!r}")
-                obj = parse(raw)
-            except FileNotFoundError:
-                pass
-            except (OSError, ValueError, TypeError, KeyError):
-                path.unlink(missing_ok=True)
-            else:
-                self._mem_analysis[key] = raw
-                self.hits += 1
-                return obj
-        self.misses += 1
+            text = self._disk_read(path)
+            if text is not None:
+                try:
+                    raw = json.loads(text)
+                    if raw.get("schema") != ANALYSIS_SCHEMA:
+                        raise ValueError(f"schema {raw.get('schema')!r}")
+                    obj = parse(raw)
+                except (ValueError, TypeError, KeyError):
+                    self._drop_entry(path)
+                else:
+                    self._mem_analysis[key] = raw
+                    return obj
         return None
+
+    def _get_analysis(self, key: str, parse):
+        """Load + parse an analysis payload; hit/miss counted."""
+        obj = self._peek_analysis(key, parse)
+        if obj is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return obj
 
     def has_analysis(self, key: str) -> bool:
         """True if an entry exists for ``key`` (no counters, no parse).
@@ -373,8 +527,7 @@ class SimMemo:
         payload = {"schema": ANALYSIS_SCHEMA, **payload}
         self._mem_analysis[key] = payload
         if self.cache_dir is not None:
-            self.cache_dir.mkdir(parents=True, exist_ok=True)
-            atomic_write_text(
+            self._disk_write(
                 self._entry_path(key), json.dumps(payload, sort_keys=True)
             )
 
@@ -398,8 +551,16 @@ class SimMemo:
 
         covg = self._get_analysis(key, parse)
         if covg is None:
-            covg = affinity_coverage(trace, w_max=w_max, time_horizon=time_horizon)
-            self.put_analysis(key, covg.to_dict())
+            with self._key_lock(key) as waited:
+                if waited:
+                    covg = self._peek_analysis(key, parse)
+                    if covg is not None:
+                        self.hits += 1
+                if covg is None:
+                    covg = affinity_coverage(
+                        trace, w_max=w_max, time_horizon=time_horizon
+                    )
+                    self.put_analysis(key, covg.to_dict())
         return covg
 
     def trg(self, trace: np.ndarray, *, window_blocks: Optional[int] = None):
@@ -417,8 +578,14 @@ class SimMemo:
         key = trg_key(trace, window_blocks=window_blocks)
         trg = self._get_analysis(key, trg_from_payload)
         if trg is None:
-            trg = build_trg_fast(trace, window_blocks=window_blocks)
-            self.put_analysis(key, trg_to_payload(trg, window_blocks))
+            with self._key_lock(key) as waited:
+                if waited:
+                    trg = self._peek_analysis(key, trg_from_payload)
+                    if trg is not None:
+                        self.hits += 1
+                if trg is None:
+                    trg = build_trg_fast(trace, window_blocks=window_blocks)
+                    self.put_analysis(key, trg_to_payload(trg, window_blocks))
         return trg
 
     # -- introspection -----------------------------------------------------
@@ -434,8 +601,43 @@ class SimMemo:
             "hits": self.hits,
             "misses": self.misses,
             "bypasses": self.bypasses,
+            "disk_failures": self.disk_failures,
+            "degraded": self.degraded,
+            "lock_waits": self.lock_waits,
+            "breaker_trips": self.breaker.trips,
+            "breaker_recoveries": self.breaker.recoveries,
             "hit_rate": round(self.hit_rate, 4),
         }
+
+    def scrub(self) -> tuple[int, int]:
+        """Validate every on-disk entry; returns ``(kept, dropped)``.
+
+        Drops entries that are unreadable, non-JSON, or carry an unknown
+        schema tag, plus stray ``.lock`` and ``.tmp`` files (lock files
+        from finished dedups, temp files from killed atomic writes).
+        Run after a chaos soak — or any hard kill — to guarantee the
+        cache directory holds only complete, valid artifacts.
+        """
+        if self.cache_dir is None or not self.cache_dir.exists():
+            return (0, 0)
+        kept = dropped = 0
+        valid = (SCHEMA, KERNEL_SCHEMA, ANALYSIS_SCHEMA)
+        for path in sorted(self.cache_dir.iterdir()):
+            if path.suffix in (".lock", ".tmp"):
+                self._drop_entry(path)
+                continue
+            if path.suffix != ".json":
+                continue
+            try:
+                ok = json.loads(path.read_text()).get("schema") in valid
+            except (OSError, ValueError):
+                ok = False
+            if ok:
+                kept += 1
+            else:
+                self._drop_entry(path)
+                dropped += 1
+        return (kept, dropped)
 
 
 def _copy(stats: CacheStats) -> CacheStats:

@@ -32,7 +32,8 @@ from __future__ import annotations
 
 import multiprocessing
 from concurrent.futures import Future, ProcessPoolExecutor
-from typing import Any, Optional
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Optional
 
 import numpy as np
 
@@ -44,6 +45,8 @@ from ..robust.errors import (
     ProfileError,
     ReproError,
     SimulationError,
+    WorkerCrashError,
+    WorkerHangError,
 )
 
 __all__ = [
@@ -66,7 +69,11 @@ def _mp_context():
 
 # -- experiment-level fan-out -------------------------------------------------
 
-def _init_experiment_worker(lab_config: dict, memo_dir: Optional[str]) -> None:
+def _init_experiment_worker(
+    lab_config: dict,
+    memo_dir: Optional[str],
+    breaker_config: Optional[dict] = None,
+) -> None:
     from ..experiments.pipeline import Lab
     from .memo import SimMemo
 
@@ -74,11 +81,20 @@ def _init_experiment_worker(lab_config: dict, memo_dir: Optional[str]) -> None:
     lab_config = dict(lab_config)
     lab_config["jobs"] = 1  # no nested pools inside a worker
     if memo_dir is not None:
-        lab_config["memo"] = SimMemo(memo_dir)
+        if breaker_config:
+            from ..robust.supervisor import CircuitBreaker
+
+            lab_config["memo"] = SimMemo(
+                memo_dir, breaker=CircuitBreaker(**breaker_config)
+            )
+        else:
+            lab_config["memo"] = SimMemo(memo_dir)
     _WORKER_LAB = Lab(**lab_config)
 
 
-def _experiment_task(exp_id: str, retries: int, inject_fault: Optional[str]) -> dict:
+def _experiment_task(
+    exp_id: str, retries: int, inject_fault: Optional[str], policy=None
+) -> dict:
     """Run one experiment in the worker; return a picklable payload."""
     from ..experiments.runner import attempt_experiment
 
@@ -89,14 +105,16 @@ def _experiment_task(exp_id: str, retries: int, inject_fault: Optional[str]) -> 
     counters_before = dict(lab.counters)
     memo_before = lab.memo.counters() if lab.memo is not None else None
     outcome, notes = attempt_experiment(
-        lab, exp_id, retries=retries, inject_fault=inject_fault
+        lab, exp_id, retries=retries, inject_fault=inject_fault, policy=policy
     )
     error = outcome.error
     memo_delta = None
     if lab.memo is not None:
         after = lab.memo.counters()
         memo_delta = {
-            k: after[k] - memo_before[k] for k in ("hits", "misses", "bypasses")
+            k: after[k] - (memo_before or {}).get(k, 0)
+            for k in after
+            if k != "hit_rate"
         }
     return {
         "exp_id": outcome.exp_id,
@@ -122,7 +140,14 @@ def _experiment_task(exp_id: str, retries: int, inject_fault: Optional[str]) -> 
 
 _ERROR_TYPES: dict[str, type] = {
     cls.__name__: cls
-    for cls in (ReproError, ProfileError, SimulationError, ArtifactError)
+    for cls in (
+        ReproError,
+        ProfileError,
+        SimulationError,
+        ArtifactError,
+        WorkerCrashError,
+        WorkerHangError,
+    )
 }
 
 
@@ -185,6 +210,24 @@ class ExperimentPool:
 
 # -- cell-level fan-out -------------------------------------------------------
 
+def _pool_map(fn: Callable[[Any], Any], cells: list, jobs: int) -> list:
+    """Map ``fn`` over ``cells`` in a process pool, degrading to serial.
+
+    Cell kernels are pure and deterministic, so a pool that dies mid-map
+    (a worker OOM-killed or segfaulted raises
+    :class:`~concurrent.futures.process.BrokenProcessPool`) loses no
+    state — the whole map is simply recomputed serially in the parent.
+    Slower, never wrong.
+    """
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(cells)), mp_context=_mp_context()
+        ) as pool:
+            return list(pool.map(fn, cells))
+    except BrokenProcessPool:
+        return [fn(c) for c in cells]
+
+
 def _simulate_cell(cell: tuple) -> tuple[int, int, int, int]:
     from ..cache.setassoc import simulate
 
@@ -208,10 +251,7 @@ def simulate_cells(
     if jobs <= 1 or len(cells) <= 1:
         raw = [_simulate_cell(c) for c in cells]
     else:
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(cells)), mp_context=_mp_context()
-        ) as pool:
-            raw = list(pool.map(_simulate_cell, cells))
+        raw = _pool_map(_simulate_cell, cells, jobs)
     return [
         CacheStats(accesses=a, misses=m, prefetches=p, prefetch_hits=h)
         for (a, m, p, h) in raw
@@ -253,10 +293,7 @@ def analysis_cells(
     """
     if jobs <= 1 or len(cells) <= 1:
         return [_analysis_cell(c) for c in cells]
-    with ProcessPoolExecutor(
-        max_workers=min(jobs, len(cells)), mp_context=_mp_context()
-    ) as pool:
-        return list(pool.map(_analysis_cell, cells))
+    return _pool_map(_analysis_cell, cells, jobs)
 
 
 def _histogram_cell(cell: tuple) -> dict:
@@ -282,8 +319,5 @@ def histogram_cells(
     if jobs <= 1 or len(cells) <= 1:
         raw = [_histogram_cell(c) for c in cells]
     else:
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(cells)), mp_context=_mp_context()
-        ) as pool:
-            raw = list(pool.map(_histogram_cell, cells))
+        raw = _pool_map(_histogram_cell, cells, jobs)
     return [DistanceHistogram.from_dict(r) for r in raw]

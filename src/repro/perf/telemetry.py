@@ -30,10 +30,17 @@ __all__ = ["BENCH_SCHEMA", "COMPAT_SCHEMAS", "Telemetry", "compare_journal_outco
 #: analysis-memo hit counters from the optimize stage).
 #: v4: adds the "staticlint" section (profile-free analysis throughput
 #: and certification counters; see repro.staticlint).
-BENCH_SCHEMA = "repro.perf/bench.v4"
+#: v5: adds the "resilience" section (supervised-pool fault accounting
+#: and memo circuit-breaker state; see repro.robust.supervisor) and the
+#: extended memo counters that ride along with it.
+BENCH_SCHEMA = "repro.perf/bench.v5"
 
 #: older schema tags show-bench and other readers still accept.
-COMPAT_SCHEMAS = ("repro.perf/bench.v2", "repro.perf/bench.v3")
+COMPAT_SCHEMAS = (
+    "repro.perf/bench.v2",
+    "repro.perf/bench.v3",
+    "repro.perf/bench.v4",
+)
 
 #: journal-entry fields that legitimately differ between two runs of the
 #: same suite (wall-clock measurements); everything else must match.
@@ -65,6 +72,8 @@ class Telemetry:
         self.staticlint_seconds = 0.0
         self.staticlint_certified = 0
         self.memo: dict[str, float] = {}
+        #: supervised-pool fault accounting + breaker state (bench.v5).
+        self.resilience: dict[str, Any] = {}
         self.wall_s = 0.0
 
     # -- accumulation ------------------------------------------------------
@@ -90,12 +99,43 @@ class Telemetry:
         self.staticlint_certified += int(counters.get("staticlint_certified", 0))
 
     def merge_memo(self, counters: Optional[dict[str, float]]) -> None:
+        """Sum memo counters from one lab/worker into the aggregate.
+
+        Every numeric counter is summed — the exact key set is owned by
+        :meth:`repro.perf.memo.SimMemo.counters` and has grown over time
+        (breaker trips, lock waits, …); only the derived ``hit_rate`` is
+        recomputed here instead of summed.
+        """
         if not counters:
             return
-        for field in ("hits", "misses", "bypasses"):
-            self.memo[field] = self.memo.get(field, 0) + int(counters.get(field, 0))
+        for field, value in counters.items():
+            if field == "hit_rate" or isinstance(value, bool):
+                continue
+            if isinstance(value, (int, float)):
+                self.memo[field] = self.memo.get(field, 0) + int(value)
         keyed = self.memo.get("hits", 0) + self.memo.get("misses", 0)
-        self.memo["hit_rate"] = round(self.memo["hits"] / keyed, 4) if keyed else 0.0
+        self.memo["hit_rate"] = (
+            round(self.memo.get("hits", 0) / keyed, 4) if keyed else 0.0
+        )
+
+    def merge_resilience(self, stats: Optional[dict[str, Any]]) -> None:
+        """Fold supervisor/chaos fault accounting into the report.
+
+        Numeric fields are summed, boolean fields are OR-ed (``partial``
+        stays true if *any* contributing pool gave up early); everything
+        else is last-writer-wins.  Note ``bool`` is checked before the
+        numeric branch — it is an ``int`` subclass and must not be
+        summed.
+        """
+        if not stats:
+            return
+        for field, value in stats.items():
+            if isinstance(value, bool):
+                self.resilience[field] = bool(self.resilience.get(field)) or value
+            elif isinstance(value, (int, float)):
+                self.resilience[field] = self.resilience.get(field, 0) + value
+            else:
+                self.resilience[field] = value
 
     def record_experiment(
         self, exp_id: str, status: str, elapsed_s: float, attempts: int
@@ -171,6 +211,7 @@ class Telemetry:
                 "certified": self.staticlint_certified,
             },
             "memo": self.memo or None,
+            "resilience": self.resilience or None,
         }
 
     def write(self, path: str | Path) -> Path:
@@ -180,19 +221,27 @@ class Telemetry:
         return path
 
 
-def compare_journal_outcomes(a: list[dict], b: list[dict]) -> list[str]:
+def compare_journal_outcomes(
+    a: list[dict], b: list[dict], *, ignore: tuple[str, ...] = ()
+) -> list[str]:
     """Differences between two run journals, ignoring timing fields.
 
     Parity oracle for parallel-vs-serial runs: the entries must agree in
-    count, order, and every non-timing field.  Returns human-readable
-    difference descriptions (empty = parity holds).
+    count, order, and every non-timing field.  The on-disk ``check``
+    checksum is always ignored (it is a storage artifact, not an
+    outcome); callers may ignore further fields via ``ignore`` — the
+    chaos soak gate passes ``("attempts",)`` because infrastructure
+    redispatch legitimately inflates attempt counts without changing
+    outcomes.  Returns human-readable difference descriptions (empty =
+    parity holds).
     """
+    skip = set(TIMING_FIELDS) | {"check"} | set(ignore)
     diffs: list[str] = []
     if len(a) != len(b):
         diffs.append(f"entry count differs: {len(a)} vs {len(b)}")
     for i, (ea, eb) in enumerate(zip(a, b)):
-        ka = {k: v for k, v in ea.items() if k not in TIMING_FIELDS}
-        kb = {k: v for k, v in eb.items() if k not in TIMING_FIELDS}
+        ka = {k: v for k, v in ea.items() if k not in skip}
+        kb = {k: v for k, v in eb.items() if k not in skip}
         if ka != kb:
             diffs.append(f"entry {i} differs: {ka!r} vs {kb!r}")
     return diffs

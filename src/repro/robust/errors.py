@@ -14,7 +14,10 @@ The taxonomy::
     ReproError                      root; .context dict + .to_dict()
     ├── ProfileError (ValueError)   profile collection / ingestion defects
     ├── SimulationError             a pipeline stage failed (optimize,
-    │                               simulate, measure, experiment)
+    │   │                           simulate, measure, experiment)
+    │   ├── WorkerCrashError        a worker process died mid-experiment
+    │   └── WorkerHangError         a worker process stalled past its
+    │                               deadline and was killed
     ├── ArtifactError               an on-disk artifact is missing,
     │                               truncated, or corrupt
     └── LayoutError (ValueError)    structural layout-invariant violation
@@ -23,6 +26,21 @@ The taxonomy::
 
 ``ProfileError`` and ``LayoutError`` also subclass :class:`ValueError` so
 callers that predate the taxonomy and catch ``ValueError`` keep working.
+
+Fault classes
+-------------
+
+The supervised runtime (:mod:`repro.robust.supervisor`) retries only
+failures that plausibly go away on a second attempt.  :func:`fault_class`
+maps any exception onto that policy axis:
+
+* :data:`TRANSIENT` — a killed/hung worker, an I/O-flavoured
+  ``ArtifactError`` (the storage tier hiccuped; the artifact itself may
+  be fine), or a generic ``SimulationError`` (stage failures cover the
+  seed-sensitive ablations ``--retries`` existed for);
+* :data:`PERMANENT` — bad input or a broken invariant: ``ProfileError``,
+  ``LayoutError``, content-corrupt ``ArtifactError``.  Retrying these
+  re-runs a deterministic failure, so the policy fails fast instead.
 
 This module is a leaf: it imports only the standard library, so every
 other subsystem (lint, compiler, engine, workloads, experiments) can
@@ -36,10 +54,15 @@ from typing import Any, Iterator, Optional, Type
 
 __all__ = [
     "ArtifactError",
+    "PERMANENT",
     "ProfileError",
     "ReproError",
     "SimulationError",
+    "TRANSIENT",
+    "WorkerCrashError",
+    "WorkerHangError",
     "error_context",
+    "fault_class",
 ]
 
 #: context keys rendered (in this order) after the message.
@@ -141,6 +164,75 @@ class ArtifactError(ReproError):
     """An on-disk artifact (``layout-*.json``, ``report.json``,
     ``trace.npz``, a run journal) is missing, truncated, or corrupt.
     ``path`` names the file and ``defect`` describes what is wrong."""
+
+
+class WorkerCrashError(SimulationError):
+    """A worker process died (SIGKILL, OOM, segfault) mid-experiment.
+    The process, not the experiment, failed — the canonical transient
+    fault: the supervisor replaces the worker and re-dispatches."""
+
+
+class WorkerHangError(SimulationError):
+    """A worker process stalled past its deadline (or stopped
+    heartbeating) and was killed by the supervisor.  Transient for the
+    same reason as :class:`WorkerCrashError`."""
+
+
+#: fault classes consumed by :class:`repro.robust.supervisor.RetryPolicy`.
+TRANSIENT = "transient"
+PERMANENT = "permanent"
+
+#: exception type names that mark an ``ArtifactError`` as I/O-flavoured
+#: when only the rendered cause survives (e.g. across a process boundary).
+_IO_CAUSE_NAMES = frozenset(
+    {
+        "OSError",
+        "IOError",
+        "BlockingIOError",
+        "InterruptedError",
+        "PermissionError",
+        "TimeoutError",
+        "ConnectionError",
+        "ConnectionResetError",
+        "BrokenPipeError",
+    }
+)
+
+
+def fault_class(err: BaseException) -> str:
+    """Classify an exception as :data:`TRANSIENT` or :data:`PERMANENT`.
+
+    The decision procedure, in order:
+
+    1. worker death/hang is transient by construction;
+    2. anything that is also ``ValueError`` or ``KeyError`` — the
+       taxonomy's bad-input markers (``ProfileError``, ``LayoutError``,
+       unknown-id errors) — is permanent: the same input fails the same
+       way every time;
+    3. an ``ArtifactError`` is transient iff its *cause* is an I/O error
+       (flaky disk/NFS); content corruption is permanent;
+    4. other ``SimulationError``\\ s are transient (stage failures cover
+       the seed-sensitive ablations);
+    5. raw ``OSError`` is transient; everything else is permanent.
+    """
+    if isinstance(err, (WorkerCrashError, WorkerHangError)):
+        return TRANSIENT
+    if isinstance(err, (ValueError, KeyError)):
+        return PERMANENT
+    if isinstance(err, ArtifactError):
+        if isinstance(err.cause, OSError):
+            return TRANSIENT
+        rendered = err.context.get("cause")
+        if isinstance(rendered, str):
+            name = rendered.split(":", 1)[0].strip()
+            if name in _IO_CAUSE_NAMES:
+                return TRANSIENT
+        return PERMANENT
+    if isinstance(err, SimulationError):
+        return TRANSIENT
+    if isinstance(err, OSError):
+        return TRANSIENT
+    return PERMANENT
 
 
 @contextmanager

@@ -8,7 +8,7 @@ the test suite can prove that every entry point degrades with a typed
 :class:`~repro.robust.errors.ReproError` instead of a raw ``KeyError`` /
 ``IndexError`` / ``JSONDecodeError``.
 
-Three families:
+Four families:
 
 * **in-memory faults** — pure functions returning corrupted copies of
   traces, block tables, and layout payloads;
@@ -16,7 +16,13 @@ Three families:
   JSON field surgery);
 * **crash points** — named hooks (:func:`crash_at` / :func:`maybe_crash`)
   that the atomic writer checks, so a test can kill a persist mid-write
-  and assert the old artifact survived intact.
+  and assert the old artifact survived intact;
+* **process-level chaos** — :class:`ChaosPlan` derives a deterministic
+  schedule of worker kills, injected hangs, memo I/O faults (slow and
+  failing reads/writes via :func:`maybe_io_fault`), and one mid-run memo
+  entry corruption from a single seed.  The supervised pool
+  (:mod:`repro.robust.supervisor`) executes the plan; the soak gate
+  asserts chaos journal outcomes equal the clean run's.
 
 :class:`InjectedCrash` derives from ``BaseException`` on purpose: a real
 ``kill -9`` is not catchable, so a simulated one must sail past every
@@ -26,16 +32,28 @@ Three families:
 from __future__ import annotations
 
 import json
+import random
+import time
 from contextlib import contextmanager
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Iterator, Sequence
+from typing import Any, Iterator, Optional, Sequence
 
 import numpy as np
 
 __all__ = [
+    "ChaosPlan",
     "InjectedCrash",
+    "MEMO_READ",
+    "MEMO_WRITE",
+    "arm_chaos_worker",
+    "arm_io_faults",
+    "arm_io_slow",
+    "chaos_corrupt_memo",
+    "clear_io_faults",
     "crash_at",
     "maybe_crash",
+    "maybe_io_fault",
     "armed_crash_points",
     "out_of_range_gids",
     "negative_gids",
@@ -93,6 +111,142 @@ def crash_at(point: str) -> Iterator[None]:
 
 def armed_crash_points() -> frozenset[str]:
     return frozenset(_ARMED)
+
+
+# -- injected I/O faults ------------------------------------------------------
+
+#: I/O fault points the memo disk tier exposes (see repro.perf.memo).
+MEMO_READ = "memo:read"
+MEMO_WRITE = "memo:write"
+
+#: point -> remaining injected failures (each consumed raises one OSError).
+_IO_FAULTS: dict[str, int] = {}
+
+#: point -> [remaining slow operations, delay seconds].
+_IO_SLOW: dict[str, list[float]] = {}
+
+
+def arm_io_faults(point: str, count: int) -> None:
+    """Arm ``count`` injected ``OSError`` failures at ``point``."""
+    _IO_FAULTS[point] = int(count)
+
+
+def arm_io_slow(point: str, count: int, seconds: float) -> None:
+    """Arm ``count`` slow operations (``seconds`` of extra latency each)
+    at ``point``."""
+    _IO_SLOW[point] = [int(count), float(seconds)]
+
+
+def clear_io_faults() -> None:
+    """Disarm every injected I/O fault and delay (test teardown)."""
+    _IO_FAULTS.clear()
+    _IO_SLOW.clear()
+
+
+def maybe_io_fault(point: str, detail: str = "") -> None:
+    """Consume one armed fault/delay at ``point``, if any.
+
+    Production I/O paths (the memo disk tier) call this before touching
+    the filesystem; it is a no-op unless a chaos plan or test armed the
+    point.  An armed failure raises a plain ``OSError`` — exactly what a
+    flaky disk produces — so the caller's real degradation path runs.
+    """
+    slow = _IO_SLOW.get(point)
+    if slow and slow[0] > 0:
+        slow[0] -= 1
+        time.sleep(slow[1])
+    remaining = _IO_FAULTS.get(point, 0)
+    if remaining > 0:
+        _IO_FAULTS[point] = remaining - 1
+        raise OSError(
+            f"injected I/O fault at {point!r}" + (f" ({detail})" if detail else "")
+        )
+
+
+# -- process-level chaos ------------------------------------------------------
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A seeded, deterministic schedule of process-level faults.
+
+    One plan drives one suite run: the supervised pool SIGKILLs the
+    worker that first picks up each ``kill_exp_ids`` experiment and
+    stalls the first dispatch of each ``hang_exp_ids`` experiment past
+    the hang deadline (both attach to the *first* dispatch only, so the
+    re-dispatched runs are clean and final outcomes stay deterministic);
+    every worker arms ``memo_read_faults`` / ``memo_write_faults``
+    injected ``OSError`` s plus ``slow_io_count`` delayed reads on its
+    memo disk tier at startup; and the parent corrupts one memo entry on
+    disk after consuming the ``corrupt_after``-th experiment payload.
+
+    None of this can change a result: killed/hung tasks recompute from
+    the same content-addressed inputs, and a memo fault only ever costs
+    a recomputation.  The plan is picklable (it crosses the fork/spawn
+    boundary in worker initializers).
+    """
+
+    seed: int
+    kill_exp_ids: tuple[str, ...]
+    hang_exp_ids: tuple[str, ...]
+    memo_read_faults: int
+    memo_write_faults: int
+    slow_io_count: int
+    slow_io_s: float
+    corrupt_after: int
+
+    @classmethod
+    def from_seed(cls, seed: int, exp_ids: Sequence[str]) -> "ChaosPlan":
+        """Derive the full schedule for ``exp_ids`` from ``seed`` alone."""
+        if not exp_ids:
+            raise ValueError("chaos plan needs at least one experiment id")
+        rng = random.Random(f"repro.chaos|{seed}")
+        ids = list(exp_ids)
+        rng.shuffle(ids)
+        return cls(
+            seed=int(seed),
+            kill_exp_ids=(ids[0],),
+            hang_exp_ids=(ids[1],) if len(ids) > 1 else (),
+            memo_read_faults=rng.randint(3, 5),
+            memo_write_faults=rng.randint(1, 3),
+            slow_io_count=rng.randint(1, 3),
+            slow_io_s=round(rng.uniform(0.001, 0.01), 4),
+            corrupt_after=rng.randint(1, max(1, len(ids) - 1)),
+        )
+
+    def describe(self) -> str:
+        return (
+            f"chaos seed {self.seed}: kill {list(self.kill_exp_ids)}, "
+            f"hang {list(self.hang_exp_ids)}, "
+            f"memo faults {self.memo_read_faults}r/{self.memo_write_faults}w, "
+            f"{self.slow_io_count} slow reads ({self.slow_io_s}s), "
+            f"corrupt memo entry after payload {self.corrupt_after}"
+        )
+
+
+def arm_chaos_worker(plan: ChaosPlan) -> None:
+    """Arm this process's I/O fault budget from ``plan`` (called by the
+    supervised pool's worker initializer)."""
+    arm_io_faults(MEMO_READ, plan.memo_read_faults)
+    arm_io_faults(MEMO_WRITE, plan.memo_write_faults)
+    arm_io_slow(MEMO_READ, plan.slow_io_count, plan.slow_io_s)
+
+
+def chaos_corrupt_memo(cache_dir: str | Path, seed: int) -> Optional[Path]:
+    """Corrupt one deterministic memo entry in ``cache_dir`` mid-run.
+
+    Returns the victim path (None if the cache holds no entries yet).
+    The entry becomes syntactically invalid JSON, so the next reader
+    degrades to recomputation and drops it — silent wrong answers are
+    impossible by construction.
+    """
+    entries = sorted(Path(cache_dir).glob("*.json"))
+    if not entries:
+        return None
+    rng = random.Random(f"repro.chaos.corrupt|{seed}")
+    victim = entries[rng.randrange(len(entries))]
+    data = victim.read_text()
+    victim.write_text(data[: max(1, len(data) // 2)] + "\x00CHAOS")
+    return victim
 
 
 # -- in-memory faults --------------------------------------------------------

@@ -3,18 +3,32 @@
 One line per finished experiment attempt::
 
     {"exp_id": "fig5", "status": "ok", "elapsed_s": 12.3, "attempts": 1,
-     "finished_at": 1754460000.0, "error": null}
+     "finished_at": 1754460000.0, "error": null, "check": "1f2e3d..."}
 
 The journal is the source of truth for ``--resume``: a later run reads it
 back and skips every experiment already recorded with ``status == "ok"``.
 Records are flushed and fsynced line-by-line, so a crash loses at most
-the line being written — and the reader tolerates exactly that, ignoring
-a truncated or garbled trailing line instead of dying on it (a journal
-describing a crash must itself survive the crash).
+the line being written — and the machinery tolerates exactly that, twice
+over:
+
+* **at read time**, a truncated or garbled *trailing* line (the
+  signature of a crash mid-append) is dropped instead of raised on;
+* **at write time**, :meth:`RunJournal.record` first truncates any torn
+  trailing line, so appending after a hard kill starts on a fresh line
+  instead of merging the new record into the torn one (which would turn
+  a survivable torn tail into an unreadable *interior* line).
+
+Every written record also carries a ``check`` field — a truncated
+SHA-256 over the canonical payload — so *silent* mid-file corruption
+(bit rot, a concurrent writer splicing bytes) is detected as a typed
+:class:`~repro.robust.errors.ArtifactError` instead of being read back
+as plausible-looking wrong data.  Checksums are verified when present
+and never required: journals from older versions read back unchanged.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import time
@@ -29,10 +43,27 @@ __all__ = ["JournalEntry", "RunJournal"]
 #: statuses a journal entry may carry.
 STATUSES = ("ok", "failed", "skipped")
 
+#: hex digits of SHA-256 kept in each record's "check" field.
+_CHECK_DIGITS = 16
+
+
+def _checksum(payload: dict) -> str:
+    """Truncated SHA-256 of the canonical (sorted, check-less) payload."""
+    canon = json.dumps(
+        {k: v for k, v in payload.items() if k != "check"}, sort_keys=True
+    )
+    return hashlib.sha256(canon.encode()).hexdigest()[:_CHECK_DIGITS]
+
 
 @dataclass(frozen=True)
 class JournalEntry:
-    """One finished experiment attempt."""
+    """One finished experiment attempt.
+
+    Deliberately does *not* carry the on-disk ``check`` field: the
+    checksum is a property of the stored line, not of the outcome, and
+    entry payloads are compared across runs (journal parity) where a
+    storage artifact must not participate.
+    """
 
     exp_id: str
     status: str
@@ -64,6 +95,27 @@ class RunJournal:
     def __init__(self, path: str | Path):
         self.path = Path(path)
 
+    def _repair_torn_tail(self) -> bool:
+        """Truncate a torn final line (missing trailing newline).
+
+        A hard kill mid-append leaves a partial last line; appending the
+        next record directly after it would merge both into one garbled
+        *interior* line that :meth:`entries` must treat as real
+        corruption.  Truncating back to the last complete line keeps the
+        journal append-safe across kills.  Returns True if bytes were
+        removed.
+        """
+        try:
+            data = self.path.read_bytes()
+        except FileNotFoundError:
+            return False
+        if not data or data.endswith(b"\n"):
+            return False
+        cut = data.rfind(b"\n")
+        with self.path.open("rb+") as fh:
+            fh.truncate(cut + 1 if cut >= 0 else 0)
+        return True
+
     def record(
         self,
         exp_id: str,
@@ -74,7 +126,8 @@ class RunJournal:
         error: Optional[dict] = None,
         timings: Optional[dict] = None,
     ) -> JournalEntry:
-        """Append one entry, flushed and fsynced before returning.
+        """Append one checksummed entry, flushed and fsynced before
+        returning.
 
         ``elapsed_s`` and ``timings`` are monotonic-clock durations;
         ``finished_at`` is deliberately epoch time (a human-readable
@@ -91,9 +144,12 @@ class RunJournal:
             error=error,
             timings=timings,
         )
+        payload = json.loads(entry.to_json())
+        payload["check"] = _checksum(payload)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._repair_torn_tail()
         with self.path.open("a") as fh:
-            fh.write(entry.to_json() + "\n")
+            fh.write(json.dumps(payload, sort_keys=True) + "\n")
             fh.flush()
             os.fsync(fh.fileno())
         return entry
@@ -101,10 +157,12 @@ class RunJournal:
     def entries(self) -> list[JournalEntry]:
         """Read the journal back, tolerating a truncated trailing line.
 
-        A garbled line anywhere *except* the end is a real corruption and
-        raises :class:`~repro.robust.errors.ArtifactError`; a bad final
-        line is the expected signature of a crash mid-append and is
-        dropped silently.
+        A garbled or checksum-failing line anywhere *except* the end is
+        a real corruption and raises
+        :class:`~repro.robust.errors.ArtifactError`; a bad final line is
+        the expected signature of a crash mid-append and is dropped
+        silently.  Records without a ``check`` field (older journals)
+        are accepted unverified.
         """
         if not self.path.exists():
             return []
@@ -113,8 +171,16 @@ class RunJournal:
         for lineno, line in enumerate(lines, start=1):
             if not line.strip():
                 continue
+            defect = "garbled interior line"
             try:
                 raw = json.loads(line)
+                if isinstance(raw, dict) and "check" in raw:
+                    stated = raw.pop("check")
+                    if stated != _checksum(raw):
+                        defect = "checksum mismatch (silent corruption)"
+                        raise ValueError(
+                            f"stated checksum {stated!r} does not match payload"
+                        )
                 entry = JournalEntry(
                     exp_id=raw["exp_id"],
                     status=raw["status"],
@@ -130,7 +196,7 @@ class RunJournal:
                 raise ArtifactError(
                     f"journal line {lineno} is corrupt",
                     path=self.path,
-                    defect="garbled interior line",
+                    defect=defect,
                     cause=err,
                 ) from err
             out.append(entry)

@@ -121,6 +121,44 @@ class TestSimMemo:
         # the stale file was replaced with a current-schema entry.
         assert json.loads(path.read_text())["schema"] != "repro.perf.memo.v0"
 
+    def test_concurrent_writers_dedup_via_key_lock(self, tmp_path, lines, monkeypatch):
+        """Two writers racing on the same key must run ONE simulation:
+        the loser blocks on the per-key flock, then replays the winner's
+        published entry instead of recomputing (the concurrent-put fix)."""
+        import threading
+
+        import repro.perf.memo as memo_mod
+
+        real_simulate = memo_mod.simulate
+        calls = []
+        started = threading.Barrier(2)
+
+        def slow_simulate(*args, **kwargs):
+            calls.append(1)
+            import time
+
+            time.sleep(0.3)  # hold the lock long enough to force contention
+            return real_simulate(*args, **kwargs)
+
+        monkeypatch.setattr(memo_mod, "simulate", slow_simulate)
+        memos = [SimMemo(tmp_path), SimMemo(tmp_path)]
+        results = [None, None]
+
+        def worker(i):
+            started.wait()
+            results[i] = memos[i].simulate(lines, PAPER_L1I)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in (0, 1)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert results[0] == results[1] == real_simulate(lines, PAPER_L1I)
+        assert len(calls) == 1  # the whole point: one compute, not two
+        assert sum(m.lock_waits for m in memos) == 1
+        assert sum(m.hits for m in memos) == 1  # the loser replayed
+
     def test_in_memory_only_mode(self, lines):
         memo = SimMemo()
         memo.simulate(lines, PAPER_L1I)
@@ -129,6 +167,11 @@ class TestSimMemo:
             "hits": 1,
             "misses": 1,
             "bypasses": 0,
+            "disk_failures": 0,
+            "degraded": 0,
+            "lock_waits": 0,
+            "breaker_trips": 0,
+            "breaker_recoveries": 0,
             "hit_rate": 0.5,
         }
 

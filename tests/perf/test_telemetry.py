@@ -135,6 +135,38 @@ class TestTelemetry:
         assert d["cells"] == t.analysis_cells
         assert d["accesses_per_s"] > 0
 
+    def test_memo_merge_sums_every_numeric_counter(self):
+        """bench.v5: the memo counter key set is owned by SimMemo and has
+        grown (breaker, locks); merge must not hardcode it."""
+        t = Telemetry()
+        t.merge_memo(
+            {"hits": 1, "misses": 1, "disk_failures": 2, "breaker_trips": 1,
+             "hit_rate": 0.5}
+        )
+        t.merge_memo({"hits": 1, "misses": 0, "lock_waits": 3, "hit_rate": 1.0})
+        assert t.memo["disk_failures"] == 2
+        assert t.memo["breaker_trips"] == 1
+        assert t.memo["lock_waits"] == 3
+        # hit_rate is recomputed from the sums, never summed.
+        assert t.memo["hit_rate"] == round(2 / 3, 4)
+
+    def test_resilience_merge_sums_numbers_and_ors_bools(self):
+        t = Telemetry()
+        t.merge_resilience(
+            {"workers_spawned": 2, "worker_crashes": 1, "partial": False}
+        )
+        t.merge_resilience(
+            {"workers_spawned": 3, "worker_crashes": 0, "partial": True}
+        )
+        t.merge_resilience(None)  # serial paths ship nothing
+        assert t.resilience == {
+            "workers_spawned": 5,
+            "worker_crashes": 1,
+            "partial": True,
+        }
+        assert t.to_dict()["resilience"]["partial"] is True
+        assert Telemetry().to_dict()["resilience"] is None
+
 
 class TestCompareJournalOutcomes:
     A = {"exp_id": "fig4", "status": "ok", "elapsed_s": 1.0, "error": None}
@@ -150,6 +182,16 @@ class TestCompareJournalOutcomes:
 
     def test_count_mismatch(self):
         assert "entry count differs" in compare_journal_outcomes([self.A], [])[0]
+
+    def test_storage_checksum_always_ignored(self):
+        b = dict(self.A, check="deadbeefdeadbeef")
+        assert compare_journal_outcomes([self.A], [b]) == []
+
+    def test_ignore_param_tolerates_named_fields(self):
+        b = dict(self.A, attempts=3)
+        a = dict(self.A, attempts=1)
+        assert compare_journal_outcomes([a], [b]) != []
+        assert compare_journal_outcomes([a], [b], ignore=("attempts",)) == []
 
 
 class TestPerfCli:
@@ -303,6 +345,68 @@ class TestPerfCli:
     def test_runner_rejects_bad_jobs(self, capsys):
         assert runner_main(["--jobs", "0", "--only", "fig4"]) == 2
         assert "--jobs" in capsys.readouterr().err
+
+    def test_compare_journals_ignore_attempts_flag(self, tmp_path, capsys):
+        import json as _json
+
+        from repro.robust import RunJournal
+
+        a = RunJournal(tmp_path / "a.jsonl")
+        b = RunJournal(tmp_path / "b.jsonl")
+        a.record("fig4", "ok", attempts=1)
+        b.record("fig4", "ok", attempts=3)  # chaos redispatch inflation
+        assert perf_main(
+            ["compare-journals", str(a.path), str(b.path)]
+        ) == 1
+        assert perf_main(
+            ["compare-journals", str(a.path), str(b.path), "--ignore-attempts"]
+        ) == 0
+        assert "journals agree" in capsys.readouterr().out
+
+    def test_show_bench_accepts_v4_reports_and_shows_resilience(
+        self, tmp_path, capsys
+    ):
+        old = tmp_path / "v4.json"
+        old.write_text(
+            json.dumps(
+                {
+                    "schema": "repro.perf/bench.v4",
+                    "simulator": {"accesses": 1, "seconds": 0.1},
+                }
+            )
+        )
+        assert perf_main(["show-bench", str(old)]) == 0
+        capsys.readouterr()
+        new = tmp_path / "v5.json"
+        new.write_text(
+            json.dumps(
+                {
+                    "schema": BENCH_SCHEMA,
+                    "simulator": {"accesses": 1, "seconds": 0.1},
+                    "memo": {
+                        "hits": 1, "misses": 1, "hit_rate": 0.5,
+                        "disk_failures": 4, "degraded": 2,
+                        "breaker_trips": 1, "breaker_recoveries": 1,
+                    },
+                    "resilience": {
+                        "workers_spawned": 4, "workers_replaced": 2,
+                        "worker_crashes": 1, "worker_hangs": 1,
+                        "redispatches": 2, "partial": False,
+                    },
+                }
+            )
+        )
+        assert perf_main(["show-bench", str(new)]) == 0
+        out = capsys.readouterr().out
+        assert "resilience: 4 workers (2 replaced)" in out
+        assert "breaker 1 trip(s)" in out
+
+    def test_runner_chaos_requires_parallel_redundancy(self, capsys):
+        assert runner_main(["--only", "fig4", "fig5", "--chaos", "1"]) == 2
+        assert "--chaos" in capsys.readouterr().err
+        assert (
+            runner_main(["--only", "fig4", "--chaos", "1", "--jobs", "2"]) == 2
+        )
 
 
 class TestMonotonicElapsed:

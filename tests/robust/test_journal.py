@@ -72,3 +72,59 @@ def test_lines_are_valid_json_objects(tmp_path):
     assert raw["exp_id"] == "table1"
     assert raw["status"] == "skipped"
     assert raw["error"] is None
+
+
+def test_append_after_hard_kill_repairs_torn_tail(tmp_path):
+    """Recording after a kill mid-append must truncate the torn line first.
+
+    Without the write-time repair, the new record would be appended onto
+    the torn fragment, merging both into one garbled *interior* line —
+    turning a survivable crash signature into a resume-blocking
+    corruption.  This is the regression the fix pins down.
+    """
+    path = tmp_path / "run.jsonl"
+    journal = RunJournal(path)
+    journal.record("fig5", "ok")
+    with path.open("a") as fh:
+        fh.write('{"exp_id": "fig6", "sta')  # hard kill mid-append
+    journal.record("fig7", "ok")  # resume appends after the kill
+    entries = journal.entries()  # no ArtifactError: tail was repaired
+    assert [e.exp_id for e in entries] == ["fig5", "fig7"]
+    assert journal.completed() == {"fig5", "fig7"}
+
+
+def test_silent_interior_corruption_is_detected_by_checksum(tmp_path):
+    """A bit flip that keeps the line valid JSON must still be caught."""
+    path = tmp_path / "run.jsonl"
+    journal = RunJournal(path)
+    journal.record("fig5", "ok")
+    journal.record("fig6", "ok")
+    lines = path.read_text().splitlines()
+    # Flip an outcome without touching the stored checksum: still
+    # perfectly parseable JSON, just silently wrong.
+    lines[0] = lines[0].replace('"ok"', '"failed"')
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(ArtifactError) as exc:
+        journal.entries()
+    assert "line 1" in str(exc.value)
+    assert "checksum" in str(exc.value)
+
+
+def test_corrupt_final_checksum_is_dropped_like_a_torn_tail(tmp_path):
+    path = tmp_path / "run.jsonl"
+    journal = RunJournal(path)
+    journal.record("fig5", "ok")
+    journal.record("fig6", "ok")
+    lines = path.read_text().splitlines()
+    lines[-1] = lines[-1].replace('"ok"', '"failed"')
+    path.write_text("\n".join(lines) + "\n")
+    assert [e.exp_id for e in journal.entries()] == ["fig5"]
+
+
+def test_checkless_records_from_older_versions_still_read(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with path.open("w") as fh:
+        fh.write(json.dumps({"exp_id": "fig5", "status": "ok"}) + "\n")
+    journal = RunJournal(path)
+    journal.record("fig6", "ok")
+    assert [e.exp_id for e in journal.entries()] == ["fig5", "fig6"]

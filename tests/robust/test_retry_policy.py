@@ -1,0 +1,144 @@
+"""Property tests for the fault taxonomy and the retry schedule.
+
+The schedule's contract (see :class:`repro.robust.supervisor.RetryPolicy`):
+
+* deterministic per ``(seed, key)`` — identical across runs and across
+  processes (SHA-256 seeded, never the salted builtin ``hash``);
+* every delay bounded to ``[base_s, cap_s]``;
+* jittered within the decorrelated envelope
+  ``d_i <= min(cap_s, 3 * d_{i-1})`` with ``d_0`` drawn from
+  ``[base_s, 3 * base_s]``;
+* transient fault classes retry, permanent ones never do — one case per
+  taxonomy class below.
+"""
+
+import pytest
+
+from repro.robust import (
+    PERMANENT,
+    TRANSIENT,
+    ArtifactError,
+    ProfileError,
+    RetryPolicy,
+    SimulationError,
+    WorkerCrashError,
+    WorkerHangError,
+    fault_class,
+)
+from repro.experiments.runner import UnknownExperimentError
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.integrity import LayoutError
+
+
+def _layout_error(message: str) -> LayoutError:
+    return LayoutError(
+        [Diagnostic("L006", Severity.ERROR, "layout", message)]
+    )
+
+
+class TestSchedule:
+    def test_deterministic_per_seed_and_key(self):
+        a = RetryPolicy(max_retries=8, seed=3).schedule("fig5")
+        b = RetryPolicy(max_retries=8, seed=3).schedule("fig5")
+        assert a == b
+        assert RetryPolicy(max_retries=8, seed=4).schedule("fig5") != a
+        assert RetryPolicy(max_retries=8, seed=3).schedule("fig6") != a
+
+    def test_bounded_by_base_and_cap(self):
+        policy = RetryPolicy(max_retries=64, base_s=0.1, cap_s=1.0, seed=1)
+        for key in ("fig4", "fig5", "table1"):
+            delays = policy.schedule(key)
+            assert len(delays) == 64
+            assert all(0.1 <= d <= 1.0 for d in delays)
+
+    def test_decorrelated_envelope(self):
+        policy = RetryPolicy(max_retries=32, base_s=0.05, cap_s=30.0, seed=9)
+        for key in ("a", "b", "c"):
+            delays = policy.schedule(key)
+            prev = policy.base_s
+            for d in delays:
+                assert d <= min(policy.cap_s, 3 * prev) + 1e-12
+                prev = d
+
+    def test_delays_actually_jitter(self):
+        # A degenerate implementation returning base_s everywhere would
+        # satisfy the bounds; demand real spread.
+        delays = RetryPolicy(max_retries=16, seed=0).schedule("fig5")
+        assert len(set(delays)) > 8
+
+    def test_delay_s_matches_schedule_prefixes(self):
+        policy = RetryPolicy(max_retries=5, seed=2)
+        delays = policy.schedule("fig7")
+        for attempt in range(1, 6):
+            assert policy.delay_s("fig7", attempt) == delays[attempt - 1]
+
+    def test_sleep_before_retry_uses_injected_sleep(self):
+        slept = []
+        policy = RetryPolicy(max_retries=2, seed=5)
+        delay = policy.sleep_before_retry("fig5", 1, sleep=slept.append)
+        assert slept == [delay] and delay == policy.delay_s("fig5", 1)
+
+    def test_zero_retries_schedule_is_empty(self):
+        assert RetryPolicy().schedule("fig5") == []
+
+
+class TestTaxonomy:
+    """One classification case per taxonomy class."""
+
+    @pytest.mark.parametrize(
+        "err",
+        [
+            WorkerCrashError("worker died"),
+            WorkerHangError("worker hung"),
+            SimulationError("flaky run"),
+            OSError("disk hiccup"),
+            ArtifactError("write failed", cause=OSError("no space")),
+        ],
+        ids=lambda e: type(e).__name__,
+    )
+    def test_transient_classes(self, err):
+        assert fault_class(err) == TRANSIENT
+
+    @pytest.mark.parametrize(
+        "err",
+        [
+            ProfileError("negative count"),
+            _layout_error("duplicated symbol"),
+            UnknownExperimentError("no-such-exp"),
+            ValueError("bad argument"),
+            KeyError("missing"),
+            RuntimeError("unclassified"),
+            ArtifactError("schema mismatch"),
+        ],
+        ids=lambda e: type(e).__name__,
+    )
+    def test_permanent_classes(self, err):
+        assert fault_class(err) == PERMANENT
+
+    def test_artifact_error_io_cause_survives_pickling_boundary(self):
+        # Across a process boundary the cause exception is lost but its
+        # rendered form survives in context; classification must agree.
+        err = ArtifactError("write failed", cause=OSError("no space"))
+        rebuilt = ArtifactError("write failed")
+        rebuilt.context["cause"] = err.to_dict()["cause"]
+        assert fault_class(rebuilt) == TRANSIENT
+
+    @pytest.mark.parametrize(
+        "err, attempts_allowed",
+        [
+            (SimulationError("flaky"), True),
+            (ProfileError("bad input"), False),
+            (_layout_error("broken invariant"), False),
+            (WorkerCrashError("died"), True),
+            (WorkerHangError("hung"), True),
+        ],
+        ids=lambda v: type(v).__name__ if isinstance(v, BaseException) else str(v),
+    )
+    def test_should_retry_consults_the_taxonomy(self, err, attempts_allowed):
+        policy = RetryPolicy(max_retries=3)
+        assert policy.should_retry(err, 1) is attempts_allowed
+        # The budget still caps transient retries.
+        assert policy.should_retry(err, 4) is False
+
+    def test_never_retries_with_zero_budget(self):
+        assert not RetryPolicy().should_retry(SimulationError("x"), 1)
