@@ -107,12 +107,16 @@ class Driver:
         *,
         jobs: int = 1,
         memo=None,
+        store=None,
         profile_source: str = "trace",
     ):
         """``jobs`` fans the per-layout evaluation simulations out across
         worker processes; ``memo`` (a :class:`repro.perf.memo.SimMemo`)
-        replays identical simulations from the content-addressed cache.
-        Both only trade wall-clock time — never results.
+        replays identical simulations from the content-addressed cache;
+        ``store`` (a :class:`repro.perf.store.TraceStore`) ships the
+        evaluation streams to workers as zero-copy memmap refs instead of
+        pickled arrays.  All of them only trade wall-clock time — never
+        results.
 
         ``profile_source`` selects where the optimization profile comes
         from: ``"trace"`` (the paper's pipeline — instrument and run the
@@ -131,6 +135,8 @@ class Driver:
         self.cache = cache
         self.jobs = jobs
         self.memo = memo
+        self.store = store
+        self._cell_pool = None
         self.profile_source = profile_source
         self.optimizer_names = list(optimizers or OPTIMIZERS)
         for name in self.optimizer_names:
@@ -140,26 +146,50 @@ class Driver:
     def _optimizer(self, name: str):
         return OPTIMIZERS.get(name) or COMPARATORS[name]
 
+    def cell_pool(self):
+        """The driver's persistent cell pool (lazy, reused across builds)."""
+        from ..perf.parallel import CellPool
+
+        if self._cell_pool is None:
+            self._cell_pool = CellPool(self.jobs, store=self.store)
+        return self._cell_pool
+
+    def close(self) -> None:
+        """Release the persistent cell pool (idempotent)."""
+        if self._cell_pool is not None:
+            self._cell_pool.shutdown()
+            self._cell_pool = None
+
+    def __enter__(self) -> "Driver":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def _evaluate(self, streams: list):
         """Simulate the layouts' fetch streams (memoized, possibly parallel).
 
         The per-layout cells are independent, so with ``jobs > 1`` they
-        fan out across a process pool; memo hits are resolved first and
-        fresh results are stored back, all yielding stats bit-identical
-        to serial un-memoized simulation.
+        fan out across the driver's persistent cell pool; memo hits are
+        resolved first and fresh results are stored back, all yielding
+        stats bit-identical to serial un-memoized simulation.  With a
+        trace store attached, streams ship as zero-copy refs keyed by
+        the same content digest the memo key consumed.
         """
-        if self.memo is None and self.jobs == 1:
+        if self.memo is None and self.jobs == 1 and self.store is None:
             return [simulate(stream, self.cache) for stream in streams]
 
         from ..perf.memo import memo_key
         from ..perf.parallel import simulate_cells
+        from ..perf.store import trace_digest
 
         results: list = [None] * len(streams)
         pending: list[tuple[int, str]] = []
         tasks = []
         for i, stream in enumerate(streams):
+            keysrc = trace_digest(stream) if self.store is not None else stream
             if self.memo is not None:
-                key = memo_key(stream, self.cache, prefetch=False)
+                key = memo_key(keysrc, self.cache, prefetch=False)
                 cached = self.memo.get(key)
                 if cached is not None:
                     results[i] = cached
@@ -167,8 +197,16 @@ class Driver:
             else:
                 key = ""
             pending.append((i, key))
-            tasks.append((stream, self.cache, False))
-        for (i, key), stats in zip(pending, simulate_cells(tasks, jobs=self.jobs)):
+            shipped = (
+                self.store.ref(stream, key=keysrc)
+                if self.store is not None
+                else stream
+            )
+            tasks.append((shipped, self.cache, False))
+        pool = self.cell_pool() if (self.jobs > 1 or self.store is not None) else None
+        for (i, key), stats in zip(
+            pending, simulate_cells(tasks, jobs=self.jobs, pool=pool)
+        ):
             if self.memo is not None:
                 self.memo.put(key, stats)
             results[i] = stats

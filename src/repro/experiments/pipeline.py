@@ -32,6 +32,7 @@ the full experiment logic at a fraction of the cost.
 from __future__ import annotations
 
 import dataclasses
+import pickle
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -129,6 +130,12 @@ class Lab:
         :mod:`repro.core.fastanalysis` (also parity-gated bit-identical).
         ``None`` (default) respects ``optimizer_config``; a bool
         overrides its ``use_fast_analysis`` field.
+    store: optional :class:`repro.perf.store.TraceStore`.  When set, the
+        cell fan-outs publish each fetch stream once and ship ~100-byte
+        :class:`~repro.perf.store.StoreRef` descriptors to workers, which
+        attach with zero-copy memmap reads; the stream's content digest
+        doubles as the memo-key ingredient, so nothing is hashed twice.
+        Purely a transport optimization — results are bit-identical.
 
     The lab doubles as the telemetry source: :attr:`timings` accumulates
     per-stage wall-clock seconds (monotonic clock) and :attr:`counters`
@@ -148,6 +155,7 @@ class Lab:
         use_kernel: bool = True,
         use_fast_analysis: Optional[bool] = None,
         profile_source: str = "trace",
+        store=None,
     ):
         if not 0.0 < scale <= 1.0:
             raise ValueError("scale must be in (0, 1]")
@@ -170,6 +178,9 @@ class Lab:
         self.timing = timing
         self.jobs = jobs
         self.memo = memo
+        self.store = store
+        #: lazily created persistent CellPool (reused across fan-outs).
+        self._cell_pool = None
         self.use_kernel = use_kernel
         #: where the *optimization* profile (test input) comes from:
         #: "trace" instruments a real run; "static" synthesizes the test
@@ -208,6 +219,13 @@ class Lab:
             "analysis_passes": 0,
             "analysis_cells": 0,
             "analysis_memo_hits": 0,
+            # Cell-dispatch transport: bytes that crossed the process
+            # boundary pickled vs. bytes workers memmapped from the
+            # store, plus persistent-pool amortization.
+            "store_bytes_shipped": 0,
+            "store_bytes_mapped": 0,
+            "pool_fanouts": 0,
+            "pool_reuses": 0,
         }
 
         self._programs: dict[str, PreparedProgram] = {}
@@ -256,6 +274,67 @@ class Lab:
             "use_kernel": self.use_kernel,
             "profile_source": self.profile_source,
         }
+
+    # -- cell transport ------------------------------------------------------
+
+    def cell_pool(self, jobs: Optional[int] = None):
+        """The lab's persistent :class:`~repro.perf.parallel.CellPool`.
+
+        Spawned lazily on first fan-out and reused by every subsequent
+        one (``precompute_solo``, ``precompute_layouts``, benchmarks) —
+        the workers and their store attachment survive across calls
+        instead of being rebuilt per map.  Rebuilt only when a caller
+        asks for a different worker count.
+        """
+        from ..perf.parallel import CellPool
+
+        jobs = self.jobs if jobs is None else jobs
+        pool = self._cell_pool
+        if pool is None or pool.jobs != jobs:
+            if pool is not None:
+                pool.shutdown()
+            pool = CellPool(jobs, store=self.store)
+            self._cell_pool = pool
+        return pool
+
+    def _ship_stream(self, stream: np.ndarray, digest: Optional[str] = None):
+        """Prepare one stream for a worker dispatch.
+
+        With a store attached: publish the stream once (under ``digest``
+        when the caller already hashed it for a memo key) and ship its
+        ~100-byte :class:`~repro.perf.store.StoreRef`; workers memmap
+        the content instead of unpickling it.  Without a store the array
+        itself ships.  ``store_bytes_shipped`` accounts what actually
+        crosses the process boundary either way, so the telemetry shows
+        exactly what the store bought.
+        """
+        if self.store is not None:
+            ref = self.store.ref(stream, key=digest)
+            self.counters["store_bytes_shipped"] += len(pickle.dumps(ref))
+            self.counters["store_bytes_mapped"] += ref.nbytes
+            return ref
+        self.counters["store_bytes_shipped"] += int(np.asarray(stream).nbytes)
+        return stream
+
+    def _sync_pool_counters(self) -> None:
+        """Mirror the persistent pool's amortization counters."""
+        if self._cell_pool is not None:
+            self.counters["pool_fanouts"] = float(self._cell_pool.maps)
+            self.counters["pool_reuses"] = float(self._cell_pool.reuses)
+
+    def close(self) -> None:
+        """Release the persistent cell pool (idempotent; the lab stays
+        usable and respawns workers on the next fan-out)."""
+        if self._cell_pool is not None:
+            self._sync_pool_counters()
+            self._cell_pool.shutdown()
+            self._cell_pool = None
+
+    def __enter__(self) -> "Lab":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- program preparation -------------------------------------------------
 
@@ -390,10 +469,12 @@ class Lab:
             from ..core.optimizers import analysis_cell
             from ..perf.memo import affinity_key, trg_key
             from ..perf.parallel import analysis_cells
+            from ..perf.store import trace_digest
 
             tasks: list[tuple] = []
             pending: list[str] = []
             seen: set[str] = set()
+            task_accesses = 0
             for name, layout_name in todo:
                 prepared = self.program(name)
                 cell = analysis_cell(
@@ -404,26 +485,33 @@ class Lab:
                 )
                 if cell is None:
                     continue
+                trace = cell[1]
+                # The content digest keys both the memo entry and the
+                # store entry — hash the trace once, use it twice.
+                keysrc = trace_digest(trace) if self.store is not None else trace
                 if cell[0] == "affinity":
-                    key = affinity_key(cell[1], w_max=cell[2], time_horizon=cell[3])
+                    key = affinity_key(keysrc, w_max=cell[2], time_horizon=cell[3])
                 else:
-                    key = trg_key(cell[1], window_blocks=cell[2])
+                    key = trg_key(keysrc, window_blocks=cell[2])
                 if key in seen or self._analysis_memo.has_analysis(key):
                     continue
                 seen.add(key)
-                tasks.append(cell)
+                shipped = self._ship_stream(
+                    trace, keysrc if isinstance(keysrc, str) else None
+                )
+                tasks.append((cell[0], shipped) + tuple(cell[2:]))
                 pending.append(key)
+                task_accesses += int(np.asarray(trace).shape[0])
             if tasks:
                 with self._stage("optimize"):
                     start = time.perf_counter()
-                    payloads = analysis_cells(tasks, jobs=jobs)
+                    payloads = analysis_cells(tasks, pool=self.cell_pool(jobs))
+                    self._sync_pool_counters()
                     elapsed = time.perf_counter() - start
                     for key, payload in zip(pending, payloads):
                         self._analysis_memo.put_analysis(key, payload)
                     self.counters["analysis_passes"] += len(tasks)
-                    self.counters["analysis_accesses"] += sum(
-                        int(np.asarray(c[1]).shape[0]) for c in tasks
-                    )
+                    self.counters["analysis_accesses"] += task_accesses
                     self.counters["analysis_seconds"] += elapsed
         for name, layout_name in todo:
             self.layout(name, layout_name)
@@ -553,17 +641,24 @@ class Lab:
 
         from ..perf.memo import histogram_key, memo_key
         from ..perf.parallel import histogram_cells, simulate_cells
+        from ..perf.store import trace_digest
 
         n_sets = self.cache_cfg.n_sets
-        kernel_tasks: list[tuple[np.ndarray, int]] = []
+        kernel_tasks: list[tuple] = []
         kernel_pending: list[tuple[tuple[str, str, str], str]] = []
-        tasks: list[tuple[np.ndarray, CacheConfig, bool]] = []
+        kernel_accesses = 0
+        tasks: list[tuple] = []
         pending: list[tuple[tuple[str, str, str], str]] = []
+        task_accesses = 0
         for cell in todo:
             name, layout_name, channel = cell
             stream = self.lines(name, layout_name)
+            # With a store, the content digest is computed once here and
+            # keys the memo entry *and* the store entry.
+            keysrc = trace_digest(stream) if self.store is not None else stream
+            digest = keysrc if isinstance(keysrc, str) else None
             if channel == "sim" and self.use_kernel:
-                hkey = histogram_key(stream, n_sets)
+                hkey = histogram_key(keysrc, n_sets)
                 hist = self._hists.get((name, layout_name, n_sets))
                 if hist is None and self.memo is not None:
                     hist = self.memo.get_histogram(hkey)
@@ -573,25 +668,30 @@ class Lab:
                     self.counters["kernel_cells"] += 1
                     self._finish_solo_cell(cell, hist.stats(self.cache_cfg.assoc))
                 else:
-                    kernel_tasks.append((stream, n_sets))
+                    kernel_tasks.append((self._ship_stream(stream, digest), n_sets))
                     kernel_pending.append((cell, hkey))
+                    kernel_accesses += len(stream)
                 continue
             prefetch = channel == "hw"
-            key = memo_key(stream, self.cache_cfg, prefetch=prefetch)
+            key = memo_key(keysrc, self.cache_cfg, prefetch=prefetch)
             cached = self.memo.get(key) if self.memo is not None else None
             if cached is not None:
                 self._finish_solo_cell(cell, cached)
             else:
-                tasks.append((stream, self.cache_cfg, prefetch))
+                tasks.append(
+                    (self._ship_stream(stream, digest), self.cache_cfg, prefetch)
+                )
                 pending.append((cell, key))
+                task_accesses += len(stream)
 
         if kernel_tasks:
             with self._stage(
                 "simulate",
-                accesses=sum(len(t[0]) for t in kernel_tasks),
+                accesses=kernel_accesses,
                 kernel=True,
             ), error_context("simulate", program="precompute-solo"):
-                hists = histogram_cells(kernel_tasks, jobs=jobs)
+                hists = histogram_cells(kernel_tasks, pool=self.cell_pool(jobs))
+                self._sync_pool_counters()
                 self.counters["kernel_passes"] += len(kernel_tasks)
             for (cell, hkey), hist in zip(kernel_pending, hists):
                 if self.memo is not None:
@@ -602,9 +702,10 @@ class Lab:
                 self._finish_solo_cell(cell, hist.stats(self.cache_cfg.assoc))
 
         with self._stage(
-            "simulate", accesses=sum(len(t[0]) for t in tasks)
+            "simulate", accesses=task_accesses
         ), error_context("simulate", program="precompute-solo"):
-            results = simulate_cells(tasks, jobs=jobs)
+            results = simulate_cells(tasks, pool=self.cell_pool(jobs))
+            self._sync_pool_counters()
         for (cell, key), stats in zip(pending, results):
             if self.memo is not None:
                 self.memo.put(key, stats)

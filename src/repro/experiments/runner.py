@@ -332,10 +332,13 @@ def run_suite(
             policy=policy,
         )
         if telemetry is not None:
+            lab._sync_pool_counters()
             telemetry.merge_stages(lab.timings)
             telemetry.merge_counters(lab.counters)
             if lab.memo is not None:
                 telemetry.merge_memo(lab.memo.counters())
+            if lab.store is not None:
+                telemetry.merge_store(lab.store.counters())
     else:
         outcomes = _run_suite_parallel(
             lab,
@@ -424,6 +427,9 @@ def _run_suite_parallel(
     memo_dir = None
     if lab.memo is not None and lab.memo.cache_dir is not None:
         memo_dir = str(lab.memo.cache_dir)
+    store_dir = None
+    if lab.store is not None:
+        store_dir = str(lab.store.root)
     breaker_config = None
     if chaos is not None:
         # A tight breaker so the chaos soak exercises trip + recovery in
@@ -438,6 +444,7 @@ def _run_suite_parallel(
         hang_timeout_s=hang_timeout_s,
         respawn_budget=respawn_budget,
         breaker_config=breaker_config,
+        store_dir=store_dir,
         chaos=chaos,
     )
     with pool:
@@ -488,6 +495,7 @@ def _run_suite_parallel(
                 telemetry.merge_stages(payload["timings"])
                 telemetry.merge_counters(payload["counters"])
                 telemetry.merge_memo(payload["memo"])
+                telemetry.merge_store(payload.get("store"))
             outcomes.append(outcome)
             if outcome.status == "failed" and not keep_going:
                 break
@@ -580,6 +588,15 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="directory for the content-addressed simulation memo cache "
         "(persisted across runs; see docs/performance.md)",
+    )
+    parser.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for the zero-copy content-addressed trace store: "
+        "fetch streams ship to workers as ~100-byte memmap refs instead "
+        "of pickled arrays (persisted across runs; see "
+        "docs/performance.md)",
     )
     parser.add_argument(
         "--bench-out",
@@ -690,6 +707,12 @@ def main(argv: list[str] | None = None) -> int:
 
         memo = SimMemo(args.memo_dir)
 
+    store = None
+    if args.store_dir is not None:
+        from ..perf.store import TraceStore
+
+        store = TraceStore(args.store_dir)
+
     telemetry = None
     if args.bench_out is not None:
         from ..perf.telemetry import Telemetry
@@ -705,23 +728,25 @@ def main(argv: list[str] | None = None) -> int:
         scale=args.scale,
         jobs=cell_jobs,
         memo=memo,
+        store=store,
         use_kernel=not args.no_fastsim,
         use_fast_analysis=False if args.no_fast_analysis else None,
     )
-    outcomes = run_suite(
-        lab,
-        ids,
-        keep_going=args.keep_going,
-        journal=journal,
-        resume=args.resume,
-        retries=args.retries,
-        inject_fault=args.inject_fault,
-        jobs=suite_jobs,
-        telemetry=telemetry,
-        chaos=chaos,
-        hang_timeout_s=hang_timeout_s,
-        respawn_budget=args.respawn_budget,
-    )
+    with lab:
+        outcomes = run_suite(
+            lab,
+            ids,
+            keep_going=args.keep_going,
+            journal=journal,
+            resume=args.resume,
+            retries=args.retries,
+            inject_fault=args.inject_fault,
+            jobs=suite_jobs,
+            telemetry=telemetry,
+            chaos=chaos,
+            hang_timeout_s=hang_timeout_s,
+            respawn_budget=args.respawn_budget,
+        )
     _summarize(outcomes, sys.stdout)
     if chaos is not None and memo is not None:
         # Leave no partial or corrupt artifact behind: drop every memo

@@ -18,6 +18,12 @@ makes it fast without changing a single result:
   under :data:`~repro.perf.memo.ANALYSIS_SCHEMA` keys
   (:func:`~repro.perf.memo.affinity_key`,
   :func:`~repro.perf.memo.trg_key`: symbol stream + model parameters);
+- :mod:`repro.perf.store` — a zero-copy, content-addressed trace store
+  (:class:`~repro.perf.store.TraceStore`): int64 streams persist as
+  mmap-backed ``.npy`` entries keyed by :func:`~repro.perf.store.trace_digest`
+  (the same digest every memo key consumes), so cell dispatches ship
+  ~100-byte :class:`~repro.perf.store.StoreRef` descriptors instead of
+  pickled arrays and workers attach with ``np.memmap`` reads;
 - :mod:`repro.perf.telemetry` — per-stage wall time, simulator
   throughput, and memo hit rates aggregated into ``BENCH_perf.json``
   (:class:`~repro.perf.telemetry.Telemetry`), plus the journal-parity
@@ -39,20 +45,25 @@ from .memo import (
     trg_key,
 )
 from .parallel import (
+    CellPool,
     ExperimentPool,
     analysis_cells,
     histogram_cells,
     rebuild_error,
     simulate_cells,
 )
+from .store import StoreRef, TraceStore, trace_digest
 from .telemetry import BENCH_SCHEMA, Telemetry, compare_journal_outcomes
 
 __all__ = [
     "ANALYSIS_SCHEMA",
     "BENCH_SCHEMA",
+    "CellPool",
     "ExperimentPool",
     "SimMemo",
+    "StoreRef",
     "Telemetry",
+    "TraceStore",
     "affinity_key",
     "analysis_cells",
     "analysis_key",
@@ -63,5 +74,6 @@ __all__ = [
     "rebuild_error",
     "simulate_cells",
     "state_fingerprint",
+    "trace_digest",
     "trg_key",
 ]

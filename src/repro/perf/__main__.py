@@ -33,6 +33,20 @@ Subcommands:
     into a gate; ``--bench PATH`` merges the numbers under
     ``analysis_bench``; ``--out PATH`` writes a standalone
     ``BENCH_analysis.json``.
+
+``store-bench``
+    Transport gate for the zero-copy trace store
+    (:mod:`repro.perf.store`): fans the L1I-family histogram cells of
+    several programs across a ``--jobs`` worker pool twice — once
+    shipping pickled arrays, once shipping :class:`~repro.perf.store.StoreRef`
+    descriptors against a store — asserts the results are
+    **bit-identical**, and reports per-cell bytes shipped both ways.
+    ``--min-ratio`` turns the reduction into a gate (CI requires 10x);
+    ``--bench PATH`` merges the numbers under ``store_bench``.
+
+Both ``kernel-bench`` and ``analysis-bench`` accept ``--store-dir`` to
+route their kernel-side inputs through the store's memmap reads, so the
+existing parity gates double as zero-copy correctness gates.
 """
 
 from __future__ import annotations
@@ -75,9 +89,20 @@ def _run_kernel_bench(args) -> int:
         scalar_misses[assoc] = simulate(stream, cfg).misses
     scalar_s = time.perf_counter() - t0
 
+    kernel_input = np.asarray(stream)
+    store = None
+    if args.store_dir is not None:
+        # Route the kernel's input through the store: publish once, read
+        # back as a zero-copy memmap, so the parity assertion below also
+        # certifies the mmap transport path.
+        from .store import TraceStore
+
+        store = TraceStore(args.store_dir)
+        kernel_input = store.resolve(store.ref(stream))
+
     # Kernel: one pass answers the whole family.
     t0 = time.perf_counter()
-    hist = stack_distance_histogram(np.asarray(stream), n_sets)
+    hist = stack_distance_histogram(kernel_input, n_sets)
     kernel_misses = {assoc: hist.misses(assoc) for assoc in assocs}
     kernel_s = time.perf_counter() - t0
 
@@ -134,6 +159,8 @@ ANALYSIS_BENCH_SCHEMA = "repro.perf/analysis-bench.v1"
 
 
 def _run_analysis_bench(args) -> int:
+    import numpy as np
+
     from ..core.affinity import AffinityAnalysis
     from ..core.fastanalysis import (
         affinity_coverage,
@@ -156,6 +183,15 @@ def _run_analysis_bench(args) -> int:
     window = args.window_blocks
     reps = max(1, args.reps)
 
+    kernel_trace = trace
+    if args.store_dir is not None:
+        # Kernels read the trace back through the store's memmap, so the
+        # bit-identity assertions below certify the zero-copy path too.
+        from .store import TraceStore
+
+        store = TraceStore(args.store_dir)
+        kernel_trace = store.resolve(store.ref(trace))
+
     def timed(fn):
         """(best wall seconds over reps, last result)."""
         best, result = float("inf"), None
@@ -170,8 +206,12 @@ def _run_analysis_bench(args) -> int:
     scalar_trg_s, scalar_trg = timed(lambda: build_trg(trace, window_blocks=window))
 
     # Kernels: the vectorized equivalents.
-    kernel_aff_s, kernel_covg = timed(lambda: affinity_coverage(trace, w_max=w_max))
-    kernel_trg_s, kernel_trg = timed(lambda: build_trg_fast(trace, window_blocks=window))
+    kernel_aff_s, kernel_covg = timed(
+        lambda: affinity_coverage(kernel_trace, w_max=w_max)
+    )
+    kernel_trg_s, kernel_trg = timed(
+        lambda: build_trg_fast(kernel_trace, window_blocks=window)
+    )
 
     mismatches = []
     if coverage_from_analysis(scalar_analysis) != kernel_covg:
@@ -191,7 +231,7 @@ def _run_analysis_bench(args) -> int:
     speedup = scalar_s / kernel_s if kernel_s > 0 else float("inf")
     aff_speedup = scalar_aff_s / kernel_aff_s if kernel_aff_s > 0 else float("inf")
     trg_speedup = scalar_trg_s / kernel_trg_s if kernel_trg_s > 0 else float("inf")
-    n_syms = len({int(s) for s in trace.tolist()})
+    n_syms = int(np.unique(trace).size)
     print(
         f"analysis parity OK: {args.program} ({len(trace)} accesses, "
         f"{n_syms} symbols, granularity={args.granularity}), "
@@ -241,6 +281,93 @@ def _run_analysis_bench(args) -> int:
         report = {"schema": ANALYSIS_BENCH_SCHEMA, "scale": args.scale, **section}
         atomic_write_text(args.out, json.dumps(report, indent=2, sort_keys=True))
         print(f"analysis-bench report written to {args.out}")
+    return 0
+
+
+def _run_store_bench(args) -> int:
+    import pickle
+    import tempfile
+
+    from ..experiments.pipeline import BASELINE, Lab
+    from ..robust.atomic import atomic_write_text
+    from .parallel import CellPool, histogram_cells
+    from .store import TraceStore
+
+    programs = [p for p in args.programs.split(",") if p]
+    n_sets = args.n_sets
+    lab = Lab(scale=args.scale)
+    streams = [lab.lines(p, BASELINE) for p in programs]
+
+    # The pickled path: every cell carries its full stream.
+    pickled_cells = [(s, n_sets) for s in streams]
+    pickled_bytes = sum(len(pickle.dumps(c)) for c in pickled_cells)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = TraceStore(args.store_dir or tmp)
+        ref_cells = [(store.ref(s), n_sets) for s in streams]
+        ref_bytes = sum(len(pickle.dumps(c)) for c in ref_cells)
+
+        t0 = time.perf_counter()
+        with CellPool(args.jobs) as pool:
+            pickled_hists = histogram_cells(pickled_cells, pool=pool)
+        pickled_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        with CellPool(args.jobs, store=store) as pool:
+            ref_hists = histogram_cells(ref_cells, pool=pool)
+        ref_s = time.perf_counter() - t0
+
+    mismatches = [
+        programs[i]
+        for i, (a, b) in enumerate(zip(pickled_hists, ref_hists))
+        if a.to_dict() != b.to_dict()
+    ]
+    if mismatches:
+        print(
+            f"store transport parity FAILED: {', '.join(mismatches)}",
+            file=sys.stderr,
+        )
+        return 1
+
+    n = len(programs)
+    ratio = pickled_bytes / ref_bytes if ref_bytes else float("inf")
+    print(
+        f"store transport parity OK: {n} histogram cells "
+        f"(n_sets={n_sets}, jobs={args.jobs})"
+    )
+    print(
+        f"bytes shipped per cell: pickled {pickled_bytes // n}, "
+        f"store refs {ref_bytes // n} ({ratio:.1f}x smaller); "
+        f"wall: pickled {pickled_s:.3f}s, store {ref_s:.3f}s"
+    )
+    if args.min_ratio is not None and ratio < args.min_ratio:
+        print(
+            f"error: shipped-bytes reduction {ratio:.1f}x below required "
+            f"{args.min_ratio:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+
+    if args.bench is not None:
+        try:
+            with open(args.bench) as fh:
+                bench = json.load(fh)
+        except (OSError, ValueError):
+            bench = {"schema": BENCH_SCHEMA}
+        bench["store_bench"] = {
+            "programs": programs,
+            "n_sets": n_sets,
+            "jobs": args.jobs,
+            "cells": n,
+            "bytes_shipped_pickled": pickled_bytes,
+            "bytes_shipped_refs": ref_bytes,
+            "ratio": round(ratio, 1),
+            "pickled_seconds": round(pickled_s, 4),
+            "store_seconds": round(ref_s, 4),
+            "store_counters": store.counters(),
+        }
+        atomic_write_text(args.bench, json.dumps(bench, indent=2, sort_keys=True))
+        print(f"store_bench section written to {args.bench}")
     return 0
 
 
@@ -294,6 +421,13 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="merge results into this BENCH_perf.json",
     )
+    kb_p.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="route the kernel's input through a TraceStore memmap read "
+        "(the parity gate then also certifies the zero-copy path)",
+    )
 
     ab_p = sub.add_parser(
         "analysis-bench",
@@ -344,6 +478,53 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="PATH",
         help="write a standalone BENCH_analysis.json report",
+    )
+    ab_p.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="route the kernels' input trace through a TraceStore memmap "
+        "read (the parity gate then also certifies the zero-copy path)",
+    )
+
+    sb_p = sub.add_parser(
+        "store-bench",
+        help="zero-copy transport gate: shipped bytes, pickled vs store refs",
+    )
+    sb_p.add_argument(
+        "--programs",
+        default="syn-gcc,syn-gobmk,syn-perlbench,syn-sjeng",
+        help="comma-separated suite programs (one histogram cell each)",
+    )
+    sb_p.add_argument(
+        "--scale", type=float, default=0.25, help="trace-budget multiplier"
+    )
+    sb_p.add_argument(
+        "--n-sets",
+        type=int,
+        default=128,
+        help="geometry family (default: the paper L1I's 128 sets)",
+    )
+    sb_p.add_argument(
+        "--jobs", type=int, default=4, help="cell-pool worker processes"
+    )
+    sb_p.add_argument(
+        "--min-ratio",
+        type=float,
+        default=None,
+        help="fail (exit 1) if per-cell shipped bytes shrink by less than this",
+    )
+    sb_p.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="trace-store directory (default: a temporary one)",
+    )
+    sb_p.add_argument(
+        "--bench",
+        default=None,
+        metavar="PATH",
+        help="merge results into this BENCH_perf.json",
     )
 
     args = parser.parse_args(argv)
@@ -441,6 +622,33 @@ def main(argv: list[str] | None = None) -> int:
                     f"{memo.get('breaker_trips', 0)} trip(s) / "
                     f"{memo.get('breaker_recoveries', 0)} recover(ies)"
                 )
+        store = bench.get("store") or {}
+        if store:
+            print(
+                f"store: {store.get('bytes_shipped', 0)} bytes shipped / "
+                f"{store.get('bytes_mapped', 0)} bytes mapped, "
+                f"{store.get('pool_fanouts', 0)} fan-outs "
+                f"({store.get('pool_reuses', 0)} pool reuses)"
+            )
+            backend = store.get("backend") or {}
+            if backend:
+                print(
+                    f"  backend: {backend.get('puts', 0)} puts "
+                    f"({backend.get('dup_puts', 0)} deduped), "
+                    f"{backend.get('hits', 0)} hits / "
+                    f"{backend.get('misses', 0)} misses, "
+                    f"{backend.get('bytes_written', 0)} bytes written, "
+                    f"{backend.get('corrupt_dropped', 0)} corrupt dropped"
+                )
+        store_bench = bench.get("store_bench") or {}
+        if store_bench:
+            print(
+                f"store-bench: {store_bench.get('ratio', 0)}x smaller dispatches "
+                f"({store_bench.get('bytes_shipped_pickled', 0)} pickled bytes -> "
+                f"{store_bench.get('bytes_shipped_refs', 0)} ref bytes over "
+                f"{store_bench.get('cells', 0)} cells, "
+                f"jobs={store_bench.get('jobs', '?')})"
+            )
         resilience = bench.get("resilience") or {}
         if resilience:
             print(
@@ -460,6 +668,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "analysis-bench":
         return _run_analysis_bench(args)
+
+    if args.command == "store-bench":
+        return _run_store_bench(args)
 
     return 2  # pragma: no cover
 

@@ -19,8 +19,14 @@ The key is the SHA-256 of, in order:
 * the prefetch flag;
 * the warm-state fingerprint — ``cold`` for a fresh cache, otherwise a
   digest of the exact set contents and pending prefetch tags;
-* the raw bytes of the line stream (canonicalized to little-endian
-  ``int64``).
+* the stream's content digest (:func:`repro.perf.store.trace_digest`:
+  SHA-256 over the stream canonicalized to little-endian ``int64``).
+
+Hashing the *digest* rather than the raw bytes is what unifies memo
+keys with :class:`~repro.perf.store.TraceStore` keys: the store's
+content key **is** the digest, so every key function here accepts
+either the array or its digest string — a caller who already published
+a stream derives all of its memo keys without rehashing the bytes.
 
 Two calls share a key iff :func:`repro.cache.setassoc.simulate` would
 return identical stats for them.
@@ -91,6 +97,7 @@ from ..cache.stats import CacheStats
 from ..robust.atomic import atomic_write_text
 from ..robust.faults import MEMO_READ, MEMO_WRITE, maybe_io_fault
 from ..robust.supervisor import CircuitBreaker
+from .store import trace_digest
 
 __all__ = [
     "SimMemo",
@@ -103,17 +110,19 @@ __all__ = [
 ]
 
 #: bumped whenever simulate()'s semantics change; invalidates old caches.
-SCHEMA = "repro.perf.memo.v2"
+#: v3: keys hash the stream's content digest (store-key unification)
+#: instead of the raw bytes.
+SCHEMA = "repro.perf.memo.v3"
 
 #: separate tag for stack-distance histogram entries (repro.cache.fastsim);
-#: bumped whenever the kernel's semantics change.
-KERNEL_SCHEMA = "repro.perf.memo.kernel.v1"
+#: bumped whenever the kernel's semantics change (v2: digest-based keys).
+KERNEL_SCHEMA = "repro.perf.memo.kernel.v2"
 
 #: tag for locality-model analysis artifacts (repro.core.fastanalysis):
 #: affinity coverage histograms and TRG payloads, keyed on the prepared
 #: block trace + model parameters.  Bumped whenever either model's
-#: semantics change.
-ANALYSIS_SCHEMA = "repro.perf.memo.analysis.v1"
+#: semantics change (v2: digest-based keys).
+ANALYSIS_SCHEMA = "repro.perf.memo.analysis.v2"
 
 #: stats fields persisted per entry, in schema order.
 _STATS_FIELDS = ("accesses", "misses", "prefetches", "prefetch_hits")
@@ -132,63 +141,62 @@ def state_fingerprint(state: Optional[CacheState]) -> str:
 
 
 def memo_key(
-    lines: np.ndarray,
+    lines,
     cfg: CacheConfig,
     *,
     prefetch: bool = False,
     state: Optional[CacheState] = None,
 ) -> str:
-    """Content hash identifying one simulation's full input."""
-    arr = np.ascontiguousarray(np.asarray(lines), dtype="<i8")
-    h = hashlib.sha256()
-    h.update(
+    """Content hash identifying one simulation's full input.
+
+    ``lines`` may be the stream itself or its precomputed
+    :func:`~repro.perf.store.trace_digest` — both yield the same key.
+    """
+    return hashlib.sha256(
         f"{SCHEMA}|{cfg.size_bytes}/{cfg.assoc}/{cfg.line_bytes}"
-        f"|pf={int(prefetch)}|st={state_fingerprint(state)}|".encode()
-    )
-    h.update(arr.tobytes())
-    return h.hexdigest()
+        f"|pf={int(prefetch)}|st={state_fingerprint(state)}"
+        f"|{trace_digest(lines)}".encode()
+    ).hexdigest()
 
 
-def analysis_key(trace: np.ndarray, kind: str, params: str) -> str:
+def analysis_key(trace, kind: str, params: str) -> str:
     """Content hash identifying one locality-model analysis input.
 
     ``kind`` names the model (``affinity`` / ``trg``), ``params`` its
     result-relevant parameters — anything that changes the artifact must
     appear here, and nothing that does not (e.g. the affinity
     ``coverage`` threshold is applied at *query* time, so one coverage
-    entry serves every threshold).
+    entry serves every threshold).  ``trace`` may be the symbol stream
+    or its precomputed content digest.
     """
-    arr = np.ascontiguousarray(np.asarray(trace), dtype="<i8")
-    h = hashlib.sha256()
-    h.update(f"{ANALYSIS_SCHEMA}|{kind}|{params}|".encode())
-    h.update(arr.tobytes())
-    return h.hexdigest()
+    return hashlib.sha256(
+        f"{ANALYSIS_SCHEMA}|{kind}|{params}|{trace_digest(trace)}".encode()
+    ).hexdigest()
 
 
 def affinity_key(
-    trace: np.ndarray, *, w_max: int, time_horizon: Optional[int] = None
+    trace, *, w_max: int, time_horizon: Optional[int] = None
 ) -> str:
     """Key of one affinity-coverage artifact (all w <= w_max at once)."""
     return analysis_key(trace, "affinity", f"w={int(w_max)}/h={time_horizon}")
 
 
-def trg_key(trace: np.ndarray, *, window_blocks: Optional[int] = None) -> str:
+def trg_key(trace, *, window_blocks: Optional[int] = None) -> str:
     """Key of one TRG artifact."""
     return analysis_key(trace, "trg", f"win={window_blocks}")
 
 
-def histogram_key(lines: np.ndarray, n_sets: int) -> str:
+def histogram_key(lines, n_sets: int) -> str:
     """Content hash identifying one stack-distance histogram's input.
 
     Deliberately coarser than :func:`memo_key`: the histogram depends
     only on the stream and ``n_sets``, so every associativity (and any
-    ``line_bytes``) of the family shares one entry.
+    ``line_bytes``) of the family shares one entry.  ``lines`` may be
+    the stream or its content digest.
     """
-    arr = np.ascontiguousarray(np.asarray(lines), dtype="<i8")
-    h = hashlib.sha256()
-    h.update(f"{KERNEL_SCHEMA}|sets={int(n_sets)}|".encode())
-    h.update(arr.tobytes())
-    return h.hexdigest()
+    return hashlib.sha256(
+        f"{KERNEL_SCHEMA}|sets={int(n_sets)}|{trace_digest(lines)}".encode()
+    ).hexdigest()
 
 
 class SimMemo:

@@ -22,6 +22,15 @@ Two fan-out layers, matching the structure of the evaluation:
   producing a :class:`~repro.cache.fastsim.DistanceHistogram` that
   answers every associativity of the geometry family at once.
 
+Cell traffic is zero-copy when a :class:`~repro.perf.store.TraceStore`
+is attached: a cell's stream argument may be a
+:class:`~repro.perf.store.StoreRef` descriptor instead of the pickled
+array, and workers resolve it against the store with an ``np.memmap``
+read.  :class:`CellPool` keeps the workers alive across fan-out calls
+(one persistent pool per Lab/Driver instead of a throwaway
+``ProcessPoolExecutor`` per map) and submits cells in batches to
+amortize IPC.
+
 Every simulation here is deterministic (seeded noise, content-addressed
 inputs), so distributing work across processes cannot change any result
 — the parity tests in ``tests/perf/`` and the CI benchmark smoke job
@@ -48,8 +57,10 @@ from ..robust.errors import (
     WorkerCrashError,
     WorkerHangError,
 )
+from .store import StoreRef, TraceStore
 
 __all__ = [
+    "CellPool",
     "ExperimentPool",
     "analysis_cells",
     "histogram_cells",
@@ -59,6 +70,12 @@ __all__ = [
 
 #: the per-process Lab of an experiment worker (set by the initializer).
 _WORKER_LAB = None
+
+#: the per-process TraceStore cell kernels resolve StoreRefs against.
+#: Set by the cell-worker initializer; in the parent it is (re)pointed at
+#: the pool's store on every map, so the serial degradation path resolves
+#: the exact same refs.
+_CELL_STORE: Optional[TraceStore] = None
 
 
 def _mp_context():
@@ -73,6 +90,7 @@ def _init_experiment_worker(
     lab_config: dict,
     memo_dir: Optional[str],
     breaker_config: Optional[dict] = None,
+    store_dir: Optional[str] = None,
 ) -> None:
     from ..experiments.pipeline import Lab
     from .memo import SimMemo
@@ -89,6 +107,8 @@ def _init_experiment_worker(
             )
         else:
             lab_config["memo"] = SimMemo(memo_dir)
+    if store_dir is not None:
+        lab_config["store"] = TraceStore(store_dir)
     _WORKER_LAB = Lab(**lab_config)
 
 
@@ -104,6 +124,7 @@ def _experiment_task(
     # parent can sum payloads without double counting.
     counters_before = dict(lab.counters)
     memo_before = lab.memo.counters() if lab.memo is not None else None
+    store_before = lab.store.counters() if lab.store is not None else None
     outcome, notes = attempt_experiment(
         lab, exp_id, retries=retries, inject_fault=inject_fault, policy=policy
     )
@@ -115,6 +136,12 @@ def _experiment_task(
             k: after[k] - (memo_before or {}).get(k, 0)
             for k in after
             if k != "hit_rate"
+        }
+    store_delta = None
+    if lab.store is not None:
+        after = lab.store.counters()
+        store_delta = {
+            k: after[k] - (store_before or {}).get(k, 0) for k in after
         }
     return {
         "exp_id": outcome.exp_id,
@@ -135,6 +162,7 @@ def _experiment_task(
             k: lab.counters[k] - counters_before.get(k, 0) for k in lab.counters
         },
         "memo": memo_delta,
+        "store": store_delta,
     }
 
 
@@ -172,7 +200,14 @@ def rebuild_error(payload: dict) -> ReproError:
 
 
 class ExperimentPool:
-    """A pool of experiment workers, each owning a private Lab."""
+    """A pool of experiment workers, each owning a private Lab.
+
+    ``breaker_config`` (kwargs for
+    :class:`~repro.robust.supervisor.CircuitBreaker`) guards each
+    worker's memo disk tier, and ``store_dir`` attaches each worker to
+    the shared :class:`~repro.perf.store.TraceStore` — both thread
+    through the initializer exactly as :class:`SupervisedPool` does.
+    """
 
     def __init__(
         self,
@@ -180,6 +215,8 @@ class ExperimentPool:
         lab_config: dict,
         *,
         memo_dir: Optional[str] = None,
+        breaker_config: Optional[dict] = None,
+        store_dir: Optional[str] = None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -187,7 +224,7 @@ class ExperimentPool:
             max_workers=jobs,
             mp_context=_mp_context(),
             initializer=_init_experiment_worker,
-            initargs=(lab_config, memo_dir),
+            initargs=(lab_config, memo_dir, breaker_config, store_dir),
         )
 
     def submit(
@@ -210,48 +247,230 @@ class ExperimentPool:
 
 # -- cell-level fan-out -------------------------------------------------------
 
+def _init_cell_worker(store_dir: Optional[str]) -> None:
+    """Cell-worker initializer: lazily attach to the trace store."""
+    global _CELL_STORE
+    _CELL_STORE = TraceStore(store_dir) if store_dir is not None else None
+
+
+def _resolve_stream(trace) -> np.ndarray:
+    """A cell's stream argument: a pickled array, or a StoreRef resolved
+    against the attached store with a zero-copy memmap read."""
+    if isinstance(trace, StoreRef):
+        store = _CELL_STORE
+        if store is None:
+            raise SimulationError(
+                f"cell carries store ref {trace.key[:12]}… but this process "
+                "has no trace store attached",
+                stage="simulate",
+                defect="no trace store",
+            )
+        try:
+            return store.resolve(trace)
+        except KeyError:
+            raise SimulationError(
+                f"trace store entry {trace.key[:12]}… is missing or corrupt",
+                stage="simulate",
+                defect="store entry lost",
+            ) from None
+    return np.asarray(trace)
+
+
+def _run_batch(fn: Callable[[Any], Any], cells: list) -> list:
+    """Worker body of one batched dispatch (amortizes per-task IPC)."""
+    return [fn(c) for c in cells]
+
+
+class CellPool:
+    """A persistent pool of cell-kernel workers, reused across fan-outs.
+
+    The throwaway-pool model paid process startup (and, via ``fork``,
+    page-table duplication) on *every* ``simulate_cells`` /
+    ``histogram_cells`` / ``analysis_cells`` call.  A ``CellPool`` is
+    owned by its Lab/Driver, spawns workers on first use, keeps them
+    alive across calls (``reuses`` counts the amortized fan-outs), and
+    submits cells in batches of roughly ``2 * jobs`` per map so the IPC
+    cost scales with worker count, not cell count.
+
+    Fault model: a pool broken mid-map (a worker OOM-killed or
+    segfaulted) loses only the batches that had not completed — finished
+    futures keep their results, and only the lost cells are recomputed
+    serially in the parent (``recomputed`` counts them).  The dead
+    executor is discarded and the next map spawns a fresh one.  Cell
+    kernels are pure, so none of this can change a result.
+    """
+
+    def __init__(self, jobs: int, *, store: Optional[TraceStore] = None):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self._store = store
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self.maps = 0
+        self.reuses = 0
+        self.batches = 0
+        self.broken_pools = 0
+        self.recomputed = 0
+
+    @property
+    def store(self) -> Optional[TraceStore]:
+        return self._store
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            store_dir = str(self._store.root) if self._store is not None else None
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=_mp_context(),
+                initializer=_init_cell_worker,
+                initargs=(store_dir,),
+            )
+        else:
+            self.reuses += 1
+        return self._executor
+
+    def map(self, fn: Callable[[Any], Any], cells: list) -> list:
+        """Map ``fn`` over ``cells``; results positionally aligned and
+        bit-identical to ``[fn(c) for c in cells]``."""
+        # Point the parent-side resolver at our store so the serial
+        # paths below handle StoreRef cells exactly like workers do.
+        global _CELL_STORE
+        if self._store is not None:
+            _CELL_STORE = self._store
+        self.maps += 1
+        n = len(cells)
+        if n == 0:
+            return []
+        if self.jobs <= 1 or n == 1:
+            return [fn(c) for c in cells]
+        executor = self._ensure_executor()
+        per_batch = max(1, -(-n // (self.jobs * 2)))
+        results: list = [None] * n
+        done = [False] * n
+        broken = False
+        futures: list[tuple[int, Future]] = []
+        try:
+            for start in range(0, n, per_batch):
+                futures.append(
+                    (
+                        start,
+                        executor.submit(_run_batch, fn, cells[start:start + per_batch]),
+                    )
+                )
+                self.batches += 1
+        except BrokenProcessPool:
+            broken = True
+        for start, fut in futures:
+            try:
+                batch_out = fut.result()
+            except BrokenProcessPool:
+                broken = True
+                continue
+            for j, value in enumerate(batch_out):
+                results[start + j] = value
+                done[start + j] = True
+        if broken:
+            self.broken_pools += 1
+            self.shutdown()
+        for i, cell in enumerate(cells):
+            if not done[i]:
+                results[i] = fn(cell)
+                self.recomputed += 1
+        return results
+
+    def shutdown(self) -> None:
+        """Release the workers (the pool respawns them on next use)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "maps": self.maps,
+            "reuses": self.reuses,
+            "batches": self.batches,
+            "broken_pools": self.broken_pools,
+            "recomputed": self.recomputed,
+        }
+
+    def __enter__(self) -> "CellPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
 def _pool_map(fn: Callable[[Any], Any], cells: list, jobs: int) -> list:
-    """Map ``fn`` over ``cells`` in a process pool, degrading to serial.
+    """Map ``fn`` over ``cells`` in a transient process pool.
 
     Cell kernels are pure and deterministic, so a pool that dies mid-map
     (a worker OOM-killed or segfaulted raises
     :class:`~concurrent.futures.process.BrokenProcessPool`) loses no
-    state — the whole map is simply recomputed serially in the parent.
-    Slower, never wrong.
+    state.  Cells are submitted as individual futures and consumed
+    incrementally: results completed before the pool broke are kept, and
+    only the lost tail is recomputed serially in the parent.  Slower,
+    never wrong — and never wasteful.
     """
-    try:
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(cells)), mp_context=_mp_context()
-        ) as pool:
-            return list(pool.map(fn, cells))
-    except BrokenProcessPool:
+    results: list = [None] * len(cells)
+    done = [False] * len(cells)
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(cells)), mp_context=_mp_context()
+    ) as pool:
+        futures: list[Future] = []
+        try:
+            for cell in cells:
+                futures.append(pool.submit(fn, cell))
+        except BrokenProcessPool:
+            pass  # remaining cells fall through to the serial tail.
+        for i, fut in enumerate(futures):
+            try:
+                results[i] = fut.result()
+                done[i] = True
+            except BrokenProcessPool:
+                continue
+    for i, cell in enumerate(cells):
+        if not done[i]:
+            results[i] = fn(cell)
+    return results
+
+
+def _map_cells(
+    fn: Callable[[Any], Any],
+    cells: list,
+    jobs: int,
+    pool: Optional[CellPool],
+) -> list:
+    """Route one fan-out through the persistent pool when one is given."""
+    if pool is not None:
+        return pool.map(fn, cells)
+    if jobs <= 1 or len(cells) <= 1:
         return [fn(c) for c in cells]
+    return _pool_map(fn, cells, jobs)
 
 
 def _simulate_cell(cell: tuple) -> tuple[int, int, int, int]:
     from ..cache.setassoc import simulate
 
     lines, cfg, prefetch = cell
-    stats = simulate(lines, cfg, prefetch=prefetch)
+    stats = simulate(_resolve_stream(lines), cfg, prefetch=prefetch)
     return (stats.accesses, stats.misses, stats.prefetches, stats.prefetch_hits)
 
 
 def simulate_cells(
-    cells: list[tuple[np.ndarray, CacheConfig, bool]],
+    cells: list[tuple],
     *,
     jobs: int = 1,
+    pool: Optional[CellPool] = None,
 ) -> list[CacheStats]:
     """Simulate independent (lines, cfg, prefetch) cells, possibly in parallel.
 
+    ``lines`` may be an array or a :class:`~repro.perf.store.StoreRef`.
     Results are positionally aligned with ``cells`` and bit-identical to
     serial :func:`repro.cache.setassoc.simulate` calls — the cells share
     no state, so execution order cannot matter.  With ``jobs <= 1`` (or a
-    single cell) no pool is spawned.
+    single cell) and no ``pool``, no workers are spawned.
     """
-    if jobs <= 1 or len(cells) <= 1:
-        raw = [_simulate_cell(c) for c in cells]
-    else:
-        raw = _pool_map(_simulate_cell, cells, jobs)
+    raw = _map_cells(_simulate_cell, cells, jobs, pool)
     return [
         CacheStats(accesses=a, misses=m, prefetches=p, prefetch_hits=h)
         for (a, m, p, h) in raw
@@ -265,12 +484,13 @@ def _analysis_cell(cell: tuple) -> dict:
     if kind == "affinity":
         _, trace, w_max, time_horizon = cell
         return affinity_coverage(
-            trace, w_max=w_max, time_horizon=time_horizon
+            _resolve_stream(trace), w_max=w_max, time_horizon=time_horizon
         ).to_dict()
     if kind == "trg":
         _, trace, window_blocks = cell
         return trg_to_payload(
-            build_trg_fast(trace, window_blocks=window_blocks), window_blocks
+            build_trg_fast(_resolve_stream(trace), window_blocks=window_blocks),
+            window_blocks,
         )
     raise ValueError(f"unknown analysis cell kind {kind!r}")
 
@@ -279,34 +499,37 @@ def analysis_cells(
     cells: list[tuple],
     *,
     jobs: int = 1,
+    pool: Optional[CellPool] = None,
 ) -> list[dict]:
     """Compute independent locality-model analysis cells, possibly in
     parallel.
 
     Each cell is ``("affinity", trace, w_max, time_horizon)`` or
     ``("trg", trace, window_blocks)`` — the shape produced by
-    :func:`repro.core.optimizers.analysis_cell`.  Results are the
-    artifacts' JSON payloads (picklable, and exactly what
+    :func:`repro.core.optimizers.analysis_cell`, with ``trace`` either
+    the array or its :class:`~repro.perf.store.StoreRef`.  Results are
+    the artifacts' JSON payloads (picklable, and exactly what
     :meth:`repro.perf.memo.SimMemo.put_analysis` stores), positionally
     aligned with ``cells`` and identical to serial kernel runs — the
     kernels are deterministic, so fan-out cannot change any layout.
     """
-    if jobs <= 1 or len(cells) <= 1:
+    if pool is None and (jobs <= 1 or len(cells) <= 1):
         return [_analysis_cell(c) for c in cells]
-    return _pool_map(_analysis_cell, cells, jobs)
+    return _map_cells(_analysis_cell, cells, jobs, pool)
 
 
 def _histogram_cell(cell: tuple) -> dict:
     from ..cache.fastsim import stack_distance_histogram
 
     lines, n_sets = cell
-    return stack_distance_histogram(lines, n_sets).to_dict()
+    return stack_distance_histogram(_resolve_stream(lines), n_sets).to_dict()
 
 
 def histogram_cells(
-    cells: list[tuple[np.ndarray, int]],
+    cells: list[tuple],
     *,
     jobs: int = 1,
+    pool: Optional[CellPool] = None,
 ) -> list[DistanceHistogram]:
     """Compute independent (lines, n_sets) stack-distance histograms.
 
@@ -314,10 +537,8 @@ def histogram_cells(
     positionally aligned with ``cells`` and identical to serial
     :func:`repro.cache.fastsim.stack_distance_histogram` calls.
     Histograms cross the process boundary as their dict form (plain ints,
-    cheap relative to the streams already being pickled outward).
+    cheap relative to the streams — which, with a store attached, do not
+    cross at all).
     """
-    if jobs <= 1 or len(cells) <= 1:
-        raw = [_histogram_cell(c) for c in cells]
-    else:
-        raw = _pool_map(_histogram_cell, cells, jobs)
+    raw = _map_cells(_histogram_cell, cells, jobs, pool)
     return [DistanceHistogram.from_dict(r) for r in raw]

@@ -33,13 +33,17 @@ __all__ = ["BENCH_SCHEMA", "COMPAT_SCHEMAS", "Telemetry", "compare_journal_outco
 #: v5: adds the "resilience" section (supervised-pool fault accounting
 #: and memo circuit-breaker state; see repro.robust.supervisor) and the
 #: extended memo counters that ride along with it.
-BENCH_SCHEMA = "repro.perf/bench.v5"
+#: v6: adds the "store" section (zero-copy trace-store transport:
+#: bytes shipped across process boundaries vs. bytes memmapped, store
+#: hit/put counters, persistent cell-pool reuse; see repro.perf.store).
+BENCH_SCHEMA = "repro.perf/bench.v6"
 
 #: older schema tags show-bench and other readers still accept.
 COMPAT_SCHEMAS = (
     "repro.perf/bench.v2",
     "repro.perf/bench.v3",
     "repro.perf/bench.v4",
+    "repro.perf/bench.v5",
 )
 
 #: journal-entry fields that legitimately differ between two runs of the
@@ -74,6 +78,14 @@ class Telemetry:
         self.memo: dict[str, float] = {}
         #: supervised-pool fault accounting + breaker state (bench.v5).
         self.resilience: dict[str, Any] = {}
+        #: cell-dispatch transport accounting (bench.v6): what crossed
+        #: the process boundary pickled vs. attached by memmap, plus the
+        #: TraceStore's own counters and persistent-pool amortization.
+        self.store_bytes_shipped = 0
+        self.store_bytes_mapped = 0
+        self.pool_fanouts = 0
+        self.pool_reuses = 0
+        self.store: dict[str, float] = {}
         self.wall_s = 0.0
 
     # -- accumulation ------------------------------------------------------
@@ -97,6 +109,10 @@ class Telemetry:
         self.staticlint_diags += int(counters.get("staticlint_diags", 0))
         self.staticlint_seconds += float(counters.get("staticlint_seconds", 0.0))
         self.staticlint_certified += int(counters.get("staticlint_certified", 0))
+        self.store_bytes_shipped += int(counters.get("store_bytes_shipped", 0))
+        self.store_bytes_mapped += int(counters.get("store_bytes_mapped", 0))
+        self.pool_fanouts += int(counters.get("pool_fanouts", 0))
+        self.pool_reuses += int(counters.get("pool_reuses", 0))
 
     def merge_memo(self, counters: Optional[dict[str, float]]) -> None:
         """Sum memo counters from one lab/worker into the aggregate.
@@ -136,6 +152,21 @@ class Telemetry:
                 self.resilience[field] = self.resilience.get(field, 0) + value
             else:
                 self.resilience[field] = value
+
+    def merge_store(self, counters: Optional[dict[str, float]]) -> None:
+        """Sum TraceStore counters from one lab/worker into the aggregate.
+
+        Same contract as :meth:`merge_memo`: the key set is owned by
+        :meth:`repro.perf.store.TraceStore.counters` and every numeric
+        counter is summed.
+        """
+        if not counters:
+            return
+        for field, value in counters.items():
+            if isinstance(value, bool):
+                continue
+            if isinstance(value, (int, float)):
+                self.store[field] = self.store.get(field, 0) + int(value)
 
     def record_experiment(
         self, exp_id: str, status: str, elapsed_s: float, attempts: int
@@ -212,7 +243,33 @@ class Telemetry:
             },
             "memo": self.memo or None,
             "resilience": self.resilience or None,
+            "store": self._store_section(),
         }
+
+    def _store_section(self) -> Optional[dict[str, Any]]:
+        """The bench.v6 transport section, or None when nothing shipped."""
+        if not (
+            self.store_bytes_shipped
+            or self.store_bytes_mapped
+            or self.pool_fanouts
+            or self.store
+        ):
+            return None
+        section: dict[str, Any] = {
+            "bytes_shipped": self.store_bytes_shipped,
+            "bytes_mapped": self.store_bytes_mapped,
+            "pool_fanouts": self.pool_fanouts,
+            "pool_reuses": self.pool_reuses,
+        }
+        # The TraceStore's own counters nest under "backend": its
+        # bytes_mapped (bytes attached via get()) is a different metric
+        # from the transport-level bytes_mapped above (bytes the shipped
+        # refs describe) and must not shadow it.
+        if self.store:
+            section["backend"] = {
+                k: int(v) for k, v in sorted(self.store.items())
+            }
+        return section
 
     def write(self, path: str | Path) -> Path:
         """Atomically write the report; returns the path."""

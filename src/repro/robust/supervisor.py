@@ -279,7 +279,9 @@ class _WorkerSlot:
         self.dispatched_t = 0.0
 
 
-def _worker_main(conn, heartbeat, lab_config, memo_dir, breaker_config, chaos) -> None:
+def _worker_main(
+    conn, heartbeat, lab_config, memo_dir, breaker_config, store_dir, chaos
+) -> None:
     """Worker process body: beat, build a Lab, serve tasks off the pipe."""
     stop = threading.Event()
 
@@ -298,7 +300,9 @@ def _worker_main(conn, heartbeat, lab_config, memo_dir, breaker_config, chaos) -
 
     from ..perf.parallel import _experiment_task, _init_experiment_worker
 
-    _init_experiment_worker(lab_config, memo_dir, breaker_config=breaker_config)
+    _init_experiment_worker(
+        lab_config, memo_dir, breaker_config=breaker_config, store_dir=store_dir
+    )
     while True:
         try:
             msg = conn.recv()
@@ -338,6 +342,7 @@ def _failure_payload(exp_id: str, err: ReproError, *, attempts: int = 1) -> dict
         "timings": {},
         "counters": {},
         "memo": None,
+        "store": None,
     }
 
 
@@ -370,6 +375,7 @@ class SupervisedPool:
         respawn_budget: int = 4,
         max_redispatch: int = 2,
         breaker_config: Optional[dict] = None,
+        store_dir: Optional[str] = None,
         chaos=None,
     ):
         if jobs < 1:
@@ -384,6 +390,7 @@ class SupervisedPool:
         self._lab_config = dict(lab_config)
         self._memo_dir = memo_dir
         self._breaker_config = breaker_config
+        self._store_dir = store_dir
         self._chaos = chaos
         self.hang_timeout_s = hang_timeout_s
         self.respawn_budget = respawn_budget
@@ -466,6 +473,7 @@ class SupervisedPool:
                 self._lab_config,
                 self._memo_dir,
                 self._breaker_config,
+                self._store_dir,
                 self._chaos,
             ),
             daemon=True,

@@ -6,7 +6,9 @@ timing fields — including under injected failures, retries, and resume.
 """
 
 import io
+import os
 import re
+import signal
 
 import numpy as np
 import pytest
@@ -15,12 +17,15 @@ from repro.cache import PAPER_L1I, simulate
 from repro.experiments import Lab
 from repro.experiments.runner import run_suite
 from repro.perf import (
+    CellPool,
+    ExperimentPool,
     analysis_cells,
     compare_journal_outcomes,
     histogram_cells,
     rebuild_error,
     simulate_cells,
 )
+from repro.perf.parallel import _pool_map
 from repro.robust import ProfileError, RunJournal, SimulationError
 
 FAST = "ablation-optimal-gap"
@@ -195,6 +200,121 @@ class TestAnalysisCells:
         assert analysis_cells([], jobs=2) == []
         with pytest.raises(ValueError, match="unknown analysis cell kind"):
             analysis_cells([("zipf", None)], jobs=1)
+
+
+def _probe_worker_breaker():
+    """Runs inside an ExperimentPool worker: report its breaker config."""
+    from repro.perf import parallel
+
+    lab = parallel._WORKER_LAB
+    return (
+        lab.memo.breaker.failure_threshold,
+        lab.memo.breaker.reset_after_s,
+    )
+
+
+class TestExperimentPoolBreaker:
+    """Regression: ExperimentPool must thread breaker_config to workers.
+
+    The initializer accepted ``breaker_config`` all along, but
+    ``ExperimentPool.__init__`` silently dropped it from ``initargs`` —
+    pool workers ran the memo disk tier with a default breaker instead
+    of the configured one.  The probe reads the breaker off the worker's
+    own SimMemo, so this fails on the pre-fix code.
+    """
+
+    def test_worker_memo_carries_configured_breaker(self, tmp_path):
+        lab = Lab(scale=0.05, noise_sigma=0.0)
+        with ExperimentPool(
+            1,
+            lab.spawn_config(),
+            memo_dir=str(tmp_path / "memo"),
+            breaker_config={"failure_threshold": 7, "reset_after_s": 11.0},
+        ) as pool:
+            assert pool._executor.submit(_probe_worker_breaker).result(
+                timeout=60
+            ) == (7, 11.0)
+
+
+def _crashy_cell(cell):
+    """Log one execution, then SIGKILL the worker on the marked cell.
+
+    The parent-pid guard keeps the serial recompute path (which runs
+    this same function in the parent) from killing the test process.
+    """
+    idx, log_path, kill_idx, parent_pid = cell
+    with open(log_path, "a") as fh:  # O_APPEND: atomic small writes
+        fh.write(f"{idx}\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    if idx == kill_idx and os.getpid() != parent_pid:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return idx * 2
+
+
+def _executions(log_path) -> list[int]:
+    with open(log_path) as fh:
+        return [int(line) for line in fh.read().split()]
+
+
+class TestBrokenPoolRecomputesOnlyLostCells:
+    """Regression: a pool broken mid-map must not discard completed work.
+
+    The old fallback recomputed *every* cell serially; with individual
+    futures, results finished before the crash are kept and only the
+    lost tail is recomputed.
+    """
+
+    def test_pool_map_keeps_completed_prefix(self, tmp_path):
+        log = tmp_path / "runs.log"
+        log.touch()
+        kill_idx = 2
+        cells = [(i, str(log), kill_idx, os.getpid()) for i in range(6)]
+        # One worker => deterministic in-order execution: cells 0 and 1
+        # complete, the worker dies on 2, and 2..5 are lost.
+        results = _pool_map(_crashy_cell, cells, jobs=1)
+        assert results == [i * 2 for i in range(6)]
+        runs = _executions(log)
+        # 0 and 1 ran exactly once (kept, NOT recomputed); the killer
+        # cell ran twice (worker + parent retry); the lost tail once.
+        assert runs.count(0) == 1
+        assert runs.count(1) == 1
+        assert runs.count(kill_idx) == 2
+        assert all(runs.count(i) == 1 for i in range(3, 6))
+
+    def test_cell_pool_recovers_and_respawns(self, tmp_path):
+        log = tmp_path / "runs.log"
+        log.touch()
+        cells = [(i, str(log), 0, os.getpid()) for i in range(8)]
+        with CellPool(2) as pool:
+            results = pool.map(_crashy_cell, cells)
+            assert results == [i * 2 for i in range(8)]
+            assert pool.broken_pools == 1
+            assert 1 <= pool.recomputed <= len(cells)
+            # Every cell executed somewhere; none more than twice.
+            runs = _executions(log)
+            assert {i for i in runs} == set(range(8))
+            assert all(runs.count(i) <= 2 for i in range(8))
+            # The pool respawns workers and keeps serving maps.
+            clean = [(i, str(log), -1, os.getpid()) for i in range(4)]
+            assert pool.map(_crashy_cell, clean) == [i * 2 for i in range(4)]
+
+
+class TestCellPoolReuse:
+    def test_fanouts_share_one_executor(self):
+        rng = np.random.default_rng(11)
+        cells = [(rng.integers(0, 600, 2000), PAPER_L1I, False) for _ in range(4)]
+        with CellPool(2) as pool:
+            first = simulate_cells(cells, pool=pool)
+            second = simulate_cells(cells, pool=pool)
+        assert first == second == simulate_cells(cells, jobs=1)
+        assert pool.maps == 2
+        assert pool.reuses == 1  # second fan-out reused the warm workers
+
+    def test_jobs_one_stays_serial(self):
+        with CellPool(1) as pool:
+            assert pool.map(len, [[1, 2], [3]]) == [2, 1]
+            assert pool._executor is None  # never spawned workers
 
 
 class TestRebuildError:
