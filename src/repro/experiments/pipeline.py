@@ -51,6 +51,7 @@ from ..engine.fetch import fetch_lines
 from ..engine.instrument import TraceBundle, collect_trace
 from ..ir.module import Module
 from ..ir.transforms import LayoutResult, baseline_layout
+from ..locality.footprint import FootprintCurve, footprint_curve
 from ..machine.counters import measure_corun, measure_solo, reading_from_stats
 from ..machine.smt import CoRunTiming, corun_pair
 from ..machine.timing import ThreadCost, TimingParams, thread_cost
@@ -219,6 +220,16 @@ class Lab:
             "analysis_passes": 0,
             "analysis_cells": 0,
             "analysis_memo_hits": 0,
+            # Footprint-curve composition (repro.fleet): curve_passes =
+            # fresh all-window histogram passes, curve_memo_hits =
+            # replays, fleet_cells = co-run matrix cells those curves
+            # answered.  cells >> passes is the whole point — the
+            # fleet-bench gate asserts the ratio.
+            "curve_passes": 0,
+            "curve_seconds": 0.0,
+            "curve_memo_hits": 0,
+            "fleet_cells": 0,
+            "fleet_seconds": 0.0,
             # Cell-dispatch transport: bytes that crossed the process
             # boundary pickled vs. bytes workers memmapped from the
             # store, plus persistent-pool amortization.
@@ -232,6 +243,7 @@ class Lab:
         self._layouts: dict[tuple[str, str], LayoutResult] = {}
         self._lines: dict[tuple[str, str], np.ndarray] = {}
         self._hists: dict[tuple[str, str, int], "DistanceHistogram"] = {}
+        self._curves: dict[tuple[str, str], FootprintCurve] = {}
         self._solo: dict[tuple[str, str, str], MissRatios] = {}
         self._corun: dict[tuple, tuple[MissRatios, MissRatios]] = {}
 
@@ -570,6 +582,97 @@ class Lab:
                     self.counters["kernel_passes"] += 1
             self._hists[key] = hist
         return hist
+
+    def footprint(self, name: str, layout_name: str) -> FootprintCurve:
+        """All-window footprint curve of a program's fetch stream (memoized).
+
+        The curve depends on the stream alone — no geometry, no peers —
+        so one entry answers every capacity and every co-run group the
+        program appears in.  This is the reuse unit the fleet scheduler
+        (:mod:`repro.fleet`) multiplies: millions of co-run cells, one
+        curve pass per distinct (program, layout).
+        """
+        key = (name, layout_name)
+        curve = self._curves.get(key)
+        if curve is None:
+            stream = self.lines(name, layout_name)
+            with self._stage("compose"), error_context(
+                "compose", program=name, layout=layout_name
+            ):
+                start = time.perf_counter()
+                if self.memo is not None:
+                    misses_before = self.memo.misses
+                    curve = self.memo.footprint_curve(stream)
+                    if self.memo.misses > misses_before:
+                        self.counters["curve_passes"] += 1
+                    else:
+                        self.counters["curve_memo_hits"] += 1
+                else:
+                    curve = footprint_curve(stream)
+                    self.counters["curve_passes"] += 1
+                self.counters["curve_seconds"] += time.perf_counter() - start
+            self._curves[key] = curve
+        return curve
+
+    def precompute_footprints(
+        self,
+        cells: Sequence[tuple[str, str]],
+        *,
+        jobs: Optional[int] = None,
+    ) -> None:
+        """Fill the footprint-curve memo for many ``(program, layout)``
+        cells at once.
+
+        Mirrors :meth:`precompute_layouts`: streams are built serially
+        (memoized, cheap), the independent all-window histogram passes
+        fan out across ``jobs`` workers, and the resulting curves land
+        in the curve memo.  Bit-identical to calling :meth:`footprint`
+        cell by cell — curves cross the process boundary in their exact
+        float form — so this is purely a wall-clock optimization.
+        """
+        jobs = self.jobs if jobs is None else jobs
+        todo = [
+            (name, layout_name)
+            for name, layout_name in dict.fromkeys(tuple(c) for c in cells)
+            if (name, layout_name) not in self._curves
+        ]
+        if jobs <= 1 or len(todo) <= 1:
+            for name, layout_name in todo:
+                self.footprint(name, layout_name)
+            return
+
+        from ..perf.memo import curve_key
+        from ..perf.parallel import curve_cells
+        from ..perf.store import trace_digest
+
+        tasks: list[tuple] = []
+        pending: list[tuple[tuple[str, str], str]] = []
+        for cell in todo:
+            name, layout_name = cell
+            stream = self.lines(name, layout_name)
+            keysrc = trace_digest(stream) if self.store is not None else stream
+            digest = keysrc if isinstance(keysrc, str) else None
+            ckey = curve_key(keysrc)
+            cached = self.memo.get_curve(ckey) if self.memo is not None else None
+            if cached is not None:
+                self.counters["curve_memo_hits"] += 1
+                self._curves[cell] = cached
+            else:
+                tasks.append((self._ship_stream(stream, digest),))
+                pending.append((cell, ckey))
+        if tasks:
+            with self._stage("compose"), error_context(
+                "compose", program="precompute-footprints"
+            ):
+                start = time.perf_counter()
+                curves = curve_cells(tasks, pool=self.cell_pool(jobs))
+                self._sync_pool_counters()
+                self.counters["curve_passes"] += len(tasks)
+                self.counters["curve_seconds"] += time.perf_counter() - start
+            for (cell, ckey), curve in zip(pending, curves):
+                if self.memo is not None:
+                    self.memo.put_curve(ckey, curve)
+                self._curves[cell] = curve
 
     def solo_miss(self, name: str, layout_name: str, channel: str = "hw") -> MissRatios:
         """Solo miss measurement through the given channel ('hw' or 'sim')."""

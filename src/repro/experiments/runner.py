@@ -58,6 +58,7 @@ from . import (
     exp_fig5,
     exp_fig6,
     exp_fig7,
+    exp_fleet,
     exp_intro,
     exp_model,
     exp_optopt,
@@ -101,6 +102,7 @@ EXPERIMENTS: dict[str, Callable[[Lab], ExperimentResult]] = {
     "smt-width": exp_smt_width.run,
     "cache-sweep": exp_cache_sweep.run,
     "scheduling": exp_scheduling.run,
+    "fleet": exp_fleet.run,
     "staticlint-certify": exp_staticlint.run,
     "ablation-trg-window": ablations.run_trg_window,
     "ablation-affinity-windows": ablations.run_affinity_windows,

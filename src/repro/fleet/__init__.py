@@ -1,0 +1,38 @@
+"""Fleet-scale co-run scheduling on footprint composition (ROADMAP 3).
+
+The paper predicts co-run misses compositionally — ``P(self.FP +
+peer.FP >= C)`` — which generalizes past pairs: this package bin-packs
+N program instances onto M sockets/shared caches using the k-way
+composition kernel (:mod:`repro.fleet.compose`), compares layout-aware
+against layout-oblivious placement (:mod:`repro.fleet.placement`), and
+scales to hundreds of thousands of co-run cells by reusing one
+footprint curve per (program, layout) model
+(:mod:`repro.fleet.simulator`).  ``python -m repro.fleet`` is the CLI;
+``exp_fleet`` runs it inside the experiment suite.
+"""
+
+from .compose import ComposedGroup, CurveSet
+from .placement import (
+    AWARE_POLICIES,
+    OBLIVIOUS_POLICIES,
+    POLICIES,
+    Instance,
+    Placement,
+    evaluate_placement,
+    matched_pairs,
+)
+from .simulator import FleetResult, run_fleet
+
+__all__ = [
+    "AWARE_POLICIES",
+    "ComposedGroup",
+    "CurveSet",
+    "FleetResult",
+    "Instance",
+    "OBLIVIOUS_POLICIES",
+    "POLICIES",
+    "Placement",
+    "evaluate_placement",
+    "matched_pairs",
+    "run_fleet",
+]

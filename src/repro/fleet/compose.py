@@ -1,0 +1,161 @@
+"""Vectorized k-way footprint composition for fleet-scale co-run matrices.
+
+The paper's shared-cache prediction (Eq. 1/2) composes footprints by
+addition: a group of co-runners misses together once
+``sum_i fp_i(w) >= C``, and each member's co-run miss ratio is its own
+growth rate at that shared fill time.  The scalar path
+(:func:`repro.locality.hotl.shared_fill_time_scalar`) answers one
+(group, capacity) question per call, re-summing every member curve
+inside each binary-search probe — fine for a pair, hopeless for a fleet
+matrix of hundreds of groups x a capacity sweep.
+
+This module answers whole *matrices* per group:
+
+* :class:`CurveSet` holds the distinct per-(program, layout) curves —
+  the unit of reuse.  A fleet run computes each curve **once** (usually
+  through the :class:`~repro.perf.memo.SimMemo` curve tier) and then
+  derives millions of co-run cells from the set; the ``cells`` counter
+  feeds the ``fleet`` telemetry section and the CI gate asserting
+  cells >> curve passes.
+* :class:`ComposedGroup` aligns and sums its members' curves once
+  (:func:`repro.locality.hotl.compose_curves`) and answers shared fill
+  times for a whole capacity vector with one ``searchsorted``, and the
+  full per-member x per-capacity miss-ratio matrix with NumPy gathers —
+  no per-probe Python loops.
+
+Every number is **bit-identical** to the scalar oracles: the composed
+curve accumulates member values in sequence order (the same IEEE
+additions the per-probe ``sum()`` performs), ``searchsorted`` on a
+monotone curve is the same binary search, and growth rates are exact
+differences of the same ``fp`` arrays.  ``tests/fleet/test_compose.py``
+and the ``python -m repro.fleet bench`` gate pin this on randomized
+curve sets.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..locality.footprint import FootprintCurve
+from ..locality.hotl import compose_curves
+
+__all__ = ["ComposedGroup", "CurveSet"]
+
+
+def _validate_capacities(caps: np.ndarray) -> None:
+    """Vector form of the hotl capacity guard: all finite and positive."""
+    if caps.size == 0:
+        raise ValueError("need at least one capacity")
+    if not np.all(np.isfinite(caps)):
+        bad = caps[~np.isfinite(caps)][0]
+        raise ValueError(f"capacity must be finite, got {bad!r}")
+    if np.any(caps <= 0):
+        raise ValueError("capacity must be positive")
+
+
+class CurveSet:
+    """The distinct footprint curves a fleet run composes from.
+
+    One entry per (program, layout) model; every instance of that model
+    and every group/capacity cell reuses the same curve object.
+    ``cells`` accumulates the number of co-run matrix entries answered —
+    the numerator of the cells-per-curve reuse ratio the fleet bench
+    gate asserts.
+    """
+
+    def __init__(self, curves: Sequence[FootprintCurve]):
+        self.curves: tuple[FootprintCurve, ...] = tuple(curves)
+        if not self.curves:
+            raise ValueError("need at least one footprint curve")
+        #: co-run matrix cells answered from this set (one cell = one
+        #: member's miss ratio at one capacity in one group).
+        self.cells = 0
+
+    def __len__(self) -> int:
+        return len(self.curves)
+
+    def group(self, members: Sequence[int]) -> "ComposedGroup":
+        """Compose the curves at indices ``members`` into one group."""
+        return ComposedGroup(self, members)
+
+
+class ComposedGroup:
+    """One shared cache's co-runners, composed once, queried many times.
+
+    ``members`` are indices into the owning :class:`CurveSet`; the same
+    index may appear multiple times (several instances of one model on
+    one socket).  Construction pays the aligned sum once; every query
+    after that is a vectorized lookup.
+    """
+
+    def __init__(self, curve_set: CurveSet, members: Sequence[int]):
+        self.set = curve_set
+        self.members: tuple[int, ...] = tuple(int(i) for i in members)
+        if not self.members:
+            raise ValueError("need at least one group member")
+        self.curves: tuple[FootprintCurve, ...] = tuple(
+            curve_set.curves[i] for i in self.members
+        )
+        #: the aligned member sum; its fill_time IS the shared fill time.
+        self.composed: FootprintCurve = compose_curves(self.curves)
+
+    def fill_time(self, capacity: float) -> int:
+        """Scalar shared fill time (bit-identical to
+        :func:`repro.locality.hotl.shared_fill_time`)."""
+        return int(self.fill_times(np.asarray([float(capacity)]))[0])
+
+    def fill_times(self, capacities: np.ndarray) -> np.ndarray:
+        """Shared fill times for a whole capacity vector at once.
+
+        Matches the scalar path probe for probe: capacities within 1e-9
+        of the combined total footprint snap to it, capacities beyond
+        the tolerance answer ``max_n + 1`` (no contention), everything
+        else is one ``side="left"`` ``searchsorted`` — the same binary
+        search the scalar oracle runs, against the same summed values.
+        """
+        caps = np.asarray(capacities, dtype=np.float64)
+        _validate_capacities(caps)
+        total_m = float(self.composed.m)
+        # The composed fp[max_n] equals total_m *exactly* (member fp[n_i]
+        # are integer-valued floats; their sequential sum is exact below
+        # 2**53), so snapped capacities land on max_n like the oracle.
+        ws = np.searchsorted(
+            self.composed.fp, np.minimum(caps, total_m), side="left"
+        ).astype(np.int64)
+        over = caps > self.composed.m
+        if np.any(over):
+            snap = over & np.isclose(caps, self.composed.m, rtol=1e-9, atol=1e-9)
+            ws[over & ~snap] = self.composed.n + 1
+        return ws
+
+    def miss_ratio_matrix(self, capacities: np.ndarray) -> np.ndarray:
+        """Per-member co-run miss ratios, shape ``(len(members), len(caps))``.
+
+        Row *i* is member *i*'s predicted miss ratio at each capacity:
+        its own footprint growth rate at the shared fill time, exactly 0
+        past its trace end (Eq. 1/2 applied member-wise).  Growth rates
+        are gathered straight from each member's own ``fp`` array, so
+        every entry equals the scalar
+        :func:`repro.locality.hotl.shared_miss_ratios` value bit for
+        bit.  Each entry counts as one cell in the owning set.
+        """
+        caps = np.asarray(capacities, dtype=np.float64)
+        ws = self.fill_times(caps)
+        out = np.zeros((len(self.curves), caps.shape[0]), dtype=np.float64)
+        for i, curve in enumerate(self.curves):
+            if curve.n == 0:
+                continue  # empty trace: growth is 0 everywhere
+            # growth(w) = fp[w+1] - fp[w] for w < n, else exactly 0.0;
+            # clamp the gather indices, then zero the finished entries.
+            wc = np.clip(ws, 0, curve.n - 1)
+            g = curve.fp[wc + 1] - curve.fp[wc]
+            g[ws >= curve.n] = 0.0
+            out[i] = g
+        self.set.cells += int(out.size)
+        return out
+
+    def miss_ratios(self, capacity: float) -> list[float]:
+        """Scalar-capacity convenience: one column of the matrix."""
+        return [float(x) for x in self.miss_ratio_matrix([float(capacity)])[:, 0]]

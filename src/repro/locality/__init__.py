@@ -2,7 +2,15 @@
 and the formal defensiveness/politeness miss model."""
 
 from .footprint import FootprintCurve, average_footprint, footprint_brute, footprint_curve
-from .hotl import miss_ratio, miss_ratio_curve, shared_fill_time, shared_miss_ratios
+from .hotl import (
+    compose_curves,
+    miss_ratio,
+    miss_ratio_curve,
+    shared_fill_time,
+    shared_fill_time_scalar,
+    shared_miss_ratios,
+    shared_miss_ratios_scalar,
+)
 from .missmodel import BenefitReport, classify_benefits, corun_miss_ratios
 from .windowstats import (
     WindowFootprintDistribution,
@@ -24,6 +32,7 @@ __all__ = [
     "FootprintCurve",
     "average_footprint",
     "classify_benefits",
+    "compose_curves",
     "corun_miss_ratios",
     "distance_histogram",
     "footprint_brute",
@@ -34,7 +43,9 @@ __all__ = [
     "reuse_distances",
     "reuse_distances_naive",
     "shared_fill_time",
+    "shared_fill_time_scalar",
     "shared_miss_ratios",
+    "shared_miss_ratios_scalar",
     "WindowFootprintDistribution",
     "miss_probability",
     "prob_sum_exceeds",

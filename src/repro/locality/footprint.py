@@ -74,7 +74,17 @@ class FootprintCurve:
         comparison would flip the answer from a valid window to
         ``n + 1``.  Capacities meaningfully above ``m`` (beyond the
         tolerance) still return ``n + 1``.
+
+        Non-finite capacities raise ``ValueError``: NaN compares False
+        against every bound, so it used to slide past the ``c > m``
+        guard into ``np.searchsorted`` and silently answer ``n + 1`` —
+        a poisoned input must fail loudly, not look like "fits in
+        cache".  A capacity ``c <= 0`` returns 0 (a zero-length window
+        already holds zero footprint); :func:`repro.locality.hotl.miss_ratio`
+        rejects such capacities before ever asking for a fill time.
         """
+        if not np.isfinite(c):
+            raise ValueError(f"capacity must be finite, got {c!r}")
         if c > self.m:
             if not np.isclose(c, self.m, rtol=1e-9, atol=1e-9):
                 return self.n + 1
@@ -87,6 +97,26 @@ class FootprintCurve:
             return 0.0
         w = max(w, 0)
         return float(self.fp[w + 1] - self.fp[w])
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload (memo entries, worker transport).
+
+        ``json`` round-trips Python floats through ``repr`` (shortest
+        exact form), so a reloaded curve is bit-identical to the
+        original — the composition parity gates rely on that.
+        """
+        return {"fp": [float(x) for x in self.fp], "n": int(self.n), "m": int(self.m)}
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "FootprintCurve":
+        """Rebuild a curve from :meth:`to_dict`; malformed payloads raise
+        ``ValueError`` so caches degrade to recomputation."""
+        fp = np.asarray(raw["fp"], dtype=np.float64)
+        n = int(raw["n"])
+        m = int(raw["m"])
+        if fp.ndim != 1 or fp.shape[0] != n + 1:
+            raise ValueError(f"curve payload has {fp.shape} samples for n={n}")
+        return cls(fp=fp, n=n, m=m)
 
 
 def footprint_curve(trace: np.ndarray) -> FootprintCurve:

@@ -27,11 +27,27 @@ import numpy as np
 from .footprint import FootprintCurve
 
 __all__ = [
+    "compose_curves",
     "miss_ratio",
     "miss_ratio_curve",
     "shared_fill_time",
+    "shared_fill_time_scalar",
     "shared_miss_ratios",
+    "shared_miss_ratios_scalar",
 ]
+
+
+def _validate_capacity(capacity: float) -> None:
+    """Shared-composition capacity guard: positive and finite.
+
+    NaN compares False against every bound, so without the explicit
+    finiteness check it would slip through ``capacity > total_m`` into
+    the search and silently answer "no contention".
+    """
+    if not np.isfinite(capacity):
+        raise ValueError(f"capacity must be finite, got {capacity!r}")
+    if capacity <= 0:
+        raise ValueError("capacity must be positive")
 
 
 def miss_ratio(curve: FootprintCurve, capacity: float) -> float:
@@ -49,6 +65,33 @@ def miss_ratio_curve(curve: FootprintCurve, capacities: Sequence[float]) -> np.n
     return np.array([miss_ratio(curve, c) for c in capacities])
 
 
+def compose_curves(curves: Sequence[FootprintCurve]) -> FootprintCurve:
+    """Aligned sum of co-runners' footprint curves, as one curve.
+
+    Curves from different traces have different lengths; past its own
+    ``n`` a finished program holds its whole footprint, so the shorter
+    curve clamps at ``m`` (exactly what ``c(w)``'s clamp to ``[0, n]``
+    yields probe by probe).  The sum is accumulated curve by curve, in
+    sequence order — the same float additions, in the same order, as
+    ``sum(float(c(w)) for c in curves)`` at every ``w`` — so every probe
+    of the composed curve is **bit-identical** to the scalar per-probe
+    sum the oracles compute.
+
+    The composed curve's ``fill_time`` is the shared fill time of the
+    group and its ``m`` the combined total footprint; per-program growth
+    rates still come from the member curves.
+    """
+    if not curves:
+        raise ValueError("need at least one footprint curve")
+    max_n = max(c.n for c in curves)
+    fp = np.zeros(max_n + 1, dtype=np.float64)
+    for c in curves:
+        fp[: c.n + 1] += c.fp
+        if c.n < max_n:
+            fp[c.n + 1 :] += float(c.m)
+    return FootprintCurve(fp=fp, n=max_n, m=sum(c.m for c in curves))
+
+
 def shared_fill_time(curves: Sequence[FootprintCurve], capacity: float) -> int:
     """Smallest window where the co-run programs' footprints sum to ``capacity``.
 
@@ -60,11 +103,32 @@ def shared_fill_time(curves: Sequence[FootprintCurve], capacity: float) -> int:
     capacity within 1e-9 (relative or absolute) of the combined total
     footprint ``sum_i m_i`` is snapped to it, so float drift in the sum
     cannot flip the answer between a valid window and ``max_n + 1``.
+
+    Implementation: the aligned summed curve is built once
+    (:func:`compose_curves`) and answered by one ``searchsorted`` —
+    :func:`shared_fill_time_scalar` re-summed all *k* curves inside
+    every probe of its binary search, O(k log n) Python-level work per
+    call.  Results are bit-identical (the parity suite pins it).
     """
     if not curves:
         raise ValueError("need at least one footprint curve")
-    if capacity <= 0:
-        raise ValueError("capacity must be positive")
+    _validate_capacity(capacity)
+    return compose_curves(curves).fill_time(capacity)
+
+
+def shared_fill_time_scalar(
+    curves: Sequence[FootprintCurve], capacity: float
+) -> int:
+    """Scalar oracle for :func:`shared_fill_time`: per-probe binary search.
+
+    Re-evaluates ``sum(float(c(mid)) for c in curves)`` at every probe.
+    Kept in-tree as the parity reference for the composed/vectorized
+    paths (:func:`compose_curves`, :mod:`repro.fleet.compose`); not for
+    production use.
+    """
+    if not curves:
+        raise ValueError("need at least one footprint curve")
+    _validate_capacity(capacity)
     max_n = max(c.n for c in curves)
     total_m = sum(c.m for c in curves)
     if capacity > total_m:
@@ -89,4 +153,13 @@ def shared_miss_ratios(curves: Sequence[FootprintCurve], capacity: float) -> lis
     program's miss ratio is its own footprint growth rate.
     """
     w = shared_fill_time(curves, capacity)
+    return [0.0 if w > c.n else c.growth(w) for c in curves]
+
+
+def shared_miss_ratios_scalar(
+    curves: Sequence[FootprintCurve], capacity: float
+) -> list[float]:
+    """Scalar oracle for :func:`shared_miss_ratios` (see
+    :func:`shared_fill_time_scalar`)."""
+    w = shared_fill_time_scalar(curves, capacity)
     return [0.0 if w > c.n else c.growth(w) for c in curves]

@@ -48,6 +48,16 @@ def all_pairings(items: Sequence[str]):
             yield ((first, partner),) + sub
 
 
+def _canonical(pairing: Sequence[tuple[str, str]]) -> tuple[tuple[str, str], ...]:
+    """Order-independent normal form: sort within each pair, then sort pairs.
+
+    Both searches assume a symmetric ``pair_cost`` (co-run makespan of a
+    shared core does not depend on which member is listed first), so the
+    canonical form costs the same as any permutation of it.
+    """
+    return tuple(sorted(tuple(sorted(p)) for p in pairing))
+
+
 def best_pairing(
     items: Sequence[str], pair_cost: Callable[[str, str], float]
 ) -> Pairing:
@@ -55,12 +65,18 @@ def best_pairing(
 
     Fine up to ~12 items (10395 matchings); beyond that use
     :func:`greedy_pairing`.
+
+    Ties are broken by the lexicographically smallest canonical pairing
+    (pairs sorted within and across), so the result — and every journal
+    derived from it — is invariant to the input ordering of ``items``.
+    Assumes ``pair_cost`` is symmetric.
     """
     best: Pairing | None = None
     for pairing in all_pairings(items):
-        cost = sum(pair_cost(a, b) for a, b in pairing)
-        if best is None or cost < best.cost:
-            best = Pairing(pairs=pairing, cost=cost)
+        canon = _canonical(pairing)
+        cost = sum(pair_cost(a, b) for a, b in canon)
+        if best is None or cost < best.cost or (cost == best.cost and canon < best.pairs):
+            best = Pairing(pairs=canon, cost=cost)
     if best is None:
         raise ValueError("no pairing found")
     return best
@@ -73,8 +89,12 @@ def greedy_pairing(
 
     The classic heuristic for the NP-hard general problem; the test suite
     checks it never beats the exact optimum and usually lands close.
+
+    Candidates are scanned in sorted order and cost ties are broken by
+    the lexicographically smallest pair, so the output is invariant to
+    the input ordering of ``items`` (assuming symmetric ``pair_cost``).
     """
-    remaining = list(items)
+    remaining = sorted(items)
     if len(remaining) % 2:
         raise ValueError("need an even number of programs")
     pairs: list[tuple[str, str]] = []
@@ -84,10 +104,11 @@ def greedy_pairing(
         best_cost = None
         for i in range(len(remaining)):
             for j in range(i + 1, len(remaining)):
-                c = pair_cost(remaining[i], remaining[j])
-                if best_cost is None or c < best_cost:
+                pair = (remaining[i], remaining[j])
+                c = pair_cost(*pair)
+                if best_cost is None or c < best_cost or (c == best_cost and pair < best_pair):
                     best_cost = c
-                    best_pair = (remaining[i], remaining[j])
+                    best_pair = pair
         assert best_pair is not None
         pairs.append(best_pair)
         cost += best_cost or 0.0

@@ -649,6 +649,26 @@ def main(argv: list[str] | None = None) -> int:
                 f"{store_bench.get('cells', 0)} cells, "
                 f"jobs={store_bench.get('jobs', '?')})"
             )
+        fleet = bench.get("fleet") or {}
+        if fleet:
+            print(
+                f"fleet: {fleet.get('cells', 0)} co-run cells in "
+                f"{fleet.get('seconds', 0)}s ({fleet.get('cells_per_s', 0)}/s) "
+                f"from {fleet.get('curve_passes', 0)} curve passes + "
+                f"{fleet.get('curve_memo_hits', 0)} memo hits "
+                f"({fleet.get('cells_per_curve', 0.0)} cells/curve)"
+            )
+        fleet_bench = bench.get("fleet_bench") or {}
+        if fleet_bench:
+            print(
+                f"fleet-bench: aware {fleet_bench.get('aware_total_misses', 0):.3e} "
+                f"vs oblivious {fleet_bench.get('oblivious_total_misses', 0):.3e} "
+                f"misses ({fleet_bench.get('aware_policy', '?')} vs "
+                f"{fleet_bench.get('oblivious_policy', '?')}, "
+                f"{fleet_bench.get('instances', 0)} instances on "
+                f"{fleet_bench.get('sockets', 0)} sockets, "
+                f"{fleet_bench.get('matrix_cells', 0)} matrix cells)"
+            )
         resilience = bench.get("resilience") or {}
         if resilience:
             print(

@@ -94,6 +94,7 @@ from ..cache.config import CacheConfig
 from ..cache.fastsim import DistanceHistogram, stack_distance_histogram
 from ..cache.setassoc import CacheState, simulate
 from ..cache.stats import CacheStats
+from ..locality.footprint import FootprintCurve, footprint_curve
 from ..robust.atomic import atomic_write_text
 from ..robust.faults import MEMO_READ, MEMO_WRITE, maybe_io_fault
 from ..robust.supervisor import CircuitBreaker
@@ -103,6 +104,7 @@ __all__ = [
     "SimMemo",
     "affinity_key",
     "analysis_key",
+    "curve_key",
     "histogram_key",
     "memo_key",
     "state_fingerprint",
@@ -123,6 +125,13 @@ KERNEL_SCHEMA = "repro.perf.memo.kernel.v2"
 #: block trace + model parameters.  Bumped whenever either model's
 #: semantics change (v2: digest-based keys).
 ANALYSIS_SCHEMA = "repro.perf.memo.analysis.v2"
+
+#: tag for all-window footprint curves (repro.locality.footprint).  The
+#: curve depends only on the line stream, so one entry answers every
+#: capacity, every peer group, and every co-run cell that program
+#: appears in — the unit of reuse the fleet composition matrix counts
+#: against (repro.fleet).
+CURVE_SCHEMA = "repro.perf.memo.curve.v1"
 
 #: stats fields persisted per entry, in schema order.
 _STATS_FIELDS = ("accesses", "misses", "prefetches", "prefetch_hits")
@@ -186,6 +195,16 @@ def trg_key(trace, *, window_blocks: Optional[int] = None) -> str:
     return analysis_key(trace, "trg", f"win={window_blocks}")
 
 
+def curve_key(lines) -> str:
+    """Content hash identifying one footprint curve's input.
+
+    The all-window footprint depends on the line stream alone — no
+    geometry, no peers — so this is the coarsest memo unit in the
+    family.  ``lines`` may be the stream or its content digest.
+    """
+    return hashlib.sha256(f"{CURVE_SCHEMA}|{trace_digest(lines)}".encode()).hexdigest()
+
+
 def histogram_key(lines, n_sets: int) -> str:
     """Content hash identifying one stack-distance histogram's input.
 
@@ -230,6 +249,7 @@ class SimMemo:
         self._mem: dict[str, CacheStats] = {}
         self._mem_hist: dict[str, DistanceHistogram] = {}
         self._mem_analysis: dict[str, dict] = {}
+        self._mem_curve: dict[str, FootprintCurve] = {}
         self.hits = 0
         self.misses = 0
         self.bypasses = 0
@@ -372,6 +392,7 @@ class SimMemo:
         removed = self._mem.pop(key, None) is not None
         removed = self._mem_hist.pop(key, None) is not None or removed
         removed = self._mem_analysis.pop(key, None) is not None or removed
+        removed = self._mem_curve.pop(key, None) is not None or removed
         if self.cache_dir is not None:
             path = self._entry_path(key)
             if path.exists():
@@ -478,6 +499,67 @@ class SimMemo:
         prefetch); one histogram entry serves every ``assoc`` of this
         ``n_sets``."""
         return self.histogram(lines, cfg.n_sets).stats(cfg.assoc)
+
+    # -- footprint curves (repro.locality.footprint) ------------------------
+
+    def _peek_curve(self, key: str) -> Optional[FootprintCurve]:
+        curve = self._mem_curve.get(key)
+        if curve is None and self.cache_dir is not None:
+            path = self._entry_path(key)
+            text = self._disk_read(path)
+            if text is not None:
+                try:
+                    raw = json.loads(text)
+                    if raw.get("schema") != CURVE_SCHEMA:
+                        raise ValueError(f"schema {raw.get('schema')!r}")
+                    curve = FootprintCurve.from_dict(raw)
+                except (ValueError, TypeError, KeyError):
+                    self._drop_entry(path)
+                    curve = None
+            if curve is not None:
+                self._mem_curve[key] = curve
+        return curve
+
+    def get_curve(self, key: str) -> Optional[FootprintCurve]:
+        """Stored footprint curve for ``key``, counted as a hit or miss."""
+        curve = self._peek_curve(key)
+        if curve is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return curve
+
+    def put_curve(self, key: str, curve: FootprintCurve) -> None:
+        """Store ``curve`` under ``key`` (in memory, and on disk if enabled).
+
+        JSON round-trips floats through ``repr``, so a reloaded curve is
+        bit-identical to the stored one — composition parity survives
+        persistence.
+        """
+        self._mem_curve[key] = curve
+        if self.cache_dir is not None:
+            payload = {"schema": CURVE_SCHEMA}
+            payload.update(curve.to_dict())
+            self._disk_write(self._entry_path(key), json.dumps(payload, sort_keys=True))
+
+    def footprint_curve(self, lines: np.ndarray) -> FootprintCurve:
+        """Memoized :func:`repro.locality.footprint.footprint_curve`.
+
+        The curve is immutable in practice (readers only index ``fp``),
+        so the stored object is returned directly — no per-call copy.
+        """
+        key = curve_key(lines)
+        curve = self.get_curve(key)
+        if curve is None:
+            with self._key_lock(key) as waited:
+                if waited:
+                    curve = self._peek_curve(key)
+                    if curve is not None:
+                        self.hits += 1
+                if curve is None:
+                    curve = footprint_curve(np.asarray(lines))
+                    self.put_curve(key, curve)
+        return curve
 
     # -- analysis artifacts (repro.core.fastanalysis) -----------------------
 
@@ -629,7 +711,7 @@ class SimMemo:
         if self.cache_dir is None or not self.cache_dir.exists():
             return (0, 0)
         kept = dropped = 0
-        valid = (SCHEMA, KERNEL_SCHEMA, ANALYSIS_SCHEMA)
+        valid = (SCHEMA, KERNEL_SCHEMA, ANALYSIS_SCHEMA, CURVE_SCHEMA)
         for path in sorted(self.cache_dir.iterdir()):
             if path.suffix in (".lock", ".tmp"):
                 self._drop_entry(path)

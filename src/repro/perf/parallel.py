@@ -63,6 +63,7 @@ __all__ = [
     "CellPool",
     "ExperimentPool",
     "analysis_cells",
+    "curve_cells",
     "histogram_cells",
     "rebuild_error",
     "simulate_cells",
@@ -523,6 +524,34 @@ def _histogram_cell(cell: tuple) -> dict:
 
     lines, n_sets = cell
     return stack_distance_histogram(_resolve_stream(lines), n_sets).to_dict()
+
+
+def _curve_cell(cell: tuple) -> dict:
+    from ..locality.footprint import footprint_curve
+
+    (lines,) = cell
+    return footprint_curve(_resolve_stream(lines)).to_dict()
+
+
+def curve_cells(
+    cells: list[tuple],
+    *,
+    jobs: int = 1,
+    pool: Optional[CellPool] = None,
+) -> list["FootprintCurve"]:
+    """Compute independent all-window footprint curves, possibly in parallel.
+
+    Each cell is ``(lines,)`` with ``lines`` the stream or its
+    :class:`~repro.perf.store.StoreRef`.  Curves cross the process
+    boundary as their dict form — JSON-exact floats, so a fanned-out
+    curve is bit-identical to a serial
+    :func:`repro.locality.footprint.footprint_curve` call (the fleet
+    composition parity gate depends on it).
+    """
+    from ..locality.footprint import FootprintCurve
+
+    raw = _map_cells(_curve_cell, cells, jobs, pool)
+    return [FootprintCurve.from_dict(r) for r in raw]
 
 
 def histogram_cells(

@@ -36,7 +36,10 @@ __all__ = ["BENCH_SCHEMA", "COMPAT_SCHEMAS", "Telemetry", "compare_journal_outco
 #: v6: adds the "store" section (zero-copy trace-store transport:
 #: bytes shipped across process boundaries vs. bytes memmapped, store
 #: hit/put counters, persistent cell-pool reuse; see repro.perf.store).
-BENCH_SCHEMA = "repro.perf/bench.v6"
+#: v7: adds the "fleet" section (footprint-curve composition: curve
+#: passes vs. memo replays vs. the co-run matrix cells they answered;
+#: see repro.fleet).
+BENCH_SCHEMA = "repro.perf/bench.v7"
 
 #: older schema tags show-bench and other readers still accept.
 COMPAT_SCHEMAS = (
@@ -44,6 +47,7 @@ COMPAT_SCHEMAS = (
     "repro.perf/bench.v3",
     "repro.perf/bench.v4",
     "repro.perf/bench.v5",
+    "repro.perf/bench.v6",
 )
 
 #: journal-entry fields that legitimately differ between two runs of the
@@ -86,6 +90,14 @@ class Telemetry:
         self.pool_fanouts = 0
         self.pool_reuses = 0
         self.store: dict[str, float] = {}
+        #: footprint-curve composition accounting (bench.v7): fresh
+        #: curve passes vs. memo replays, and the co-run matrix cells
+        #: those curves answered (cells >> passes is the fleet gate).
+        self.curve_passes = 0
+        self.curve_seconds = 0.0
+        self.curve_memo_hits = 0
+        self.fleet_cells = 0
+        self.fleet_seconds = 0.0
         self.wall_s = 0.0
 
     # -- accumulation ------------------------------------------------------
@@ -113,6 +125,11 @@ class Telemetry:
         self.store_bytes_mapped += int(counters.get("store_bytes_mapped", 0))
         self.pool_fanouts += int(counters.get("pool_fanouts", 0))
         self.pool_reuses += int(counters.get("pool_reuses", 0))
+        self.curve_passes += int(counters.get("curve_passes", 0))
+        self.curve_seconds += float(counters.get("curve_seconds", 0.0))
+        self.curve_memo_hits += int(counters.get("curve_memo_hits", 0))
+        self.fleet_cells += int(counters.get("fleet_cells", 0))
+        self.fleet_seconds += float(counters.get("fleet_seconds", 0.0))
 
     def merge_memo(self, counters: Optional[dict[str, float]]) -> None:
         """Sum memo counters from one lab/worker into the aggregate.
@@ -244,6 +261,24 @@ class Telemetry:
             "memo": self.memo or None,
             "resilience": self.resilience or None,
             "store": self._store_section(),
+            "fleet": self._fleet_section(),
+        }
+
+    def _fleet_section(self) -> Optional[dict[str, Any]]:
+        """The bench.v7 composition section, or None when no curves ran."""
+        if not (self.curve_passes or self.curve_memo_hits or self.fleet_cells):
+            return None
+        curves = self.curve_passes + self.curve_memo_hits
+        return {
+            "cells": self.fleet_cells,
+            "seconds": round(self.fleet_seconds, 4),
+            "cells_per_s": round(self.fleet_cells / self.fleet_seconds, 1)
+            if self.fleet_seconds > 0
+            else 0.0,
+            "curve_passes": self.curve_passes,
+            "curve_memo_hits": self.curve_memo_hits,
+            "curve_seconds": round(self.curve_seconds, 4),
+            "cells_per_curve": round(self.fleet_cells / curves, 1) if curves else 0.0,
         }
 
     def _store_section(self) -> Optional[dict[str, Any]]:

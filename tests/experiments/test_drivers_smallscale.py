@@ -152,3 +152,23 @@ def test_scheduling(lab):
     assert s["base_best_cost"] <= s["base_greedy_cost"] + 1e-9
     assert s["base_best_cost"] <= s["base_worst_cost"]
     assert len(result.rows) == 4
+
+
+def test_fleet(lab):
+    result = run_experiment("fleet", lab)
+    s = result.summary
+    assert result.exp_id == "fleet"
+    assert len(result.rows) == 4  # one row per placement policy
+    assert {r[1] for r in result.rows} == {"aware", "oblivious"}
+    assert s["models"] == len(ALL_PROGRAMS)
+    assert s["instances"] == 4 * len(ALL_PROGRAMS)
+    # The reuse claim: one curve pass (or memo hit) per model, hundreds
+    # of matrix cells derived from them.
+    assert s["curve_passes"] + s["curve_memo_hits"] >= len(ALL_PROGRAMS)
+    assert s["matrix_cells"] > 10 * s["models"]
+    # Full-suite fleets are where aware placement pays off.
+    assert s["aware_beats_oblivious"]
+    assert s["aware_total_misses"] < s["oblivious_total_misses"]
+    # Greedy aware placement can't beat the certified optimum.
+    assert s["greedy_vs_exact_gap"] >= -1e-9
+    assert 0.0 <= s["mean_corun_ratio"] <= 1.0

@@ -28,6 +28,7 @@ def test_registry_covers_every_paper_artifact():
         "ablation-optimal-gap",
         "ablation-seeds",
         "staticlint-certify",
+        "fleet",
     }
     assert set(EXPERIMENTS) == expected
 

@@ -1,0 +1,163 @@
+"""Placement policies and scoring (repro.fleet.placement)."""
+
+import numpy as np
+import pytest
+
+from repro.fleet.compose import CurveSet
+from repro.fleet.placement import (
+    AWARE_POLICIES,
+    OBLIVIOUS_POLICIES,
+    POLICIES,
+    Instance,
+    evaluate_placement,
+    matched_pairs,
+)
+from repro.locality import footprint_curve
+from repro.locality.hotl import shared_miss_ratios_scalar
+from repro.machine.scheduler import best_pairing
+
+
+def make_fleet(seed=3, n_models=4, replicas=3):
+    rng = np.random.default_rng(seed)
+    curves = [
+        footprint_curve(
+            rng.integers(0, int(rng.integers(6, 30)), size=int(rng.integers(40, 200)))
+        )
+        for _ in range(n_models)
+    ]
+    instances = [
+        Instance(
+            name=f"prog{m}",
+            layout="baseline",
+            curve_id=m,
+            weight=float(curves[m].n),
+        )
+        for m in range(n_models)
+        for _ in range(replicas)
+    ]
+    return CurveSet(curves), instances
+
+
+def test_policy_registry_families():
+    assert set(POLICIES) == set(OBLIVIOUS_POLICIES) | set(AWARE_POLICIES)
+    assert not set(OBLIVIOUS_POLICIES) & set(AWARE_POLICIES)
+
+
+@pytest.mark.parametrize("name", sorted(POLICIES))
+def test_every_policy_is_a_partition(name):
+    curve_set, instances = make_fleet()
+    n_sockets = 5
+    groups = POLICIES[name](
+        instances, n_sockets, curve_set=curve_set, capacity=24.0, seed=1
+    )
+    assert len(groups) == n_sockets
+    placed = sorted(i for g in groups for i in g)
+    assert placed == list(range(len(instances)))
+
+
+@pytest.mark.parametrize("name", sorted(POLICIES))
+def test_policies_deterministic(name):
+    curve_set, instances = make_fleet()
+    kw = dict(curve_set=curve_set, capacity=24.0, seed=7)
+    a = POLICIES[name](instances, 3, **kw)
+    b = POLICIES[name](instances, 3, **kw)
+    assert a == b
+
+
+@pytest.mark.parametrize("name", sorted(AWARE_POLICIES))
+def test_aware_policies_input_order_invariant(name):
+    """The aware policies sort by (pressure, instance key), so permuting
+    the instance list permutes only the indices: each socket holds the
+    same multiset of (program, layout) keys."""
+    curve_set, instances = make_fleet()
+    perm = list(np.random.default_rng(11).permutation(len(instances)))
+    shuffled = [instances[i] for i in perm]
+    kw = dict(curve_set=curve_set, capacity=24.0, seed=0)
+    base = POLICIES[name](instances, 4, **kw)
+    moved = POLICIES[name](shuffled, 4, **kw)
+    key_groups_a = sorted(sorted(instances[i].key for i in g) for g in base)
+    key_groups_b = sorted(sorted(shuffled[i].key for i in g) for g in moved)
+    assert key_groups_a == key_groups_b
+
+
+def test_random_policy_seed_sensitivity():
+    curve_set, instances = make_fleet(n_models=6, replicas=4)
+    kw = dict(curve_set=curve_set, capacity=24.0)
+    assert POLICIES["random"](instances, 4, seed=1, **kw) != POLICIES["random"](
+        instances, 4, seed=2, **kw
+    )
+
+
+def test_evaluate_placement_matches_scalar_model():
+    """The vectorized scorer equals a by-hand scalar computation using
+    the shared_miss_ratios_scalar oracle and the timing model."""
+    from repro.machine.timing import TimingParams
+
+    curve_set, instances = make_fleet(n_models=3, replicas=2)
+    capacity = 20.0
+    groups = [[0, 3, 4], [1, 2], [5], []]
+    placement = evaluate_placement(
+        curve_set, instances, groups, capacity, policy="manual"
+    )
+    timing = TimingParams()
+    total = 0.0
+    makespan = 0.0
+    for members in groups:
+        if not members:
+            continue
+        curves = [curve_set.curves[instances[i].curve_id] for i in members]
+        ratios = shared_miss_ratios_scalar(curves, capacity)
+        socket = 0.0
+        for i, r in zip(members, ratios):
+            misses = r * instances[i].weight
+            total += misses
+            socket = max(
+                socket,
+                instances[i].weight * timing.base_cpi
+                + misses * timing.icache_miss_penalty,
+            )
+        makespan = max(makespan, socket)
+    assert placement.policy == "manual"
+    assert placement.total_misses == total
+    assert placement.makespan == makespan
+    assert placement.groups == ((0, 3, 4), (1, 2), (5,), ())
+
+
+def test_matched_pairs_agrees_with_best_pairing():
+    """matched_pairs is a thin bridge: same optimum as calling
+    best_pairing directly with the composed-miss cost."""
+    curve_set, instances = make_fleet(n_models=3, replicas=2)
+    capacity = 18.0
+
+    def cost(a, b):
+        grp = curve_set.group(
+            [instances[int(a)].curve_id, instances[int(b)].curve_id]
+        )
+        ra, rb = grp.miss_ratios(capacity)
+        return ra * instances[int(a)].weight + rb * instances[int(b)].weight
+
+    items = [str(i) for i in range(len(instances))]
+    direct = best_pairing(items, cost)
+    bridged = matched_pairs(curve_set, instances, capacity, exact=True)
+    assert bridged.cost == direct.cost
+    assert bridged.pairs == direct.pairs
+    greedy = matched_pairs(curve_set, instances, capacity, exact=False)
+    assert greedy.cost >= bridged.cost - 1e-12
+
+
+def test_score_aware_separates_bully_from_victims():
+    """One thrashing bully plus sensitive victims: score-aware must not
+    stack the bully with a victim while an empty socket exists."""
+    bully = footprint_curve(np.tile(np.arange(50), 10))  # huge footprint
+    victim = footprint_curve(np.tile(np.arange(8), 40))  # fits, sensitive
+    curve_set = CurveSet([bully, victim])
+    instances = [
+        Instance(name="bully", layout="baseline", curve_id=0, weight=500.0),
+        Instance(name="victim-a", layout="baseline", curve_id=1, weight=320.0),
+        Instance(name="victim-b", layout="baseline", curve_id=1, weight=320.0),
+    ]
+    groups = POLICIES["score-aware"](
+        instances, 2, curve_set=curve_set, capacity=16.0
+    )
+    bully_socket = next(s for s, g in enumerate(groups) if 0 in g)
+    assert groups[bully_socket] == [0]  # the bully runs alone

@@ -1,0 +1,128 @@
+"""End-to-end fleet runs (repro.fleet.simulator)."""
+
+import math
+
+import pytest
+
+from repro.experiments.pipeline import Lab
+from repro.fleet.simulator import FleetResult, run_fleet
+from repro.perf import SimMemo
+
+PROGRAMS = ["syn-gcc", "syn-mcf"]
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    lab = Lab(scale=0.02)
+    result = run_fleet(
+        lab,
+        n_instances=8,
+        n_sockets=4,
+        programs=PROGRAMS,
+        matrix_capacities=5,
+    )
+    return lab, result
+
+
+def test_matrix_accounting(small_result):
+    lab, result = small_result
+    n_models = len(PROGRAMS)
+    n_pairs = n_models * (n_models + 1) // 2
+    assert result.matrix_pairs == n_pairs
+    assert result.matrix_capacities == 5
+    # Every pair cell is two members x the capacity sweep.
+    assert result.matrix_cells == n_pairs * 5 * 2
+    assert result.models == (("syn-gcc", "baseline"), ("syn-mcf", "baseline"))
+    assert 0.0 <= result.mean_corun_ratio <= 1.0
+    assert result.worst_pair_ratio >= result.mean_corun_ratio
+    assert all(p for p in result.worst_pair)
+
+
+def test_curve_counters_and_lab_telemetry(small_result):
+    lab, result = small_result
+    # One fresh curve pass per model, no memo dir -> no hits.
+    assert result.curve_passes == len(PROGRAMS)
+    assert result.curve_memo_hits == 0
+    assert lab.counters["curve_passes"] == len(PROGRAMS)
+    # fleet_cells includes the placement-scoring cells on top of the
+    # matrix sweep, never fewer.
+    assert lab.counters["fleet_cells"] >= result.matrix_cells
+    assert lab.counters["fleet_seconds"] > 0.0
+    assert result.seconds > 0.0
+
+
+def test_placements_complete_and_gated(small_result):
+    _, result = small_result
+    assert set(result.placements) == {
+        "round-robin",
+        "random",
+        "worst-fit",
+        "score-aware",
+    }
+    for placement in result.placements.values():
+        placed = sorted(i for g in placement.groups for i in g)
+        assert placed == list(range(result.n_instances))
+        assert placement.total_misses >= 0.0
+        assert placement.makespan > 0.0
+    # Both family bests resolve; the gate is their strict comparison.
+    assert result.best_aware is not None
+    assert result.best_oblivious is not None
+    assert result.gate == (result.aware_total < result.oblivious_total)
+
+
+def test_result_to_dict_round_trips(small_result):
+    import json
+
+    _, result = small_result
+    raw = json.loads(json.dumps(result.to_dict()))
+    assert raw["n_instances"] == result.n_instances
+    assert raw["matrix"]["cells"] == result.matrix_cells
+    assert raw["gate"] == result.gate
+    assert set(raw["placements"]) == set(result.placements)
+    assert raw["curve_passes"] == result.curve_passes
+
+
+def test_persistent_memo_replays_curves(tmp_path):
+    """A second lab over the same memo directory recomputes nothing:
+    zero curve passes, one memo hit per model."""
+    first = Lab(scale=0.02, memo=SimMemo(tmp_path))
+    run_fleet(first, n_instances=4, n_sockets=2, programs=PROGRAMS,
+              matrix_capacities=2)
+    assert first.counters["curve_passes"] == len(PROGRAMS)
+
+    second = Lab(scale=0.02, memo=SimMemo(tmp_path))
+    result = run_fleet(second, n_instances=4, n_sockets=2, programs=PROGRAMS,
+                       matrix_capacities=2)
+    assert result.curve_passes == 0
+    assert result.curve_memo_hits == len(PROGRAMS)
+    assert second.counters["curve_passes"] == 0
+
+
+def test_replicated_instances_share_curves(small_result):
+    _, result = small_result
+    # 8 instances of 2 models: replicas alternate round-robin.
+    names = [m[0] for m in result.models]
+    placement = result.placements["round-robin"]
+    seen = sorted(i for g in placement.groups for i in g)
+    assert len(seen) == 8
+    assert len(names) == 2
+
+
+def test_validation_errors():
+    lab = Lab(scale=0.02)
+    with pytest.raises(ValueError):
+        run_fleet(lab, n_instances=0, n_sockets=1)
+    with pytest.raises(ValueError):
+        run_fleet(lab, n_instances=1, n_sockets=0)
+    with pytest.raises(ValueError):
+        run_fleet(lab, n_instances=1, n_sockets=1, matrix_capacities=0)
+    with pytest.raises(ValueError):
+        run_fleet(lab, n_instances=1, n_sockets=1, policies=["no-such-policy"])
+
+
+def test_empty_family_totals_are_nan():
+    result = FleetResult(n_instances=1, n_sockets=1, capacity=8.0, models=())
+    assert result.best_aware is None
+    assert result.best_oblivious is None
+    assert math.isnan(result.aware_total)
+    assert not result.gate

@@ -106,3 +106,51 @@ def test_fill_time_capacity_boundary_tolerance():
     # Meaningfully above m is still "never fills".
     assert c.fill_time(c.m * 1.01) == c.n + 1
     assert c.fill_time(c.m + 1.0) == c.n + 1
+
+
+def test_fill_time_rejects_non_finite_capacity():
+    """NaN compares False against c > m and fell straight into the
+    searchsorted pre-fix; non-finite capacities must raise instead."""
+    c = footprint_curve(np.array([1, 2, 3, 1, 2, 3]))
+    for bad in (float("nan"), float("inf"), float("-inf")):
+        with pytest.raises(ValueError):
+            c.fill_time(bad)
+
+
+def test_fill_time_nonpositive_capacity_is_zero():
+    """Pinned: a capacity of zero (or below) is filled by the empty
+    window — fill_time returns 0, it does not raise."""
+    c = footprint_curve(np.array([1, 2, 3, 1, 2, 3]))
+    assert c.fill_time(0.0) == 0
+    assert c.fill_time(-1.0) == 0
+
+
+def test_curve_dict_round_trip_bit_identical():
+    """to_dict/from_dict is the curve-memo wire format: every fp value,
+    n, and m must survive JSON exactly (float64 repr is shortest-exact,
+    so the round trip preserves bits)."""
+    import json
+
+    from repro.locality.footprint import FootprintCurve
+
+    rng = np.random.default_rng(23)
+    t = rng.integers(0, 40, 500)
+    c = footprint_curve(t)
+    raw = json.loads(json.dumps(c.to_dict()))
+    back = FootprintCurve.from_dict(raw)
+    assert back.n == c.n
+    assert back.m == c.m
+    assert (back.fp == c.fp).all()  # exact, no tolerance
+    assert back.fill_time(float(c.m) * 0.7) == c.fill_time(float(c.m) * 0.7)
+
+
+def test_curve_from_dict_rejects_malformed():
+    from repro.locality.footprint import FootprintCurve
+
+    c = footprint_curve(np.array([1, 2, 3]))
+    raw = c.to_dict()
+    short = dict(raw, fp=raw["fp"][:-1])  # length no longer n + 1
+    with pytest.raises(ValueError):
+        FootprintCurve.from_dict(short)
+    with pytest.raises((KeyError, TypeError, ValueError)):
+        FootprintCurve.from_dict({"fp": raw["fp"]})

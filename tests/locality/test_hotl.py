@@ -89,3 +89,63 @@ def test_shared_fill_time_capacity_boundary_tolerance():
     assert shared_fill_time([a, b], total_m + 1e-9) == at_total
     # Meaningfully above the total stays "no contention".
     assert shared_fill_time([a, b], total_m * 1.01) == max(a.n, b.n) + 1
+
+
+def test_compose_curves_properties():
+    """compose_curves aligns unequal lengths: n = max, m = sum, short
+    curves contribute their constant total footprint past their end."""
+    from repro.locality import compose_curves
+
+    a = footprint_curve(np.array([1, 2, 3]))
+    b = footprint_curve(cyclic_trace(8, 10))
+    composed = compose_curves([a, b])
+    assert composed.n == max(a.n, b.n)
+    assert composed.m == a.m + b.m
+    for w in range(composed.n + 1):
+        expect = float(a(min(w, a.n))) + float(b(min(w, b.n)))
+        assert float(composed(w)) == expect
+    # The aligned endpoint is the exact combined footprint.
+    assert float(composed.fp[-1]) == float(a.m + b.m)
+    with pytest.raises(ValueError):
+        compose_curves([])
+
+
+def test_shared_vectorized_matches_scalar_oracle():
+    """The composed-curve fast path must answer exactly what the
+    per-probe scalar oracle answers — same binary search, same sums."""
+    from repro.locality import (
+        shared_fill_time_scalar,
+        shared_miss_ratios_scalar,
+    )
+
+    rng = np.random.default_rng(17)
+    for _ in range(20):
+        k = int(rng.integers(2, 5))
+        curves = [
+            footprint_curve(rng.integers(0, 30, int(rng.integers(5, 200))))
+            for _ in range(k)
+        ]
+        total_m = sum(c.m for c in curves)
+        for cap in (*rng.uniform(0.5, total_m * 1.2, size=4),
+                    float(total_m), total_m + 1e-10):
+            cap = float(cap)
+            assert shared_fill_time(curves, cap) == shared_fill_time_scalar(
+                curves, cap
+            )
+            assert shared_miss_ratios(curves, cap) == shared_miss_ratios_scalar(
+                curves, cap
+            )
+
+
+def test_shared_fill_time_rejects_non_finite_capacity():
+    """NaN compares False against every threshold, so pre-fix a NaN
+    capacity silently fell through to the binary search; both paths must
+    raise instead."""
+    from repro.locality import shared_fill_time_scalar
+
+    a = footprint_curve(cyclic_trace(4, 10))
+    for bad in (float("nan"), float("inf"), float("-inf")):
+        with pytest.raises(ValueError):
+            shared_fill_time([a, a], bad)
+        with pytest.raises(ValueError):
+            shared_fill_time_scalar([a, a], bad)

@@ -92,3 +92,69 @@ def test_greedy_never_beats_exact(costs):
     for pairing in (exact, greedy):
         used = [x for pair in pairing.pairs for x in pair]
         assert sorted(used) == items
+
+
+def _shuffles(items, n=6):
+    import random
+
+    out = []
+    for seed in range(n):
+        rng = random.Random(seed)
+        perm = items[:]
+        rng.shuffle(perm)
+        out.append(perm)
+    return out
+
+
+def test_best_pairing_shuffle_invariant():
+    """Input order must not change the answer: the canonical tie-break
+    makes best_pairing a pure function of the item *set* and costs."""
+    items = list("abcdef")
+    table = {}
+    import random
+
+    rng = random.Random(99)
+    for a, b in itertools.combinations(items, 2):
+        table[frozenset((a, b))] = rng.choice([1.0, 2.0, 3.0])  # many ties
+
+    def cost(a, b):
+        return table[frozenset((a, b))]
+
+    reference = best_pairing(items, cost)
+    for perm in _shuffles(items):
+        got = best_pairing(perm, cost)
+        assert got.pairs == reference.pairs
+        assert got.cost == reference.cost
+
+
+def test_greedy_pairing_shuffle_invariant():
+    items = list("abcdefgh")
+    table = {}
+    import random
+
+    rng = random.Random(7)
+    for a, b in itertools.combinations(items, 2):
+        table[frozenset((a, b))] = rng.choice([1.0, 2.0])
+
+    def cost(a, b):
+        return table[frozenset((a, b))]
+
+    reference = greedy_pairing(items, cost)
+    for perm in _shuffles(items):
+        got = greedy_pairing(perm, cost)
+        assert got.pairs == reference.pairs
+        assert got.cost == reference.cost
+
+
+def test_constant_cost_tie_breaks_canonical():
+    """All matchings cost the same: both matchers must emit the unique
+    lexicographically-smallest canonical pairing, not an input-order
+    artifact."""
+    items = list("dcba")
+    expected = (("a", "b"), ("c", "d"))
+    for match in (best_pairing, greedy_pairing):
+        result = match(items, lambda a, b: 1.0)
+        assert result.pairs == expected
+        # pairs are internally sorted and globally sorted.
+        assert all(a < b for a, b in result.pairs)
+        assert list(result.pairs) == sorted(result.pairs)

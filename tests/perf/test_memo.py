@@ -244,3 +244,79 @@ class TestHistogramMemo:
         reread.histogram(lines, 128)
         assert reread.misses == 1
         assert json.loads(path.read_text())["schema"] != "repro.perf.memo.kernel.v0"
+
+
+class TestCurveMemo:
+    """Footprint-curve tier: coarsest keys (stream only), bit-identical
+    replay through the JSON wire format."""
+
+    def test_key_depends_on_stream_only(self, lines):
+        from repro.perf.memo import curve_key, trace_digest
+
+        key = curve_key(lines)
+        assert key == curve_key(lines.astype(np.int64))
+        # A digest string keys identically to the stream it digests.
+        assert key == curve_key(trace_digest(lines))
+        other = lines.copy()
+        other[5] += 1
+        assert key != curve_key(other)
+        assert key != memo_key(lines, PAPER_L1I)
+
+    def test_memoized_curve_is_bit_identical(self, lines):
+        from repro.locality.footprint import footprint_curve
+
+        memo = SimMemo()
+        fresh = footprint_curve(lines)
+        first = memo.footprint_curve(lines)
+        hit = memo.footprint_curve(lines)
+        assert (memo.hits, memo.misses) == (1, 1)
+        for got in (first, hit):
+            assert got.n == fresh.n and got.m == fresh.m
+            assert (got.fp == fresh.fp).all()
+
+    def test_curve_disk_persistence(self, tmp_path, lines):
+        from repro.locality.footprint import footprint_curve
+
+        fresh = footprint_curve(lines)
+        SimMemo(tmp_path).footprint_curve(lines)
+        reread = SimMemo(tmp_path)
+        got = reread.footprint_curve(lines)
+        assert (reread.hits, reread.misses) == (1, 0)
+        assert (got.fp == fresh.fp).all()  # JSON round trip is exact
+
+    def test_corrupt_curve_entry_recomputed(self, tmp_path, lines):
+        from repro.perf.memo import curve_key
+
+        memo = SimMemo(tmp_path)
+        memo.footprint_curve(lines)
+        (tmp_path / f"{curve_key(lines)}.json").write_text("{ bad")
+        reread = SimMemo(tmp_path)
+        reread.footprint_curve(lines)
+        assert reread.misses == 1
+
+    def test_curve_invalidate(self, tmp_path, lines):
+        from repro.perf.memo import curve_key
+
+        memo = SimMemo(tmp_path)
+        key = curve_key(lines)
+        memo.footprint_curve(lines)
+        assert memo.invalidate(key)
+        memo.footprint_curve(lines)
+        assert memo.misses == 2
+
+    def test_scrub_keeps_current_curve_schema(self, tmp_path, lines):
+        import json as _json
+
+        from repro.perf.memo import CURVE_SCHEMA, curve_key
+
+        memo = SimMemo(tmp_path)
+        key = curve_key(lines)
+        memo.footprint_curve(lines)
+        # Plant a stale-schema sibling; scrub must drop it, keep ours.
+        stale = tmp_path / ("0" * 64 + ".json")
+        stale.write_text(_json.dumps({"schema": "repro.perf.memo.curve.v0"}))
+        kept_n, dropped = memo.scrub()
+        assert kept_n >= 1 and dropped >= 1
+        assert not stale.exists()
+        kept = _json.loads((tmp_path / f"{key}.json").read_text())
+        assert kept["schema"] == CURVE_SCHEMA

@@ -336,3 +336,46 @@ class TestRebuildError:
     def test_unknown_type_falls_back_to_simulation_error(self):
         rebuilt = rebuild_error({"type": "Exotic", "dict": {"message": "x"}})
         assert isinstance(rebuilt, SimulationError)
+
+
+class TestCurveCells:
+    def test_results_identical_to_serial(self):
+        from repro.locality.footprint import footprint_curve
+        from repro.perf.parallel import curve_cells
+
+        rng = np.random.default_rng(13)
+        cells = [(rng.integers(0, 500, 3000),) for _ in range(5)]
+        parallel = curve_cells(cells, jobs=2)
+        serial = [footprint_curve(lines) for (lines,) in cells]
+        assert len(parallel) == len(serial)
+        for got, ref in zip(parallel, serial):
+            assert got.n == ref.n and got.m == ref.m
+            assert (got.fp == ref.fp).all()  # bit-identical across the pool
+
+    def test_store_ref_cells_resolve(self, tmp_path):
+        from repro.locality.footprint import footprint_curve
+        from repro.perf import TraceStore
+        from repro.perf.parallel import curve_cells
+
+        rng = np.random.default_rng(14)
+        store = TraceStore(tmp_path)
+        traces = [rng.integers(0, 500, 3000) for _ in range(3)]
+        cells = [(store.ref(t),) for t in traces]
+        with CellPool(2, store=store) as pool:
+            got = curve_cells(cells, pool=pool)
+        for curve, t in zip(got, traces):
+            ref = footprint_curve(t)
+            assert (curve.fp == ref.fp).all()
+
+    def test_shared_pool_and_empty(self):
+        from repro.perf.parallel import curve_cells
+
+        assert curve_cells([], jobs=2) == []
+        rng = np.random.default_rng(15)
+        cells = [(rng.integers(0, 200, 1000),) for _ in range(3)]
+        with CellPool(2) as pool:
+            first = curve_cells(cells, pool=pool)
+            second = curve_cells(cells, pool=pool)
+        for a, b in zip(first, second):
+            assert (a.fp == b.fp).all()
+        assert pool.maps == 2

@@ -461,3 +461,46 @@ class TestMonotonicElapsed:
 def test_telemetry_tolerates_any_jobs_value(bad):
     # Telemetry is a passive aggregator; validation lives in run_suite/CLI.
     assert Telemetry(jobs=bad).to_dict()["jobs"] == bad
+
+
+class TestFleetSection:
+    """bench.v7: the footprint-curve composition ("fleet") section."""
+
+    def test_schema_is_v7_with_v6_compat(self):
+        from repro.perf.telemetry import COMPAT_SCHEMAS
+
+        assert BENCH_SCHEMA == "repro.perf/bench.v7"
+        assert "repro.perf/bench.v6" in COMPAT_SCHEMAS
+
+    def test_section_absent_without_curve_work(self):
+        t = Telemetry(jobs=1, scale=0.1)
+        assert t.to_dict()["fleet"] is None
+
+    def test_section_aggregates_curve_counters(self):
+        t = Telemetry(jobs=2, scale=0.1)
+        t.merge_counters(
+            {
+                "curve_passes": 20,
+                "curve_memo_hits": 9,
+                "curve_seconds": 1.5,
+                "fleet_cells": 111360,
+                "fleet_seconds": 2.0,
+            }
+        )
+        t.merge_counters({"curve_passes": 9, "fleet_cells": 640})
+        fleet = t.to_dict()["fleet"]
+        assert fleet["cells"] == 112000
+        assert fleet["curve_passes"] == 29
+        assert fleet["curve_memo_hits"] == 9
+        assert fleet["curve_seconds"] == 1.5
+        assert fleet["cells_per_s"] == round(112000 / 2.0, 1)
+        # The reuse ratio the fleet gate asserts: cells >> curve work.
+        assert fleet["cells_per_curve"] == round(112000 / 38, 1)
+
+    def test_section_survives_json(self):
+        t = Telemetry(jobs=1, scale=1.0)
+        t.merge_counters({"curve_passes": 1, "fleet_cells": 10, "fleet_seconds": 0.0})
+        raw = json.loads(json.dumps(t.to_dict()))
+        assert raw["schema"] == BENCH_SCHEMA
+        assert raw["fleet"]["cells"] == 10
+        assert raw["fleet"]["cells_per_s"] == 0.0  # no time: rate degrades to 0
