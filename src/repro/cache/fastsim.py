@@ -16,23 +16,31 @@ associativity; this kernel replaces an A-point associativity sweep with
 one pass (see ``docs/algorithms.md`` for the derivation and
 ``docs/performance.md`` for measured speedups).
 
-Two interchangeable constructions, parity-tested against each other and
-against the event-driven simulator:
+Three interchangeable constructions, parity-tested against each other
+and against the event-driven simulator:
 
-* ``method="mtf"`` (default) — per-set move-to-front lists.  Set
-  partitioning, per-set access counts, and the dominant
-  distance-0 accesses (immediate same-line repeats, the bulk of real
-  fetch streams) are all handled vectorized in NumPy; only the
-  stack-changing accesses reach the Python loop, which reuses the same
-  C-speed ``list.index``/``insert``/``pop`` machinery as the scalar
-  simulator.  Worst case O(n·m) for m distinct lines per set, but on
-  fetch streams the average scan depth is a handful of entries and the
-  pass is *faster* than a single scalar simulation.
-* ``method="bit"`` — the textbook O(n log n) construction: per-set
-  positions are compacted, line ids are compacted through
-  ``np.unique``, and a Fenwick tree (binary indexed tree) over set-local
-  positions maintains one mark per distinct line at its latest access,
-  so the distinct-since-last-access count is a range sum.  Kept as the
+* ``method="sweep"`` (default) — the batch offline sweep: no per-access
+  Python loop at all.  Stack distances are recovered from the
+  previous-occurrence / dominance-count identity
+  ``d_i = #{k in (p_i, i) : prev[k] <= p_i}`` — after partitioning and
+  distance-0 stripping, the left-rank counts reduce to a pure
+  permutation problem solved by a chunked Fenwick-style decomposition:
+  a 2D block-grid cumulative histogram for cross-block pairs plus
+  64-wide bitset rows (``uint64`` masks + popcount) for the partial and
+  within-block pairs.  Everything is whole-array NumPy work.
+* ``method="mtf"`` — per-set move-to-front lists.  Set partitioning,
+  per-set access counts, and the dominant distance-0 accesses
+  (immediate same-line repeats, the bulk of real fetch streams) are all
+  handled vectorized in NumPy; only the stack-changing accesses reach
+  the Python loop, which reuses the same C-speed
+  ``list.index``/``insert``/``pop`` machinery as the scalar simulator.
+  Worst case O(n·m) for m distinct lines per set, but on fetch streams
+  the average scan depth is a handful of entries.
+* ``method="bit"`` — the textbook O(n log n) construction: line ids are
+  compacted through one global ``np.unique``, and a Fenwick tree
+  (binary indexed tree) over set-local positions maintains one mark per
+  distinct line at its latest access, so the
+  distinct-since-last-access count is a range sum.  Kept as the
   algorithmic reference; the pure-Python tree walk makes it slower than
   MTF under CPython, which the benchmark suite documents.
 
@@ -147,8 +155,50 @@ def _partition(arr: np.ndarray, n_sets: int) -> tuple[np.ndarray, np.ndarray]:
     if n_sets == 1:
         return arr, np.array([arr.shape[0]], dtype=np.int64)
     sets = arr & (n_sets - 1)
-    order = np.argsort(sets, kind="stable")
+    # Narrow the sort key: the stable argsort is a radix sort whose pass
+    # count tracks the key width, and set indices fit one or two bytes.
+    if n_sets <= 256:
+        key = sets.astype(np.uint8)
+    elif n_sets <= 65536:
+        key = sets.astype(np.uint16)
+    else:
+        key = sets
+    order = np.argsort(key, kind="stable")
     return arr[order], np.bincount(sets, minlength=n_sets)
+
+
+def _strip_d0(
+    part: np.ndarray, counts: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Drop distance-0 accesses (immediate same-line repeats) up front.
+
+    A same-line repeat across a set boundary is impossible (a line maps
+    to one set), so one adjacent-equality scan over the partitioned
+    stream finds every distance-0 access.  They never change a stack;
+    callers count them straight into ``hist[0]``.  Returns the stripped
+    stream, the shrunken per-set counts, and the repeat count.
+    """
+    n = part.shape[0]
+    dup = np.empty(n, dtype=bool)
+    dup[0] = False
+    np.equal(part[1:], part[:-1], out=dup[1:])
+    n_d0 = int(np.count_nonzero(dup))
+    if n_d0:
+        n_sets = counts.shape[0]
+        if n_sets > 1:
+            counts = counts - np.bincount(part[dup] & (n_sets - 1), minlength=n_sets)
+        else:
+            counts = counts - n_d0
+        part = part[~dup]
+    return part, counts, n_d0
+
+
+def _set_bounds(counts: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Start/end offsets of each non-empty set in the partitioned stream."""
+    ends = np.cumsum(counts)
+    starts = ends - counts
+    nonempty = np.flatnonzero(counts)
+    return starts[nonempty], ends[nonempty], nonempty
 
 
 def _trim(hist: list[int]) -> np.ndarray:
@@ -166,106 +216,223 @@ def _mtf_histogram(part: np.ndarray, counts: np.ndarray) -> tuple[int, np.ndarra
     into ``hist[0]`` and dropped before the Python loop — on real fetch
     streams that removes the large majority of iterations.
     """
-    n = part.shape[0]
-    dup = np.empty(n, dtype=bool)
-    dup[0] = False
-    np.equal(part[1:], part[:-1], out=dup[1:])
-    n_d0 = int(np.count_nonzero(dup))
-    if n_d0:
-        # Per-set counts shrink by the repeats removed from each set.
-        n_sets = counts.shape[0]
-        if n_sets > 1:
-            counts = counts - np.bincount(part[dup] & (n_sets - 1), minlength=n_sets)
-        else:
-            counts = counts - n_d0
-        part = part[~dup]
+    part, counts, n_d0 = _strip_d0(part, counts)
     stream = part.tolist()
     hist: list[int] = [n_d0]
     cold = 0
-    pos = 0
-    for cnt in counts.tolist():
-        end = pos + cnt
-        if cnt:
-            stack: list[int] = []
-            index = stack.index
-            insert = stack.insert
-            pop = stack.pop
-            for line in stream[pos:end]:
-                try:
-                    d = index(line)
-                except ValueError:
-                    cold += 1
-                    insert(0, line)
-                    continue
-                # d >= 1 always: the d == 0 repeats were stripped above.
-                insert(0, pop(d))
-                if d < len(hist):
-                    hist[d] += 1
-                else:
-                    hist.extend([0] * (d + 1 - len(hist)))
-                    hist[d] = 1
-        pos = end
+    starts, ends, _ = _set_bounds(counts)
+    for pos, end in zip(starts.tolist(), ends.tolist()):
+        stack: list[int] = []
+        index = stack.index
+        insert = stack.insert
+        pop = stack.pop
+        for line in stream[pos:end]:
+            try:
+                d = index(line)
+            except ValueError:
+                cold += 1
+                insert(0, line)
+                continue
+            # d >= 1 always: the d == 0 repeats were stripped above.
+            insert(0, pop(d))
+            if d < len(hist):
+                hist[d] += 1
+            else:
+                hist.extend([0] * (d + 1 - len(hist)))
+                hist[d] = 1
     return cold, _trim(hist)
 
 
 def _bit_histogram(part: np.ndarray, counts: np.ndarray) -> tuple[int, np.ndarray]:
     """Fenwick-tree distances over the partitioned stream (O(n log n)).
 
-    Per set: line values are compacted to dense ids (``np.unique``), and
-    a Fenwick tree over set-local access positions keeps one mark at the
-    latest access of each distinct line.  At an access whose previous
+    Line values are compacted to dense ids by one *global* ``np.unique``
+    (a line maps to exactly one set, so ids never collide across sets
+    and one shared last-position table serves every set), and a Fenwick
+    tree over set-local access positions keeps one mark at the latest
+    access of each distinct line.  At an access whose previous
     occurrence sits at position ``p``, the marked count in ``(p, i-1]``
     is exactly the number of distinct *other* lines touched since — the
     stack distance.  The mark then moves from ``p`` to ``i``.
     """
     cold = 0
     hist: list[int] = []
-    pos = 0
-    for cnt in counts.tolist():
-        end = pos + cnt
-        if cnt:
-            sub = part[pos:end]
-            compact = np.unique(sub, return_inverse=True)[1]
-            ids = compact.tolist()
-            last = [0] * (int(compact.max()) + 1)
-            tree = [0] * (cnt + 1)
-            for i, lid in enumerate(ids, start=1):
-                p = last[lid]
-                if p:
-                    d = 0
-                    j = i - 1
-                    while j:
-                        d += tree[j]
-                        j -= j & -j
-                    j = p
-                    while j:
-                        d -= tree[j]
-                        j -= j & -j
-                    if d < len(hist):
-                        hist[d] += 1
-                    else:
-                        hist.extend([0] * (d + 1 - len(hist)))
-                        hist[d] = 1
-                    j = p
-                    while j <= cnt:
-                        tree[j] -= 1
-                        j += j & -j
+    gids = np.unique(part, return_inverse=True)[1]
+    ids = gids.tolist()
+    last = [0] * (int(gids.max()) + 1 if ids else 0)
+    starts, ends, _ = _set_bounds(counts)
+    for pos, end in zip(starts.tolist(), ends.tolist()):
+        cnt = end - pos
+        tree = [0] * (cnt + 1)
+        for i, lid in enumerate(ids[pos:end], start=1):
+            p = last[lid]
+            if p:
+                d = 0
+                j = i - 1
+                while j:
+                    d += tree[j]
+                    j -= j & -j
+                j = p
+                while j:
+                    d -= tree[j]
+                    j -= j & -j
+                if d < len(hist):
+                    hist[d] += 1
                 else:
-                    cold += 1
-                j = i
+                    hist.extend([0] * (d + 1 - len(hist)))
+                    hist[d] = 1
+                j = p
                 while j <= cnt:
-                    tree[j] += 1
+                    tree[j] -= 1
                     j += j & -j
-                last[lid] = i
-        pos = end
+            else:
+                cold += 1
+            j = i
+            while j <= cnt:
+                tree[j] += 1
+                j += j & -j
+            last[lid] = i
     return cold, _trim(hist)
 
 
-_METHODS = {"mtf": _mtf_histogram, "bit": _bit_histogram}
+#: sweep row width: rows fit one uint64 bitmask.
+_ROW = 64
+
+
+def _count_left_smaller_rows(rows: np.ndarray, out_rows: np.ndarray) -> None:
+    """Per element: strictly-smaller elements to its left within its row.
+
+    ``rows`` is ``(r, 64)``; each row is handled with one uint64 bitmask
+    per element.  In per-row value order (``argsort``), the running OR of
+    position bits gives the columns holding smaller-or-equal values;
+    xor-ing the own bit leaves strictly-smaller, masking with
+    ``bit - 1`` keeps strictly-left, and a popcount collapses the mask.
+    All rows go through each step together — no per-element Python work.
+    """
+    sig = np.argsort(rows, axis=1, kind="stable")
+    sigu = sig.view(np.uint64)
+    bits = np.left_shift(np.uint64(1), sigu)
+    cum = np.bitwise_or.accumulate(bits, axis=1)
+    np.bitwise_xor(cum, bits, out=cum)  # strictly-smaller columns
+    np.subtract(bits, np.uint64(1), out=bits)  # strictly-left columns
+    np.bitwise_and(cum, bits, out=cum)
+    np.put_along_axis(out_rows, sig, np.bitwise_count(cum), axis=1)
+
+
+def _left_rank_permutation(vrank: np.ndarray) -> np.ndarray:
+    """``c_i = #{k < i : vrank[k] < vrank[i]}`` for a permutation.
+
+    Chunked Fenwick-style decomposition into three disjoint pair
+    classes: *cross* pairs (earlier position block AND smaller value
+    bucket) from a 2D block-grid cumulative histogram; *partial* pairs
+    (same value bucket, earlier position block) and *within* pairs (same
+    position block) from 64-wide bitset rows.  O(m·(m/64 + log 64))
+    array work with no Python-level loop.
+    """
+    m = vrank.shape[0]
+    if m == 0:
+        return np.zeros(0, dtype=np.int64)
+    W = _ROW
+    if m <= 2 * W:
+        cmp = vrank[None, :] < vrank[:, None]
+        tril = np.tri(m, m, -1, dtype=bool)
+        return (cmp & tril).sum(axis=1, dtype=np.int64)
+    npb = -(-m // W)
+    padded = npb * W
+    pos = np.arange(m, dtype=np.int64)
+    pb = pos // W
+    vb = vrank // W
+    H = np.bincount(pb * npb + vb, minlength=npb * npb).astype(np.int32)
+    A = H.reshape(npb, npb).cumsum(axis=1, dtype=np.int32)
+    C = np.ascontiguousarray(A.T).cumsum(axis=1, dtype=np.int32)  # C[vb, pb]
+    Cp = np.zeros((npb + 1, npb + 1), dtype=np.int32)
+    Cp[1:, 1:] = C
+    c = Cp.ravel()[vb * (npb + 1) + pb].astype(np.int64)
+    # Partial bucket (value-order rows): tie-break equal position blocks
+    # by *descending* column so they never count as smaller.
+    posn = np.empty(m, dtype=np.int64)
+    posn[vrank] = pos
+    keys = np.empty(padded, dtype=np.int64)
+    kv = keys[:m]
+    np.floor_divide(posn, W, out=kv)
+    kv *= W
+    kv += (W - 1) - (pos % W)
+    keys[m:] = np.iinfo(np.int64).max
+    out_rows = np.empty((npb, W), dtype=np.uint8)
+    _count_left_smaller_rows(keys.reshape(npb, W), out_rows)
+    c[posn] += out_rows.reshape(-1)[:m]
+    # Within position block (time-order rows).
+    keys[:m] = vrank
+    _count_left_smaller_rows(keys.reshape(npb, W), out_rows)
+    c += out_rows.reshape(-1)[:m]
+    return c
+
+
+def _sweep_histogram(part: np.ndarray, counts: np.ndarray) -> tuple[int, np.ndarray]:
+    """Batch offline sweep: whole-histogram distances with no access loop.
+
+    On the d0-stripped partitioned stream, an access ``i`` with previous
+    same-line occurrence at global position ``p_i`` has stack distance
+    ``d_i = #{k in (p_i, i) : prev[k] <= p_i}`` — the lines touched
+    since ``p_i`` whose own previous occurrence precedes ``p_i``
+    (distinct, same set — earlier-set positions cancel out of the
+    subtraction).  Cold accesses get the sentinel ``base_of_set - 1`` so
+    they threshold like everyone else.  Splitting the left-rank count
+    into a cold-prefix cumsum plus a pure-permutation rank (the non-cold
+    thresholds are distinct) hands the hard part to
+    :func:`_left_rank_permutation`.
+    """
+    part, counts, n_d0 = _strip_d0(part, counts)
+    m = part.shape[0]
+    if m == 0:
+        return 0, _trim([n_d0])
+    n_sets = counts.shape[0]
+    order = np.argsort(part, kind="stable")
+    sorted_part = part[order]
+    first = np.empty(m, dtype=bool)
+    first[0] = True
+    np.not_equal(sorted_part[1:], sorted_part[:-1], out=first[1:])
+    prevg = np.empty(m, dtype=np.int64)
+    if m > 1:
+        prevg[order[1:]] = order[:-1]
+    cold_pos = order[first]
+    cold = int(cold_pos.shape[0])
+    if cold == m:
+        return cold, _trim([n_d0])
+    if n_sets > 1:
+        base = np.zeros(n_sets, dtype=np.int64)
+        np.cumsum(counts[:-1], out=base[1:])
+        prevg[cold_pos] = base[part[cold_pos] & (n_sets - 1)] - 1
+    else:
+        prevg[cold_pos] = -1
+    noncold = np.ones(m, dtype=bool)
+    noncold[cold_pos] = False
+    p = prevg[noncold]
+    cold_before = np.cumsum(~noncold)
+    # Non-cold thresholds are exactly the positions with a *next* same-line
+    # occurrence, so their value rank follows from one boolean cumsum —
+    # no extra argsort.
+    is_prev = np.zeros(m, dtype=bool)
+    is_prev[p] = True
+    vrank = (np.cumsum(is_prev) - 1)[p]
+    d = _left_rank_permutation(vrank)
+    d += cold_before[noncold]
+    d -= p
+    d -= 1
+    hist = np.bincount(d, minlength=1)
+    hist[0] += n_d0
+    return cold, _trim(hist)
+
+
+_METHODS = {
+    "sweep": _sweep_histogram,
+    "mtf": _mtf_histogram,
+    "bit": _bit_histogram,
+}
 
 
 def stack_distance_histogram(
-    lines: np.ndarray, n_sets: int, *, method: str = "mtf"
+    lines: np.ndarray, n_sets: int, *, method: str = "sweep"
 ) -> DistanceHistogram:
     """Exact per-set LRU stack-distance histogram of ``lines``.
 
@@ -297,7 +464,7 @@ def simulate_fast(
     *,
     prefetch: bool = False,
     state=None,
-    method: str = "mtf",
+    method: str = "sweep",
 ) -> CacheStats:
     """Drop-in for cold, prefetch-free :func:`repro.cache.setassoc.simulate`.
 
@@ -343,42 +510,30 @@ def per_line_misses(lines: np.ndarray, cfg: CacheConfig) -> dict[int, int]:
     part, counts = _partition(arr, n_sets)
     # Immediate same-line repeats (stack distance 0) always hit at any
     # associativity >= 1 and never change a stack — strip them exactly as
-    # the histogram kernel does.
-    n = part.shape[0]
-    dup = np.empty(n, dtype=bool)
-    dup[0] = False
-    np.equal(part[1:], part[:-1], out=dup[1:])
-    if dup.any():
-        if n_sets > 1:
-            counts = counts - np.bincount(part[dup] & (n_sets - 1), minlength=n_sets)
-        else:
-            counts = counts - int(np.count_nonzero(dup))
-        part = part[~dup]
+    # the histogram kernels do.
+    part, counts, _ = _strip_d0(part, counts)
     stream = part.tolist()
-    pos = 0
-    for cnt in counts.tolist():
-        end = pos + cnt
-        if cnt:
-            stack: list[int] = []
-            index = stack.index
-            insert = stack.insert
-            pop = stack.pop
-            for line in stream[pos:end]:
-                try:
-                    d = index(line)
-                except ValueError:
-                    misses[line] = misses.get(line, 0) + 1  # cold miss
-                    insert(0, line)
-                    continue
-                insert(0, pop(d))
-                if d >= assoc:
-                    misses[line] = misses.get(line, 0) + 1
-        pos = end
+    starts, ends, _ = _set_bounds(counts)
+    for pos, end in zip(starts.tolist(), ends.tolist()):
+        stack: list[int] = []
+        index = stack.index
+        insert = stack.insert
+        pop = stack.pop
+        for line in stream[pos:end]:
+            try:
+                d = index(line)
+            except ValueError:
+                misses[line] = misses.get(line, 0) + 1  # cold miss
+                insert(0, line)
+                continue
+            insert(0, pop(d))
+            if d >= assoc:
+                misses[line] = misses.get(line, 0) + 1
     return misses
 
 
 def sweep_stats(
-    lines: np.ndarray, n_sets: int, assocs, *, method: str = "mtf"
+    lines: np.ndarray, n_sets: int, assocs, *, method: str = "sweep"
 ) -> dict[int, CacheStats]:
     """Stats for a whole associativity family from one kernel pass."""
     hist = stack_distance_histogram(lines, n_sets, method=method)

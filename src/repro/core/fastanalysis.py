@@ -241,8 +241,20 @@ def _recency_records(
     return partners, counts, positions
 
 
+def _recency_records_numpy(
+    inv: np.ndarray, n_syms: int, K: int, with_pos: bool
+) -> tuple["array", "array", "array"]:
+    """Default (CPython) record pass: adapt :func:`_recency_records` to
+    the array-in contract shared with the compiled tier."""
+    return _recency_records(inv.tolist(), n_syms, K, with_pos)
+
+
 def affinity_coverage(
-    trace: np.ndarray, w_max: int = 20, time_horizon: Optional[int] = None
+    trace: np.ndarray,
+    w_max: int = 20,
+    time_horizon: Optional[int] = None,
+    *,
+    records_fn=None,
 ) -> AffinityCoverage:
     """Two batched passes computing the full 2..w_max coverage sweep.
 
@@ -262,6 +274,14 @@ def affinity_coverage(
     ``time_horizon + 1`` steps after the occurrence — a vectorized filter
     here.  The per-(occurrence, partner) minimum and the per-pair
     histogram fold are NumPy sort/unique passes.
+
+    ``records_fn`` swaps the event-pass implementation (the
+    ``compiled`` tier of :mod:`repro.perf.backends` injects its JIT'd
+    pass here): it takes ``(inv, n_syms, K, with_pos)`` with ``inv`` a
+    compact-id array and returns the same three flat int32 buffers as
+    :func:`_recency_records`.  The NumPy join/aggregation below is
+    shared by every tier, so tiers differ only in how the records are
+    produced — which is what keeps them structurally bit-identical.
     """
     if w_max < 1:
         raise ValueError("w_max must be >= 1")
@@ -277,10 +297,9 @@ def affinity_coverage(
     first_occ = {int(s): int(i) for s, i in zip(syms, first_idx)}
 
     K = w_max - 1
-    ids = inv.tolist()
-    bwd = _recency_records(ids, n_syms, K, with_pos=False)
-    ids.reverse()
-    fwd = _recency_records(ids, n_syms, K, with_pos=time_horizon is not None)
+    records = records_fn if records_fn is not None else _recency_records_numpy
+    bwd = records(inv, n_syms, K, False)
+    fwd = records(inv[::-1], n_syms, K, time_horizon is not None)
     if len(bwd[0]) == 0 and len(fwd[0]) == 0:
         return AffinityCoverage(w_max, time_horizon, n_occ, first_occ, {})
 
@@ -380,28 +399,12 @@ def affinity_coverage(
     return AffinityCoverage(w_max, time_horizon, n_occ, first_occ, cov)
 
 
-def build_trg_fast(trace: np.ndarray, window_blocks: Optional[int] = None) -> TRG:
-    """Vectorized TRG construction, bit-identical to
-    :func:`~repro.core.trg.build_trg`.
-
-    The bounded move-to-front pass runs on a plain Python list of compact
-    symbol ids (``list.index`` / slice / ``insert`` at C speed, with a
-    byte-array membership test instead of a hash walk); each reuse at
-    depth d appends its d-1 interleaved ids to a flat pair log.  Edge
-    weights fall out of one ``np.unique`` over the encoded (min, max)
-    pairs — no per-conflict dict updates.
-    """
-    if window_blocks is not None and window_blocks <= 0:
-        raise ValueError("capacity must be positive or None")
-    t = trim(np.asarray(trace))
-    trg = TRG()
-    n = int(t.shape[0])
-    if n == 0:
-        return trg
-    syms, first_idx, inv = np.unique(t, return_index=True, return_inverse=True)
-    n_syms = int(syms.shape[0])
-    trg.nodes = [int(syms[i]) for i in np.argsort(first_idx, kind="stable")]
-
+def _trg_records(
+    inv: np.ndarray, n_syms: int, window_blocks: Optional[int]
+) -> tuple["array", "array", "array"]:
+    """The TRG event pass: one bounded move-to-front walk emitting, per
+    reuse at depth d, the reused id, the depth, and the d interleaved
+    ids as flat int32 buffers (``(e_x, e_cnt, e_y)``)."""
     stack: list[int] = []  # compact ids, MRU first
     in_stack = bytearray(n_syms)
     e_x = array("i")  # per reuse: the reused id ...
@@ -424,6 +427,42 @@ def build_trg_fast(trace: np.ndarray, window_blocks: Optional[int] = None) -> TR
             stack.insert(0, x)
             if window_blocks is not None and len(stack) > window_blocks:
                 in_stack[stack.pop()] = 0
+    return e_x, e_cnt, e_y
+
+
+def build_trg_fast(
+    trace: np.ndarray,
+    window_blocks: Optional[int] = None,
+    *,
+    records_fn=None,
+) -> TRG:
+    """Vectorized TRG construction, bit-identical to
+    :func:`~repro.core.trg.build_trg`.
+
+    The bounded move-to-front pass runs on a plain Python list of compact
+    symbol ids (``list.index`` / slice / ``insert`` at C speed, with a
+    byte-array membership test instead of a hash walk); each reuse at
+    depth d appends its d-1 interleaved ids to a flat pair log.  Edge
+    weights fall out of one ``np.unique`` over the encoded (min, max)
+    pairs — no per-conflict dict updates.
+
+    ``records_fn`` swaps the event pass (same contract as
+    :func:`_trg_records`; the ``compiled`` backend tier injects its
+    JIT'd pass) while the weight aggregation below stays shared.
+    """
+    if window_blocks is not None and window_blocks <= 0:
+        raise ValueError("capacity must be positive or None")
+    t = trim(np.asarray(trace))
+    trg = TRG()
+    n = int(t.shape[0])
+    if n == 0:
+        return trg
+    syms, first_idx, inv = np.unique(t, return_index=True, return_inverse=True)
+    n_syms = int(syms.shape[0])
+    trg.nodes = [int(syms[i]) for i in np.argsort(first_idx, kind="stable")]
+
+    records = records_fn if records_fn is not None else _trg_records
+    e_x, e_cnt, e_y = records(inv, n_syms, window_blocks)
 
     if len(e_y):
         xs = np.repeat(

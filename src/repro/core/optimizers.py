@@ -34,7 +34,7 @@ from ..ir.transforms import LayoutResult
 from ..trace.prune import prune_top_k
 from ..trace.trim import trim
 from .affinity import AffinityAnalysis
-from .fastanalysis import affinity_coverage, analysis_from_coverage, build_trg_fast
+from .fastanalysis import analysis_from_coverage
 from .hierarchy import build_hierarchy, layout_order
 from .layout import Granularity, apply_symbol_order
 from .trg import build_trg, trg_window_blocks, uniform_block_slots
@@ -93,6 +93,12 @@ class OptimizerConfig:
     #: :mod:`repro.core.fastanalysis` (parity-gated bit-identical to the
     #: scalar implementations; False forces the scalar oracles).
     use_fast_analysis: bool = True
+    #: kernel backend tier for the fast-analysis path (``scalar`` /
+    #: ``numpy`` / ``compiled``; see :mod:`repro.perf.backends`).  None
+    #: resolves to the fastest tier available *where the analysis runs*
+    #: — a worker without numba degrades a ``compiled`` request to
+    #: ``numpy`` with bit-identical results.
+    kernel_backend: Optional[str] = None
 
     def w_values(self) -> range:
         return range(self.w_min, self.w_max + 1)
@@ -158,15 +164,21 @@ def _affinity_analysis(
             coverage=config.coverage,
             time_horizon=config.affinity_time_horizon,
         )
+    from ..perf.backends import resolve_backend
+
+    backend = resolve_backend(config.kernel_backend, strict=False)
     start = time.perf_counter()
     if memo is not None:
         misses_before = memo.misses
         covg = memo.affinity_coverage(
-            trace, w_max=config.w_max, time_horizon=config.affinity_time_horizon
+            trace,
+            w_max=config.w_max,
+            time_horizon=config.affinity_time_horizon,
+            backend=backend,
         )
         fresh = memo.misses > misses_before
     else:
-        covg = affinity_coverage(
+        covg = backend.affinity(
             trace, w_max=config.w_max, time_horizon=config.affinity_time_horizon
         )
         fresh = True
@@ -185,13 +197,16 @@ def _trg_analysis(
     """The TRG model, through the kernel/memo when enabled."""
     if not config.use_fast_analysis:
         return build_trg(trace, window_blocks=window)
+    from ..perf.backends import resolve_backend
+
+    backend = resolve_backend(config.kernel_backend, strict=False)
     start = time.perf_counter()
     if memo is not None:
         misses_before = memo.misses
-        trg = memo.trg(trace, window_blocks=window)
+        trg = memo.trg(trace, window_blocks=window, backend=backend)
         fresh = memo.misses > misses_before
     else:
-        trg = build_trg_fast(trace, window_blocks=window)
+        trg = backend.trg(trace, window_blocks=window)
         fresh = True
     _note_analysis(
         stats,

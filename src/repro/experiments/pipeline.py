@@ -41,7 +41,7 @@ from typing import Iterator, Optional, Sequence
 import numpy as np
 
 from ..cache.config import PAPER_L1I, CacheConfig
-from ..cache.fastsim import DistanceHistogram, stack_distance_histogram
+from ..cache.fastsim import DistanceHistogram
 from ..cache.setassoc import simulate
 from ..cache.shared import simulate_shared
 from ..cache.stats import CacheStats
@@ -131,6 +131,14 @@ class Lab:
         :mod:`repro.core.fastanalysis` (also parity-gated bit-identical).
         ``None`` (default) respects ``optimizer_config``; a bool
         overrides its ``use_fast_analysis`` field.
+    kernel_backend: requested kernel tier name for the hot analysis
+        kernels (see :mod:`repro.perf.backends`).  ``None`` (default)
+        resolves to the fastest available tier; an explicit name is
+        resolved with ``strict=False`` so a lab reconstructed inside a
+        worker without numba degrades ``compiled -> numpy`` with
+        bit-identical results.  Also mirrored into
+        ``optimizer_config.kernel_backend`` so the analysis kernels the
+        optimizers run inherit the same tier.
     store: optional :class:`repro.perf.store.TraceStore`.  When set, the
         cell fan-outs publish each fetch stream once and ship ~100-byte
         :class:`~repro.perf.store.StoreRef` descriptors to workers, which
@@ -155,6 +163,7 @@ class Lab:
         memo=None,
         use_kernel: bool = True,
         use_fast_analysis: Optional[bool] = None,
+        kernel_backend: Optional[str] = None,
         profile_source: str = "trace",
         store=None,
     ):
@@ -174,6 +183,16 @@ class Lab:
             self.optimizer_config = dataclasses.replace(
                 self.optimizer_config, use_fast_analysis=use_fast_analysis
             )
+        #: requested kernel tier (travels through spawn_config; workers
+        #: re-resolve it against their own environment).
+        self.kernel_backend = kernel_backend
+        if kernel_backend is not None:
+            self.optimizer_config = dataclasses.replace(
+                self.optimizer_config, kernel_backend=kernel_backend
+            )
+        from ..perf.backends import resolve_backend
+
+        self._backend = resolve_backend(kernel_backend, strict=False)
         self.quantum = quantum
         self.noise_sigma = noise_sigma
         self.timing = timing
@@ -284,6 +303,7 @@ class Lab:
             "noise_sigma": self.noise_sigma,
             "timing": self.timing,
             "use_kernel": self.use_kernel,
+            "kernel_backend": self.kernel_backend,
             "profile_source": self.profile_source,
         }
 
@@ -305,7 +325,9 @@ class Lab:
         if pool is None or pool.jobs != jobs:
             if pool is not None:
                 pool.shutdown()
-            pool = CellPool(jobs, store=self.store)
+            pool = CellPool(
+                jobs, store=self.store, kernel_backend=self.kernel_backend
+            )
             self._cell_pool = pool
         return pool
 
@@ -574,11 +596,11 @@ class Lab:
             ), error_context("simulate", program=name, layout=layout_name):
                 if self.memo is not None:
                     misses_before = self.memo.misses
-                    hist = self.memo.histogram(stream, n_sets)
+                    hist = self.memo.histogram(stream, n_sets, backend=self._backend)
                     if self.memo.misses > misses_before:
                         self.counters["kernel_passes"] += 1
                 else:
-                    hist = stack_distance_histogram(stream, n_sets)
+                    hist = self._backend.histogram(stream, n_sets)
                     self.counters["kernel_passes"] += 1
             self._hists[key] = hist
         return hist

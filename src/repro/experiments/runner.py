@@ -621,6 +621,15 @@ def main(argv: list[str] | None = None) -> int:
         "parity-gated bit-identical; for oracle comparison)",
     )
     parser.add_argument(
+        "--kernel-backend",
+        default=None,
+        choices=("scalar", "numpy", "compiled"),
+        metavar="TIER",
+        help="force one kernel tier (scalar|numpy|compiled) for the hot "
+        "analysis kernels instead of the fastest available; all tiers "
+        "are parity-gated bit-identical (see docs/performance.md)",
+    )
+    parser.add_argument(
         "--chaos",
         type=int,
         default=None,
@@ -677,6 +686,16 @@ def main(argv: list[str] | None = None) -> int:
     if args.hang_timeout is not None and args.hang_timeout <= 0:
         print("error: --hang-timeout must be > 0", file=sys.stderr)
         return 2
+    if args.kernel_backend is not None:
+        from ..perf.backends import resolve_backend
+
+        try:
+            # Strict here: a user forcing an uninstalled tier gets a loud
+            # error up front.  Workers still resolve with strict=False.
+            resolve_backend(args.kernel_backend)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     chaos = None
     if args.chaos is not None:
@@ -717,9 +736,14 @@ def main(argv: list[str] | None = None) -> int:
 
     telemetry = None
     if args.bench_out is not None:
+        from ..perf.backends import resolve_backend
         from ..perf.telemetry import Telemetry
 
-        telemetry = Telemetry(jobs=args.jobs, scale=args.scale)
+        telemetry = Telemetry(
+            jobs=args.jobs,
+            scale=args.scale,
+            kernel_backend=resolve_backend(args.kernel_backend, strict=False).name,
+        )
 
     # With several experiments, parallelize across them; with exactly
     # one, spend the workers inside the pipeline (simulation cells)
@@ -733,6 +757,7 @@ def main(argv: list[str] | None = None) -> int:
         store=store,
         use_kernel=not args.no_fastsim,
         use_fast_analysis=False if args.no_fast_analysis else None,
+        kernel_backend=args.kernel_backend,
     )
     with lab:
         outcomes = run_suite(

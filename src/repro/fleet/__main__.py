@@ -25,7 +25,7 @@ Subcommands:
     * the best layout-aware placement's total predicted misses strictly
       beat the best layout-oblivious placement's.
 
-    ``--out`` writes the full bench.v7 telemetry report (with a
+    ``--out`` writes the full bench telemetry report (with a
     ``fleet_bench`` section) to ``BENCH_fleet.json``; ``--bench``
     merges the section into an existing report instead.
 """
@@ -326,7 +326,7 @@ def main(argv: list[str] | None = None) -> int:
         "--out",
         default=None,
         metavar="PATH",
-        help="write the full bench.v7 telemetry report (BENCH_fleet.json)",
+        help="write the full bench telemetry report (BENCH_fleet.json)",
     )
     bench_p.add_argument(
         "--bench",

@@ -34,6 +34,12 @@ Determinism is the contract: every knob here trades wall-clock time,
 never results — enforced by ``tests/perf/``.
 """
 
+from .backends import (
+    KernelBackend,
+    available_backends,
+    default_backend,
+    resolve_backend,
+)
 from .memo import (
     ANALYSIS_SCHEMA,
     SimMemo,
@@ -59,6 +65,7 @@ __all__ = [
     "ANALYSIS_SCHEMA",
     "BENCH_SCHEMA",
     "CellPool",
+    "KernelBackend",
     "ExperimentPool",
     "SimMemo",
     "StoreRef",
@@ -67,11 +74,14 @@ __all__ = [
     "affinity_key",
     "analysis_cells",
     "analysis_key",
+    "available_backends",
     "compare_journal_outcomes",
+    "default_backend",
     "histogram_cells",
     "histogram_key",
     "memo_key",
     "rebuild_error",
+    "resolve_backend",
     "simulate_cells",
     "state_fingerprint",
     "trace_digest",

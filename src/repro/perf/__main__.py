@@ -14,25 +14,37 @@ Subcommands:
 
 ``kernel-bench``
     Parity gate + speedup measurement for the stack-distance kernel
-    (:mod:`repro.cache.fastsim`): builds a real fetch stream, runs the
-    scalar simulator once per associativity of a geometry family, runs
-    the kernel once, asserts the miss counts are **bit-identical** (exit
-    1 on any divergence), and reports the measured speedup.  With
-    ``--bench PATH`` the numbers are merged into an existing
-    ``BENCH_perf.json`` (or a fresh report) under ``kernel_bench``.
+    across every registered backend tier (:mod:`repro.perf.backends`):
+    builds a real fetch stream, runs the scalar *simulator* once per
+    associativity of a geometry family (the reference), then runs one
+    histogram pass per tier, asserts every tier's miss counts are
+    **bit-identical** to the simulator and to each other (exit 1 on any
+    divergence), and reports per-tier speedups.  Timings are the
+    minimum over ``--reps`` repetitions.  ``--backend`` restricts the
+    tier list; ``--min-speedup`` gates the fastest tier;
+    ``--baseline PATH`` gates each tier's speedup against a committed
+    ``BENCH_kernel.json`` (no-regression floor, ``--regression-factor``
+    of the committed figure); ``--out PATH`` writes a standalone
+    ``BENCH_kernel.json``; ``--bench PATH`` merges the numbers into a
+    ``BENCH_perf.json`` under ``kernel_bench``.
 
 ``analysis-bench``
     Parity gate + speedup measurement for the locality-model analysis
     kernels (:mod:`repro.core.fastanalysis`): builds a real symbol
     trace, runs the scalar oracles (``AffinityAnalysis`` for the full
-    ``2..w_max`` sweep and ``build_trg``) against the vectorized
-    kernels, asserts both artifacts are **bit-identical** (exit 1 on
-    any divergence), and reports the combined analysis-stage speedup.
-    Timings are the minimum over ``--reps`` repetitions (single runs
-    are noisy on shared machines).  ``--min-speedup`` turns the report
-    into a gate; ``--bench PATH`` merges the numbers under
-    ``analysis_bench``; ``--out PATH`` writes a standalone
-    ``BENCH_analysis.json``.
+    ``2..w_max`` sweep and ``build_trg``), then runs each non-scalar
+    backend tier's kernels, asserts every tier's artifacts are
+    **bit-identical** to the oracles (exit 1 on any divergence), and
+    reports per-tier analysis-stage speedups.  Timings are the minimum
+    over ``--reps`` repetitions (single runs are noisy on shared
+    machines).  ``--backend`` restricts the tier list;
+    ``--min-speedup`` gates the fastest tier; ``--bench PATH`` merges
+    the numbers under ``analysis_bench``; ``--out PATH`` writes a
+    standalone ``BENCH_analysis.json``.
+
+Both benches accept ``--require-compiled-wins`` (used by the CI
+``[compiled]`` job) to additionally assert that the ``compiled`` tier,
+when measured, is at least as fast as ``numpy``.
 
 ``store-bench``
     Transport gate for the zero-copy trace store
@@ -65,92 +77,197 @@ def _load_journal(path: str) -> list[dict]:
     return [json.loads(e.to_json()) for e in RunJournal(path).entries()]
 
 
+#: schema tag of the standalone kernel-bench report (``--out``); this is
+#: the format of the committed ``BENCH_kernel.json`` baseline.
+KERNEL_BENCH_SCHEMA = "repro.perf/kernel-bench.v1"
+
+
+def _select_backends(spec, *, include_scalar: bool = True) -> list[str]:
+    """Resolve a ``--backend`` spec to a validated tier-name list.
+
+    ``None``/``"all"`` means every available tier (fastest first);
+    an explicit comma-separated list is resolved strictly, so asking
+    for an uninstalled tier fails loudly.  Raises ValueError.
+    """
+    from .backends import available_backends, resolve_backend
+
+    if spec in (None, "", "all"):
+        names = list(available_backends())
+        if not include_scalar:
+            names = [n for n in names if n != "scalar"]
+        return names
+    names = [s.strip() for s in spec.split(",") if s.strip()]
+    if not names:
+        raise ValueError("--backend selects no tiers")
+    for name in names:
+        resolve_backend(name)  # strict: unknown/unavailable raises
+    return names
+
+
+def _check_compiled_wins(rows: dict, require: bool) -> list[str]:
+    """The tier-order gate: ``compiled`` must not lose to ``numpy``."""
+    if "compiled" not in rows or "numpy" not in rows:
+        return []
+    c, n = rows["compiled"]["seconds"], rows["numpy"]["seconds"]
+    if c <= n:
+        return []
+    msg = f"compiled tier slower than numpy ({c:.4f}s vs {n:.4f}s)"
+    if require:
+        return [msg]
+    print(f"warning: {msg}", file=sys.stderr)
+    return []
+
+
 def _run_kernel_bench(args) -> int:
     import numpy as np
 
     from ..cache.config import CacheConfig
-    from ..cache.fastsim import stack_distance_histogram
     from ..cache.setassoc import simulate
     from ..experiments.pipeline import BASELINE, Lab
     from ..robust.atomic import atomic_write_text
+    from .backends import resolve_backend
 
     assocs = [int(a) for a in args.assocs.split(",")]
+    reps = max(1, args.reps)
+    try:
+        names = _select_backends(args.backend)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     lab = Lab(scale=args.scale)
     stream = lab.lines(args.program, BASELINE)
     n_sets = args.n_sets
 
-    # Scalar reference: one full LRU pass per associativity.
+    # Scalar reference: one full LRU pass per associativity (best of reps).
     scalar_misses: dict[int, int] = {}
-    t0 = time.perf_counter()
-    for assoc in assocs:
-        cfg = CacheConfig(
-            size_bytes=n_sets * assoc * 64, assoc=assoc, line_bytes=64
-        )
-        scalar_misses[assoc] = simulate(stream, cfg).misses
-    scalar_s = time.perf_counter() - t0
+    scalar_s = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        for assoc in assocs:
+            cfg = CacheConfig(
+                size_bytes=n_sets * assoc * 64, assoc=assoc, line_bytes=64
+            )
+            scalar_misses[assoc] = simulate(stream, cfg).misses
+        scalar_s = min(scalar_s, time.perf_counter() - t0)
 
     kernel_input = np.asarray(stream)
-    store = None
     if args.store_dir is not None:
-        # Route the kernel's input through the store: publish once, read
-        # back as a zero-copy memmap, so the parity assertion below also
-        # certifies the mmap transport path.
+        # Route the kernels' input through the store: publish once, read
+        # back as a zero-copy memmap, so the parity assertions below also
+        # certify the mmap transport path.
         from .store import TraceStore
 
         store = TraceStore(args.store_dir)
         kernel_input = store.resolve(store.ref(stream))
 
-    # Kernel: one pass answers the whole family.
-    t0 = time.perf_counter()
-    hist = stack_distance_histogram(kernel_input, n_sets)
-    kernel_misses = {assoc: hist.misses(assoc) for assoc in assocs}
-    kernel_s = time.perf_counter() - t0
+    # One histogram pass per tier answers the whole family.
+    rows: dict[str, dict] = {}
+    ref_dict = None
+    mismatches: list[str] = []
+    for name in names:
+        backend = resolve_backend(name)
+        if name == "compiled":
+            backend.histogram(kernel_input, n_sets)  # JIT warm-up
+        best, hist = float("inf"), None
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            hist = backend.histogram(kernel_input, n_sets)
+            best = min(best, time.perf_counter() - t0)
+        for a in assocs:
+            got = hist.misses(a)
+            if got != scalar_misses[a]:
+                mismatches.append(
+                    f"{name}: assoc={a}: scalar {scalar_misses[a]} != {got}"
+                )
+        if ref_dict is None:
+            ref_dict = hist.to_dict()
+        elif hist.to_dict() != ref_dict:
+            mismatches.append(f"{name}: histogram diverges from {names[0]} tier")
+        rows[name] = {
+            "seconds": round(best, 4),
+            "speedup": round(scalar_s / best, 2) if best > 0 else float("inf"),
+            "accesses_per_s": round(len(stream) / best, 1) if best > 0 else 0.0,
+        }
 
-    mismatches = [
-        f"assoc={a}: scalar {scalar_misses[a]} != kernel {kernel_misses[a]}"
-        for a in assocs
-        if scalar_misses[a] != kernel_misses[a]
-    ]
     if mismatches:
         print("kernel parity FAILED:", file=sys.stderr)
         for m in mismatches:
             print(f"  {m}", file=sys.stderr)
         return 1
 
-    speedup = scalar_s / kernel_s if kernel_s > 0 else float("inf")
+    fastest = min(rows, key=lambda n: rows[n]["seconds"])
+    kernel_s = rows[fastest]["seconds"]
+    speedup = rows[fastest]["speedup"]
     print(
         f"kernel parity OK: {args.program} ({len(stream)} lines), "
-        f"n_sets={n_sets}, assoc sweep {assocs}"
+        f"n_sets={n_sets}, assoc sweep {assocs}, tiers {names}, "
+        f"best of {reps} reps"
     )
-    print(
-        f"scalar {len(assocs)} passes: {scalar_s:.3f}s; kernel 1 pass: "
-        f"{kernel_s:.3f}s; speedup {speedup:.1f}x"
-    )
-    if args.min_speedup is not None and speedup < args.min_speedup:
+    print(f"scalar simulator, {len(assocs)} passes: {scalar_s:.3f}s")
+    for name in names:
+        row = rows[name]
         print(
-            f"error: speedup {speedup:.1f}x below required "
-            f"{args.min_speedup:.1f}x",
-            file=sys.stderr,
+            f"  {name}: {row['seconds']:.4f}s ({row['speedup']:.1f}x, "
+            f"{row['accesses_per_s']:.0f} accesses/s)"
         )
+
+    failures: list[str] = []
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        failures.append(
+            f"fastest tier ({fastest}) speedup {speedup:.1f}x below "
+            f"required {args.min_speedup:.1f}x"
+        )
+    failures += _check_compiled_wins(rows, args.require_compiled_wins)
+    if args.baseline is not None:
+        try:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 1
+        factor = args.regression_factor
+        for name, row in rows.items():
+            base = (baseline.get("backends") or {}).get(name)
+            if not base:
+                continue
+            floor = factor * base["speedup"]
+            if row["speedup"] < floor:
+                failures.append(
+                    f"{name} tier speedup {row['speedup']:.1f}x regressed "
+                    f"below {floor:.1f}x ({factor:.2f} of the committed "
+                    f"{base['speedup']:.1f}x)"
+                )
+    if failures:
+        for f in failures:
+            print(f"error: {f}", file=sys.stderr)
         return 1
 
+    section = {
+        "program": args.program,
+        "stream_lines": int(len(stream)),
+        "n_sets": n_sets,
+        "assocs": assocs,
+        "reps": reps,
+        "scalar_seconds": round(scalar_s, 4),
+        "backend": fastest,
+        "backends": rows,
+        "kernel_seconds": kernel_s,
+        "speedup": speedup,
+    }
     if args.bench is not None:
         try:
             with open(args.bench) as fh:
                 bench = json.load(fh)
         except (OSError, ValueError):
             bench = {"schema": BENCH_SCHEMA}
-        bench["kernel_bench"] = {
-            "program": args.program,
-            "stream_lines": int(len(stream)),
-            "n_sets": n_sets,
-            "assocs": assocs,
-            "scalar_seconds": round(scalar_s, 4),
-            "kernel_seconds": round(kernel_s, 4),
-            "speedup": round(speedup, 2),
-        }
+        bench["kernel_bench"] = section
         atomic_write_text(args.bench, json.dumps(bench, indent=2, sort_keys=True))
         print(f"kernel_bench section written to {args.bench}")
+    if args.out is not None:
+        report = {"schema": KERNEL_BENCH_SCHEMA, "scale": args.scale, **section}
+        atomic_write_text(args.out, json.dumps(report, indent=2, sort_keys=True))
+        print(f"kernel-bench report written to {args.out}")
     return 0
 
 
@@ -162,17 +279,21 @@ def _run_analysis_bench(args) -> int:
     import numpy as np
 
     from ..core.affinity import AffinityAnalysis
-    from ..core.fastanalysis import (
-        affinity_coverage,
-        build_trg_fast,
-        coverage_from_analysis,
-    )
+    from ..core.fastanalysis import coverage_from_analysis
     from ..core.layout import Granularity
     from ..core.optimizers import OptimizerConfig, _prepare_trace
     from ..core.trg import build_trg
     from ..experiments.pipeline import Lab
     from ..robust.atomic import atomic_write_text
+    from .backends import resolve_backend
 
+    try:
+        # Scalar is the timed reference below; the tier loop covers the
+        # faster backends (numpy always, compiled when installed).
+        names = _select_backends(args.backend, include_scalar=False)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     lab = Lab(scale=args.scale)
     prepared = lab.program(args.program)
     config = OptimizerConfig()
@@ -204,56 +325,79 @@ def _run_analysis_bench(args) -> int:
     # Scalar oracles: one-pass LRU-stack sweep + scalar TRG window walk.
     scalar_aff_s, scalar_analysis = timed(lambda: AffinityAnalysis(trace, w_max))
     scalar_trg_s, scalar_trg = timed(lambda: build_trg(trace, window_blocks=window))
+    scalar_covg = coverage_from_analysis(scalar_analysis)
+    scalar_s = scalar_aff_s + scalar_trg_s
 
-    # Kernels: the vectorized equivalents.
-    kernel_aff_s, kernel_covg = timed(
-        lambda: affinity_coverage(kernel_trace, w_max=w_max)
-    )
-    kernel_trg_s, kernel_trg = timed(
-        lambda: build_trg_fast(kernel_trace, window_blocks=window)
-    )
-
-    mismatches = []
-    if coverage_from_analysis(scalar_analysis) != kernel_covg:
-        mismatches.append("affinity coverage tables diverge")
-    if scalar_trg.weights != kernel_trg.weights:
-        mismatches.append("TRG edge weights diverge")
-    if scalar_trg.nodes != kernel_trg.nodes:
-        mismatches.append("TRG node orders diverge")
+    rows: dict[str, dict] = {}
+    mismatches: list[str] = []
+    for name in names:
+        backend = resolve_backend(name)
+        if name == "compiled":  # JIT warm-up outside the timed reps
+            backend.affinity(kernel_trace, w_max=w_max)
+            backend.trg(kernel_trace, window)
+        aff_s, covg = timed(lambda: backend.affinity(kernel_trace, w_max=w_max))
+        trg_s, trg = timed(lambda: backend.trg(kernel_trace, window))
+        if scalar_covg != covg:
+            mismatches.append(f"{name}: affinity coverage tables diverge")
+        if scalar_trg.weights != trg.weights:
+            mismatches.append(f"{name}: TRG edge weights diverge")
+        if scalar_trg.nodes != trg.nodes:
+            mismatches.append(f"{name}: TRG node orders diverge")
+        total = aff_s + trg_s
+        rows[name] = {
+            "affinity_seconds": round(aff_s, 4),
+            "trg_seconds": round(trg_s, 4),
+            "seconds": round(total, 4),
+            "affinity_speedup": round(scalar_aff_s / aff_s, 2)
+            if aff_s > 0
+            else float("inf"),
+            "trg_speedup": round(scalar_trg_s / trg_s, 2)
+            if trg_s > 0
+            else float("inf"),
+            "speedup": round(scalar_s / total, 2) if total > 0 else float("inf"),
+        }
     if mismatches:
         print("analysis parity FAILED:", file=sys.stderr)
         for m in mismatches:
             print(f"  {m}", file=sys.stderr)
         return 1
 
-    scalar_s = scalar_aff_s + scalar_trg_s
-    kernel_s = kernel_aff_s + kernel_trg_s
-    speedup = scalar_s / kernel_s if kernel_s > 0 else float("inf")
-    aff_speedup = scalar_aff_s / kernel_aff_s if kernel_aff_s > 0 else float("inf")
-    trg_speedup = scalar_trg_s / kernel_trg_s if kernel_trg_s > 0 else float("inf")
+    fastest = min(rows, key=lambda n: rows[n]["seconds"])
+    kernel_s = rows[fastest]["seconds"]
+    speedup = rows[fastest]["speedup"]
     n_syms = int(np.unique(trace).size)
     print(
         f"analysis parity OK: {args.program} ({len(trace)} accesses, "
         f"{n_syms} symbols, granularity={args.granularity}), "
-        f"w_max={w_max}, window={window} blocks, best of {reps} reps"
+        f"w_max={w_max}, window={window} blocks, tiers {names}, "
+        f"best of {reps} reps"
     )
     print(
-        f"affinity: scalar {scalar_aff_s:.3f}s / kernel {kernel_aff_s:.3f}s "
-        f"({aff_speedup:.2f}x); trg: scalar {scalar_trg_s:.3f}s / kernel "
-        f"{kernel_trg_s:.3f}s ({trg_speedup:.2f}x)"
+        f"scalar oracles: affinity {scalar_aff_s:.3f}s + trg "
+        f"{scalar_trg_s:.3f}s = {scalar_s:.3f}s"
     )
-    print(
-        f"analysis stage: scalar {scalar_s:.3f}s, kernel {kernel_s:.3f}s, "
-        f"speedup {speedup:.2f}x"
-    )
-    if args.min_speedup is not None and speedup < args.min_speedup:
+    for name in names:
+        row = rows[name]
         print(
-            f"error: speedup {speedup:.2f}x below required "
-            f"{args.min_speedup:.1f}x",
-            file=sys.stderr,
+            f"  {name}: affinity {row['affinity_seconds']:.3f}s "
+            f"({row['affinity_speedup']:.2f}x), trg {row['trg_seconds']:.3f}s "
+            f"({row['trg_speedup']:.2f}x), stage {row['seconds']:.3f}s "
+            f"({row['speedup']:.2f}x)"
         )
+
+    failures: list[str] = []
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        failures.append(
+            f"fastest tier ({fastest}) speedup {speedup:.2f}x below "
+            f"required {args.min_speedup:.1f}x"
+        )
+    failures += _check_compiled_wins(rows, args.require_compiled_wins)
+    if failures:
+        for f in failures:
+            print(f"error: {f}", file=sys.stderr)
         return 1
 
+    best = rows[fastest]
     section = {
         "program": args.program,
         "granularity": args.granularity,
@@ -263,10 +407,12 @@ def _run_analysis_bench(args) -> int:
         "window_blocks": window,
         "reps": reps,
         "scalar_seconds": round(scalar_s, 4),
-        "kernel_seconds": round(kernel_s, 4),
-        "affinity_speedup": round(aff_speedup, 2),
-        "trg_speedup": round(trg_speedup, 2),
-        "speedup": round(speedup, 2),
+        "backend": fastest,
+        "backends": rows,
+        "kernel_seconds": kernel_s,
+        "affinity_speedup": best["affinity_speedup"],
+        "trg_speedup": best["trg_speedup"],
+        "speedup": speedup,
     }
     if args.bench is not None:
         try:
@@ -410,16 +556,55 @@ def main(argv: list[str] | None = None) -> int:
         help="comma-separated associativities for the sweep",
     )
     kb_p.add_argument(
+        "--backend",
+        default=None,
+        metavar="TIERS",
+        help="comma-separated kernel tiers to measure (scalar, numpy, "
+        "compiled), or 'all'; default: every available tier",
+    )
+    kb_p.add_argument(
+        "--reps",
+        type=int,
+        default=3,
+        help="repetitions per timing (the best is reported)",
+    )
+    kb_p.add_argument(
         "--min-speedup",
         type=float,
         default=None,
-        help="fail (exit 1) if the measured speedup falls below this",
+        help="fail (exit 1) if the fastest tier's speedup falls below this",
+    )
+    kb_p.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="committed BENCH_kernel.json to gate against: each measured "
+        "tier must reach --regression-factor of its committed speedup",
+    )
+    kb_p.add_argument(
+        "--regression-factor",
+        type=float,
+        default=0.5,
+        help="fraction of the baseline speedup each tier must reach "
+        "(default 0.5 — catches collapses, tolerates CI timing noise)",
+    )
+    kb_p.add_argument(
+        "--require-compiled-wins",
+        action="store_true",
+        help="fail (exit 1) if the compiled tier was measured and lost "
+        "to numpy (otherwise a warning)",
     )
     kb_p.add_argument(
         "--bench",
         default=None,
         metavar="PATH",
         help="merge results into this BENCH_perf.json",
+    )
+    kb_p.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write a standalone BENCH_kernel.json report",
     )
     kb_p.add_argument(
         "--store-dir",
@@ -462,10 +647,25 @@ def main(argv: list[str] | None = None) -> int:
         help="repetitions per timing (the best is reported)",
     )
     ab_p.add_argument(
+        "--backend",
+        default=None,
+        metavar="TIERS",
+        help="comma-separated kernel tiers to measure against the scalar "
+        "oracles (numpy, compiled), or 'all'; default: every available "
+        "non-scalar tier",
+    )
+    ab_p.add_argument(
+        "--require-compiled-wins",
+        action="store_true",
+        help="fail (exit 1) if the compiled tier was measured and lost "
+        "to numpy (otherwise a warning)",
+    )
+    ab_p.add_argument(
         "--min-speedup",
         type=float,
         default=None,
-        help="fail (exit 1) if the combined speedup falls below this",
+        help="fail (exit 1) if the fastest tier's combined speedup falls "
+        "below this",
     )
     ab_p.add_argument(
         "--bench",
@@ -567,6 +767,8 @@ def main(argv: list[str] | None = None) -> int:
             f"{sim.get('seconds', 0)}s ({sim.get('accesses_per_s', 0)}/s)"
         )
         if kernel.get("accesses"):
+            if kernel.get("backend"):
+                print(f"kernel backend: {kernel['backend']}")
             print(
                 f"kernel: {kernel.get('accesses', 0)} accesses in "
                 f"{kernel.get('seconds', 0)}s ({kernel.get('accesses_per_s', 0)}/s), "
@@ -581,6 +783,14 @@ def main(argv: list[str] | None = None) -> int:
                 f"(n_sets={kernel_bench.get('n_sets', '?')}, "
                 f"program={kernel_bench.get('program', '?')})"
             )
+            for name, row in sorted(
+                (kernel_bench.get("backends") or {}).items()
+            ):
+                print(
+                    f"  {name}: {row.get('seconds', 0)}s "
+                    f"({row.get('speedup', 0)}x, "
+                    f"{row.get('accesses_per_s', 0)} accesses/s)"
+                )
         if analysis.get("cells"):
             print(
                 f"analysis: {analysis.get('accesses', 0)} accesses in "
@@ -597,6 +807,15 @@ def main(argv: list[str] | None = None) -> int:
                 f"trg {analysis_bench.get('trg_speedup', 0)}x, "
                 f"program={analysis_bench.get('program', '?')})"
             )
+            for name, row in sorted(
+                (analysis_bench.get("backends") or {}).items()
+            ):
+                print(
+                    f"  {name}: {row.get('seconds', 0)}s "
+                    f"({row.get('speedup', 0)}x; affinity "
+                    f"{row.get('affinity_speedup', 0)}x, "
+                    f"trg {row.get('trg_speedup', 0)}x)"
+                )
         if staticlint.get("diagnostics") or staticlint.get("certified"):
             print(
                 f"staticlint: {staticlint.get('diagnostics', 0)} diagnostics in "

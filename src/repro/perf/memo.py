@@ -474,12 +474,20 @@ class SimMemo:
             payload.update(hist.to_dict())
             self._disk_write(self._entry_path(key), json.dumps(payload, sort_keys=True))
 
-    def histogram(self, lines: np.ndarray, n_sets: int) -> DistanceHistogram:
+    def histogram(
+        self, lines: np.ndarray, n_sets: int, *, backend=None
+    ) -> DistanceHistogram:
         """Memoized :func:`repro.cache.fastsim.stack_distance_histogram`.
 
         The histogram is immutable in practice (``misses()`` only builds
         an internal suffix sum), so the stored object is returned
         directly — no per-call copy.
+
+        ``backend`` (a :class:`repro.perf.backends.KernelBackend`) picks
+        the construction used on a miss.  It deliberately does NOT enter
+        the key: every tier is bit-identical by contract, so entries are
+        shared across backends (pinned by the cross-backend memo-hit
+        test).
         """
         key = histogram_key(lines, n_sets)
         hist = self.get_histogram(key)
@@ -490,15 +498,20 @@ class SimMemo:
                     if hist is not None:
                         self.hits += 1
                 if hist is None:
-                    hist = stack_distance_histogram(lines, n_sets)
+                    if backend is not None:
+                        hist = backend.histogram(lines, n_sets)
+                    else:
+                        hist = stack_distance_histogram(lines, n_sets)
                     self.put_histogram(key, hist)
         return hist
 
-    def simulate_fast(self, lines: np.ndarray, cfg: CacheConfig) -> CacheStats:
+    def simulate_fast(
+        self, lines: np.ndarray, cfg: CacheConfig, *, backend=None
+    ) -> CacheStats:
         """Memoized :func:`repro.cache.fastsim.simulate_fast` (cold, no
         prefetch); one histogram entry serves every ``assoc`` of this
         ``n_sets``."""
-        return self.histogram(lines, cfg.n_sets).stats(cfg.assoc)
+        return self.histogram(lines, cfg.n_sets, backend=backend).stats(cfg.assoc)
 
     # -- footprint curves (repro.locality.footprint) ------------------------
 
@@ -622,12 +635,19 @@ class SimMemo:
             )
 
     def affinity_coverage(
-        self, trace: np.ndarray, *, w_max: int, time_horizon: Optional[int] = None
+        self,
+        trace: np.ndarray,
+        *,
+        w_max: int,
+        time_horizon: Optional[int] = None,
+        backend=None,
     ):
         """Memoized :func:`repro.core.fastanalysis.affinity_coverage`.
 
         One entry answers every ``coverage`` threshold and every
-        ``w <= w_max`` (both are applied at query time).
+        ``w <= w_max`` (both are applied at query time).  ``backend``
+        picks the kernel tier used on a miss and never enters the key
+        (tiers are bit-identical by contract).
         """
         from ..core.fastanalysis import AffinityCoverage, affinity_coverage
 
@@ -647,17 +667,29 @@ class SimMemo:
                     if covg is not None:
                         self.hits += 1
                 if covg is None:
-                    covg = affinity_coverage(
-                        trace, w_max=w_max, time_horizon=time_horizon
-                    )
+                    if backend is not None:
+                        covg = backend.affinity(
+                            trace, w_max=w_max, time_horizon=time_horizon
+                        )
+                    else:
+                        covg = affinity_coverage(
+                            trace, w_max=w_max, time_horizon=time_horizon
+                        )
                     self.put_analysis(key, covg.to_dict())
         return covg
 
-    def trg(self, trace: np.ndarray, *, window_blocks: Optional[int] = None):
+    def trg(
+        self,
+        trace: np.ndarray,
+        *,
+        window_blocks: Optional[int] = None,
+        backend=None,
+    ):
         """Memoized :func:`repro.core.fastanalysis.build_trg_fast`.
 
         Always returns a *fresh* :class:`~repro.core.trg.TRG` — callers
-        may hand the graph to mutating consumers.
+        may hand the graph to mutating consumers.  ``backend`` picks the
+        kernel tier used on a miss and never enters the key.
         """
         from ..core.fastanalysis import (
             build_trg_fast,
@@ -674,7 +706,10 @@ class SimMemo:
                     if trg is not None:
                         self.hits += 1
                 if trg is None:
-                    trg = build_trg_fast(trace, window_blocks=window_blocks)
+                    if backend is not None:
+                        trg = backend.trg(trace, window_blocks)
+                    else:
+                        trg = build_trg_fast(trace, window_blocks=window_blocks)
                     self.put_analysis(key, trg_to_payload(trg, window_blocks))
         return trg
 

@@ -78,6 +78,24 @@ _WORKER_LAB = None
 #: the exact same refs.
 _CELL_STORE: Optional[TraceStore] = None
 
+#: the per-process KernelBackend cell kernels run on.  Set by the
+#: cell-worker initializer from the *requested* tier name with
+#: ``strict=False`` — each worker resolves against its own environment,
+#: so a ``compiled`` parent mixed with a numba-less worker degrades to
+#: ``numpy`` with bit-identical results.  ``None`` means "not resolved
+#: yet"; :func:`_cell_backend` then picks the fastest available tier.
+_CELL_BACKEND = None
+
+
+def _cell_backend():
+    """This process's resolved kernel backend (fastest tier by default)."""
+    global _CELL_BACKEND
+    if _CELL_BACKEND is None:
+        from .backends import resolve_backend
+
+        _CELL_BACKEND = resolve_backend(None)
+    return _CELL_BACKEND
+
 
 def _mp_context():
     """Prefer fork (fast, POSIX) and fall back to spawn portably."""
@@ -248,10 +266,16 @@ class ExperimentPool:
 
 # -- cell-level fan-out -------------------------------------------------------
 
-def _init_cell_worker(store_dir: Optional[str]) -> None:
-    """Cell-worker initializer: lazily attach to the trace store."""
-    global _CELL_STORE
+def _init_cell_worker(
+    store_dir: Optional[str], backend_name: Optional[str] = None
+) -> None:
+    """Cell-worker initializer: attach to the trace store and resolve
+    this process's kernel backend from the requested tier name."""
+    from .backends import resolve_backend
+
+    global _CELL_STORE, _CELL_BACKEND
     _CELL_STORE = TraceStore(store_dir) if store_dir is not None else None
+    _CELL_BACKEND = resolve_backend(backend_name, strict=False)
 
 
 def _resolve_stream(trace) -> np.ndarray:
@@ -301,11 +325,23 @@ class CellPool:
     kernels are pure, so none of this can change a result.
     """
 
-    def __init__(self, jobs: int, *, store: Optional[TraceStore] = None):
+    def __init__(
+        self,
+        jobs: int,
+        *,
+        store: Optional[TraceStore] = None,
+        kernel_backend: Optional[str] = None,
+    ):
+        from .backends import resolve_backend
+
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
         self._store = store
+        #: requested tier name (ships to worker initializers verbatim).
+        self._backend_name = kernel_backend
+        #: parent-side resolution, for the serial/recompute paths.
+        self._backend = resolve_backend(kernel_backend, strict=False)
         self._executor: Optional[ProcessPoolExecutor] = None
         self.maps = 0
         self.reuses = 0
@@ -324,7 +360,7 @@ class CellPool:
                 max_workers=self.jobs,
                 mp_context=_mp_context(),
                 initializer=_init_cell_worker,
-                initargs=(store_dir,),
+                initargs=(store_dir, self._backend_name),
             )
         else:
             self.reuses += 1
@@ -333,11 +369,12 @@ class CellPool:
     def map(self, fn: Callable[[Any], Any], cells: list) -> list:
         """Map ``fn`` over ``cells``; results positionally aligned and
         bit-identical to ``[fn(c) for c in cells]``."""
-        # Point the parent-side resolver at our store so the serial
-        # paths below handle StoreRef cells exactly like workers do.
-        global _CELL_STORE
+        # Point the parent-side resolver at our store and backend so the
+        # serial paths below handle cells exactly like workers do.
+        global _CELL_STORE, _CELL_BACKEND
         if self._store is not None:
             _CELL_STORE = self._store
+        _CELL_BACKEND = self._backend
         self.maps += 1
         n = len(cells)
         if n == 0:
@@ -479,18 +516,19 @@ def simulate_cells(
 
 
 def _analysis_cell(cell: tuple) -> dict:
-    from ..core.fastanalysis import affinity_coverage, build_trg_fast, trg_to_payload
+    from ..core.fastanalysis import trg_to_payload
 
+    backend = _cell_backend()
     kind = cell[0]
     if kind == "affinity":
         _, trace, w_max, time_horizon = cell
-        return affinity_coverage(
+        return backend.affinity(
             _resolve_stream(trace), w_max=w_max, time_horizon=time_horizon
         ).to_dict()
     if kind == "trg":
         _, trace, window_blocks = cell
         return trg_to_payload(
-            build_trg_fast(_resolve_stream(trace), window_blocks=window_blocks),
+            backend.trg(_resolve_stream(trace), window_blocks),
             window_blocks,
         )
     raise ValueError(f"unknown analysis cell kind {kind!r}")
@@ -520,10 +558,8 @@ def analysis_cells(
 
 
 def _histogram_cell(cell: tuple) -> dict:
-    from ..cache.fastsim import stack_distance_histogram
-
     lines, n_sets = cell
-    return stack_distance_histogram(_resolve_stream(lines), n_sets).to_dict()
+    return _cell_backend().histogram(_resolve_stream(lines), n_sets).to_dict()
 
 
 def _curve_cell(cell: tuple) -> dict:

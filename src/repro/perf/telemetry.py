@@ -39,7 +39,11 @@ __all__ = ["BENCH_SCHEMA", "COMPAT_SCHEMAS", "Telemetry", "compare_journal_outco
 #: v7: adds the "fleet" section (footprint-curve composition: curve
 #: passes vs. memo replays vs. the co-run matrix cells they answered;
 #: see repro.fleet).
-BENCH_SCHEMA = "repro.perf/bench.v7"
+#: v8: adds the kernel backend tier (repro.perf.backends) — the
+#: top-level "kernel_backend" field plus a "backend" entry inside the
+#: "kernel" and "analysis" sections, so a report says which tier
+#: (scalar/numpy/compiled) produced its accesses/s figures.
+BENCH_SCHEMA = "repro.perf/bench.v8"
 
 #: older schema tags show-bench and other readers still accept.
 COMPAT_SCHEMAS = (
@@ -48,6 +52,7 @@ COMPAT_SCHEMAS = (
     "repro.perf/bench.v4",
     "repro.perf/bench.v5",
     "repro.perf/bench.v6",
+    "repro.perf/bench.v7",
 )
 
 #: journal-entry fields that legitimately differ between two runs of the
@@ -58,9 +63,18 @@ TIMING_FIELDS = ("elapsed_s", "finished_at", "timings")
 class Telemetry:
     """Aggregated timing/throughput counters for one suite run."""
 
-    def __init__(self, *, jobs: int = 1, scale: float = 1.0):
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        scale: float = 1.0,
+        kernel_backend: Optional[str] = None,
+    ):
         self.jobs = jobs
         self.scale = scale
+        #: resolved kernel tier name (bench.v8); not summed across
+        #: workers — every worker of a run resolves the same request.
+        self.kernel_backend = kernel_backend
         #: per-stage wall seconds, summed across experiments and workers.
         self.stages: dict[str, float] = {}
         #: per-experiment outcome summaries, in completion order.
@@ -224,6 +238,7 @@ class Telemetry:
             "generated_at": time.time(),
             "jobs": self.jobs,
             "scale": self.scale,
+            "kernel_backend": self.kernel_backend,
             "wall_s": round(self.wall_s, 3),
             "experiments": self.experiments,
             "stages": {k: round(v, 4) for k, v in sorted(self.stages.items())},
@@ -233,6 +248,7 @@ class Telemetry:
                 "accesses_per_s": round(self.accesses_per_second, 1),
             },
             "kernel": {
+                "backend": self.kernel_backend,
                 "accesses": self.kernel_accesses,
                 "seconds": round(self.kernel_seconds, 4),
                 "accesses_per_s": round(self.kernel_accesses_per_second, 1),
@@ -245,6 +261,7 @@ class Telemetry:
                 else 0.0,
             },
             "analysis": {
+                "backend": self.kernel_backend,
                 "accesses": self.analysis_accesses,
                 "seconds": round(self.analysis_seconds, 4),
                 "accesses_per_s": round(self.analysis_accesses_per_second, 1),

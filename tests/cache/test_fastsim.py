@@ -85,11 +85,51 @@ def test_single_set_degenerate_geometry():
 
 @pytest.mark.parametrize("stream_name", sorted(_streams()))
 @pytest.mark.parametrize("n_sets", N_SETS)
-def test_mtf_and_bit_constructions_agree(stream_name, n_sets):
+def test_histogram_constructions_agree(stream_name, n_sets):
+    """All three constructions — the per-set MTF walk, the Fenwick pass,
+    and the offline dominance-count sweep — are bit-identical."""
     lines = _streams()[stream_name]
     mtf = stack_distance_histogram(lines, n_sets, method="mtf")
     bit = stack_distance_histogram(lines, n_sets, method="bit")
+    sweep = stack_distance_histogram(lines, n_sets, method="sweep")
     assert mtf == bit
+    assert mtf == sweep
+
+
+@pytest.mark.parametrize("n_sets", (1, 4, 128))
+def test_per_line_misses_pinned_against_naive_walk(n_sets):
+    """The hot-setup rewrite of per_line_misses (shared d0 strip + set
+    bounds, no per-set id rebuilds) changes no behavior: counts match a
+    naive per-set LRU stack walk, and their sum matches the histogram.
+    Geometries with empty sets included (ids drawn from few values)."""
+    from repro.cache.fastsim import per_line_misses
+
+    rng = np.random.default_rng(4242 + n_sets)
+    streams = [
+        rng.integers(0, 9, 3000),  # most sets empty at n_sets=128
+        np.repeat(rng.integers(0, 400, 800), 3),  # d0 repeats stripped
+        rng.integers(0, 5000, 4000),
+        np.array([], dtype=np.int64),
+    ]
+    for assoc in (1, 4):
+        cfg = cfg_for(n_sets, assoc)
+        for lines in streams:
+            expected: dict[int, int] = {}
+            stacks: dict[int, list[int]] = {}
+            for line in np.asarray(lines, dtype=np.int64).tolist():
+                stack = stacks.setdefault(line & (n_sets - 1), [])
+                if line in stack:
+                    d = stack.index(line)
+                    stack.insert(0, stack.pop(d))
+                    if d >= assoc:
+                        expected[line] = expected.get(line, 0) + 1
+                else:
+                    expected[line] = expected.get(line, 0) + 1
+                    stack.insert(0, line)
+            got = per_line_misses(lines, cfg)
+            assert got == expected
+            hist = stack_distance_histogram(lines, n_sets)
+            assert sum(got.values()) == hist.misses(assoc)
 
 
 def test_histogram_invariants():

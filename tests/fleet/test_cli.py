@@ -54,8 +54,11 @@ def test_bench_gate_end_to_end(tmp_path, capsys):
     """The real fleet-bench gate at reduced trace scale: parity clean,
     cells/passes thresholds hold, aware beats oblivious, and the
     BENCH_fleet.json report carries the fleet + fleet_bench sections."""
+    from repro.perf import BENCH_SCHEMA
+
     out = tmp_path / "BENCH_fleet.json"
     merge = tmp_path / "BENCH_perf.json"
+    # A previous-version merge target must still be accepted (COMPAT).
     merge.write_text(json.dumps({"schema": "repro.perf/bench.v7", "keep": 1}))
     rc = main(["bench", *FULL_BENCH_ARGS, "--memo-dir", str(tmp_path / "memo"),
                "--out", str(out), "--bench", str(merge)])
@@ -65,7 +68,7 @@ def test_bench_gate_end_to_end(tmp_path, capsys):
     assert "fleet gate OK" in captured.out
 
     report = json.loads(out.read_text())
-    assert report["schema"] == "repro.perf/bench.v7"
+    assert report["schema"] == BENCH_SCHEMA
     fleet = report["fleet"]
     assert fleet["cells"] >= 5000
     assert fleet["curve_passes"] <= 29

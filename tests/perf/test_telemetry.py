@@ -466,10 +466,11 @@ def test_telemetry_tolerates_any_jobs_value(bad):
 class TestFleetSection:
     """bench.v7: the footprint-curve composition ("fleet") section."""
 
-    def test_schema_is_v7_with_v6_compat(self):
+    def test_schema_is_v8_with_compat_chain(self):
         from repro.perf.telemetry import COMPAT_SCHEMAS
 
-        assert BENCH_SCHEMA == "repro.perf/bench.v7"
+        assert BENCH_SCHEMA == "repro.perf/bench.v8"
+        assert "repro.perf/bench.v7" in COMPAT_SCHEMAS
         assert "repro.perf/bench.v6" in COMPAT_SCHEMAS
 
     def test_section_absent_without_curve_work(self):
